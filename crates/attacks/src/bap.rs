@@ -1,0 +1,372 @@
+//! Blind Adversarial Perturbation (BAP) baseline (§5.2) [Nasr et al.,
+//! USENIX Security'21]: a *universal* (input-blind) perturbation that can
+//! also insert dummy packets, "posing larger difficulties for censoring
+//! classifiers" because flow length and directional features change.
+//!
+//! Reproduction notes (DESIGN.md §2): BAP's original implementation learns
+//! the insertion *positions* with a dedicated network; here the positions
+//! are drawn per-flow from a seeded uniform distribution while the
+//! *content* of the inserted packets (signed size → direction, delay) and
+//! the padding of real packets are the learned universal parameters. This
+//! preserves what matters downstream — inserted packets that perturb
+//! directional features — with a far simpler differentiable path.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use amoeba_classifiers::NnModel;
+use amoeba_nn::matrix::Matrix;
+use amoeba_nn::optim::{Adam, Optimizer};
+use amoeba_nn::tensor::Tensor;
+use amoeba_traffic::{Flow, FlowRepr};
+
+use crate::common::{row_overheads, rows_to_matrix, WhiteBoxOutcome, WhiteBoxReport};
+
+/// BAP training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct BapConfig {
+    /// Dummy packets inserted per flow.
+    pub insertions: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Weight of the perturbation-magnitude penalty.
+    pub overhead_weight: f32,
+    /// Evaluate test ASR every this many epochs.
+    pub eval_every: usize,
+    /// Seed (controls insertion positions too).
+    pub seed: u64,
+}
+
+impl Default for BapConfig {
+    fn default() -> Self {
+        Self {
+            insertions: 6,
+            epochs: 60,
+            batch_size: 32,
+            lr: 1e-2,
+            overhead_weight: 0.05,
+            eval_every: 10,
+            seed: 0,
+        }
+    }
+}
+
+/// The learned universal perturbation.
+pub struct Bap {
+    /// Raw padding parameters, one per channel (squashed by sigmoid).
+    pad: Tensor,
+    /// Raw inserted-packet sizes, one per insertion slot (tanh → signed).
+    ins_size: Tensor,
+    /// Raw inserted-packet delays (sigmoid).
+    ins_delay: Tensor,
+    repr: FlowRepr,
+    insertions: usize,
+    seed: u64,
+}
+
+/// Deterministic per-flow insertion positions (sorted, within the padded
+/// window that remains after insertion).
+fn insertion_positions(flow: &Flow, max_len: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut h = seed ^ 0xB1A9;
+    for p in &flow.packets {
+        h = h.wrapping_mul(0x100000001B3).wrapping_add(p.size as u64);
+    }
+    let mut rng = StdRng::seed_from_u64(h);
+    let span = flow.len().min(max_len.saturating_sub(k)) + k;
+    let mut pos: Vec<usize> = (0..k).map(|_| rng.gen_range(0..span.max(1))).collect();
+    pos.sort_unstable();
+    pos
+}
+
+impl Bap {
+    /// Expands a flow into `(row, insertion-slot indices)`: original
+    /// packets shifted to make room for `insertions` dummy slots.
+    fn expand(&self, flow: &Flow) -> (Vec<f32>, Vec<usize>) {
+        let l = self.repr.max_len;
+        let positions = insertion_positions(flow, l, self.insertions, self.seed);
+        let mut row = vec![0.0f32; self.repr.width()];
+        let mut slots = Vec::with_capacity(self.insertions);
+        let mut src = 0usize;
+        let mut pi = 0usize;
+        for slot in 0..l {
+            if pi < positions.len() && positions[pi] == slot {
+                slots.push(slot);
+                pi += 1;
+                continue;
+            }
+            if let Some(p) = flow.packets.get(src) {
+                row[slot * 2] = self.repr.norm_size(p.size);
+                row[slot * 2 + 1] = self.repr.norm_delay(p.delay_ms);
+                src += 1;
+            }
+        }
+        // Positions beyond the window collapse onto the last slots.
+        while pi < positions.len() {
+            slots.push(l - (positions.len() - pi));
+            pi += 1;
+        }
+        slots.truncate(self.insertions);
+        (row, slots)
+    }
+
+    /// Applies the universal perturbation to a batch of expanded rows
+    /// (graph path). `slot_masks` marks each row's insertion slots.
+    fn perturb_graph(&self, rows: &Matrix, slot_lists: &[Vec<usize>]) -> Tensor {
+        let b = rows.rows();
+        let width = rows.cols();
+        // Headroom for existing packets, insertion masks for dummy slots.
+        let mut head = Matrix::zeros(b, width);
+        let mut ins_size_mask = Matrix::zeros(b, self.insertions * width);
+        let mut ins_delay_mask = Matrix::zeros(b, self.insertions * width);
+        for r in 0..b {
+            let row = rows.row(r);
+            for slot in 0..width / 2 {
+                let (si, di) = (slot * 2, slot * 2 + 1);
+                if row[si] != 0.0 || row[di] != 0.0 {
+                    head[(r, si)] = row[si].signum() * (1.0 - row[si].abs());
+                    head[(r, di)] = 1.0 - row[di];
+                }
+            }
+            for (k, &slot) in slot_lists[r].iter().enumerate() {
+                ins_size_mask[(r, k * width + slot * 2)] = 1.0;
+                ins_delay_mask[(r, k * width + slot * 2 + 1)] = 1.0;
+            }
+        }
+
+        let x = Tensor::constant(rows.clone());
+        // Padding of existing packets: x + σ(pad) ∘ headroom.
+        let pad = self.pad.sigmoid(); // (1, width)
+        let mut padded = x.clone();
+        {
+            // Broadcast σ(pad) over the batch by building a (b, width)
+            // tensor via sum of masked rows — cheaper: tile with matmul by
+            // a column of ones.
+            let ones = Tensor::constant(Matrix::ones(b, 1));
+            let pad_b = ones.matmul(&pad);
+            padded = padded.add(&pad_b.mul(&Tensor::constant(head)));
+        }
+        // Inserted packets: Σ_k mask_k ∘ value_k (broadcast similarly).
+        let ones = Tensor::constant(Matrix::ones(b, 1));
+        let mut out = padded;
+        for k in 0..self.insertions {
+            let sz = self.ins_size.slice_cols(k, k + 1).tanh(); // (1,1)
+            let dl = self.ins_delay.slice_cols(k, k + 1).sigmoid();
+            let sz_b = ones.matmul(&sz); // (b,1)
+            let dl_b = ones.matmul(&dl);
+            let mut smask = Matrix::zeros(b, width);
+            let mut dmask = Matrix::zeros(b, width);
+            for r in 0..b {
+                for c in 0..width {
+                    smask[(r, c)] = ins_size_mask[(r, k * width + c)];
+                    dmask[(r, c)] = ins_delay_mask[(r, k * width + c)];
+                }
+            }
+            // out += mask ∘ broadcast(value): mask has exactly one nonzero
+            // column per row, so matmul-free broadcast via mul of the
+            // column-replicated value.
+            let sz_full = sz_b.matmul(&Tensor::constant(Matrix::ones(1, width)));
+            let dl_full = dl_b.matmul(&Tensor::constant(Matrix::ones(1, width)));
+            out = out
+                .add(&sz_full.mul(&Tensor::constant(smask)))
+                .add(&dl_full.mul(&Tensor::constant(dmask)));
+        }
+        out
+    }
+
+    /// Adversarial row for one flow (deployment path).
+    pub fn perturb_flow(&self, flow: &Flow) -> Vec<f32> {
+        let (row, slots) = self.expand(flow);
+        let m = Matrix::from_vec(1, row.len(), row);
+        self.perturb_graph(&m, &[slots]).value().into_vec()
+    }
+
+    /// Learned parameters.
+    fn params(&self) -> Vec<Tensor> {
+        vec![self.pad.clone(), self.ins_size.clone(), self.ins_delay.clone()]
+    }
+}
+
+/// Trains BAP against a fixed NN censor; returns the perturbation and the
+/// test-set report.
+pub fn train_bap(
+    model: &NnModel,
+    train_flows: &[Flow],
+    test_flows: &[Flow],
+    cfg: &BapConfig,
+) -> (Bap, WhiteBoxReport) {
+    assert!(!train_flows.is_empty(), "train_bap: no training flows");
+    let repr = model.repr();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let bap = Bap {
+        pad: Tensor::parameter(Matrix::randn(1, repr.width(), 0.2, &mut rng)),
+        ins_size: Tensor::parameter(Matrix::randn(1, cfg.insertions, 0.5, &mut rng)),
+        ins_delay: Tensor::parameter(Matrix::randn(1, cfg.insertions, 0.5, &mut rng)),
+        repr,
+        insertions: cfg.insertions,
+        seed: cfg.seed,
+    };
+    let mut opt = Adam::new(bap.params(), cfg.lr);
+
+    let expanded: Vec<(Vec<f32>, Vec<usize>)> =
+        train_flows.iter().map(|f| bap.expand(f)).collect();
+    let mut order: Vec<usize> = (0..expanded.len()).collect();
+    let mut queries = 0usize;
+    let mut convergence = Vec::new();
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let rows: Vec<Vec<f32>> = chunk.iter().map(|&i| expanded[i].0.clone()).collect();
+            let slots: Vec<Vec<usize>> = chunk.iter().map(|&i| expanded[i].1.clone()).collect();
+            let originals = rows_to_matrix(&rows);
+            opt.zero_grad();
+            let adv = bap.perturb_graph(&originals, &slots);
+            let logits = model.forward_graph(&adv);
+            queries += chunk.len();
+            let benign = Matrix::zeros(chunk.len(), 1);
+            let fool = logits.bce_with_logits_loss(&benign);
+            let pert = adv.sub(&Tensor::constant(originals));
+            let magnitude = pert.mul(&pert).mean();
+            let loss = fool.add(&magnitude.scale(cfg.overhead_weight));
+            loss.backward();
+            opt.step();
+        }
+        if cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0 {
+            let report = evaluate_bap(&bap, model, test_flows);
+            convergence.push((queries, report.asr()));
+        }
+    }
+
+    let mut report = evaluate_bap(&bap, model, test_flows);
+    report.convergence = convergence;
+    (bap, report)
+}
+
+/// Evaluates a trained BAP perturbation on test flows.
+pub fn evaluate_bap(bap: &Bap, model: &NnModel, flows: &[Flow]) -> WhiteBoxReport {
+    let repr = model.repr();
+    let outcomes = flows
+        .iter()
+        .map(|f| {
+            let original = repr.to_position_major(f);
+            let adversarial = bap.perturb_flow(f);
+            let x = Tensor::constant(Matrix::from_vec(1, adversarial.len(), adversarial.clone()));
+            let logit = model.forward_graph(&x).value()[(0, 0)];
+            let (data_overhead, time_overhead) = row_overheads(&adversarial, &original);
+            WhiteBoxOutcome {
+                adversarial,
+                success: logit < 0.0,
+                queries: 1,
+                data_overhead,
+                time_overhead,
+            }
+        })
+        .collect();
+    WhiteBoxReport { outcomes, convergence: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_classifiers::{train_nn_model, CensorKind, TrainConfig};
+    use amoeba_traffic::{build_dataset, DatasetKind, Label, Layer};
+
+    fn sensitive(ds: &amoeba_traffic::Dataset, n: usize) -> Vec<Flow> {
+        ds.flows
+            .iter()
+            .zip(&ds.labels)
+            .filter(|(_, &l)| l == Label::Sensitive)
+            .map(|(f, _)| f.clone())
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn expansion_preserves_payload_order() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bap = Bap {
+            pad: Tensor::parameter(Matrix::zeros(1, FlowRepr::tcp().width())),
+            ins_size: Tensor::parameter(Matrix::zeros(1, 4)),
+            ins_delay: Tensor::parameter(Matrix::zeros(1, 4)),
+            repr: FlowRepr::tcp(),
+            insertions: 4,
+            seed: 7,
+        };
+        let flow = Flow::from_pairs(&[(536, 0.0), (-536, 1.0), (1072, 2.0)]);
+        let (row, slots) = bap.expand(&flow);
+        assert_eq!(slots.len(), 4);
+        // Original packets appear in order among non-insertion slots.
+        let repr = FlowRepr::tcp();
+        let expected = [
+            repr.norm_size(536),
+            repr.norm_size(-536),
+            repr.norm_size(1072),
+        ];
+        let mut found = Vec::new();
+        for slot in 0..repr.max_len {
+            if !slots.contains(&slot) && row[slot * 2] != 0.0 {
+                found.push(row[slot * 2]);
+            }
+        }
+        assert_eq!(found, expected);
+        let _ = rng.gen::<u8>();
+    }
+
+    #[test]
+    fn bap_learns_to_fool_sdae() {
+        let ds = build_dataset(DatasetKind::Tor, 100, None, 44);
+        let splits = ds.split(44);
+        let model = train_nn_model(
+            CensorKind::Sdae,
+            &splits.clf_train,
+            Layer::Tcp,
+            &TrainConfig::fast(),
+            8,
+        );
+        let train = sensitive(&splits.attack_train, 40);
+        let test = sensitive(&splits.test, 10);
+        let cfg = BapConfig { eval_every: 30, ..Default::default() };
+        let (_, report) = train_bap(&model, &train, &test, &cfg);
+        assert!(report.asr() > 0.4, "BAP ASR {}", report.asr());
+        assert_eq!(report.convergence.len(), 2);
+    }
+
+    #[test]
+    fn inserted_packets_appear_in_adversarial_rows() {
+        let ds = build_dataset(DatasetKind::Tor, 40, None, 45);
+        let splits = ds.split(45);
+        let model = train_nn_model(
+            CensorKind::Sdae,
+            &splits.clf_train,
+            Layer::Tcp,
+            &TrainConfig { epochs: 1, ..TrainConfig::fast() },
+            9,
+        );
+        let train = sensitive(&splits.attack_train, 10);
+        let cfg = BapConfig { epochs: 1, eval_every: 0, insertions: 3, ..Default::default() };
+        let (bap, _) = train_bap(&model, &train, &train, &cfg);
+        let flow = &train[0];
+        let adv = bap.perturb_flow(flow);
+        let (_, slots) = bap.expand(flow);
+        for &slot in &slots {
+            // Inserted slot carries a (possibly small) packet.
+            assert!(adv[slot * 2].abs() > 0.0, "insertion slot {slot} stayed empty");
+        }
+    }
+
+    #[test]
+    fn insertion_positions_are_deterministic_per_flow() {
+        let flow = Flow::from_pairs(&[(536, 0.0), (-536, 1.0)]);
+        let a = insertion_positions(&flow, 64, 5, 3);
+        let b = insertion_positions(&flow, 64, 5, 3);
+        assert_eq!(a, b);
+        let other = Flow::from_pairs(&[(100, 0.0), (-200, 1.0)]);
+        let c = insertion_positions(&other, 64, 5, 3);
+        assert!(a != c || a.len() == 5);
+    }
+}

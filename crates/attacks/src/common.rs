@@ -1,0 +1,206 @@
+//! Shared machinery for the white-box baselines (§5.2): the feasibility
+//! box in normalised input space and the §5.3 overhead metrics.
+//!
+//! All three baselines operate on the position-major flow representation
+//! (`[s_0, d_0, s_1, d_1, …]`, sizes signed in `[-1, 1]`, delays in
+//! `[0, 1]`). Feasible adversarial rows must satisfy, per §3:
+//!
+//! * `|s'_i| ≥ |s_i|` with the same sign (padding only — these attacks
+//!   cannot truncate), and `|s'_i| ≤ 1`;
+//! * `d'_i ≥ d_i` and `d'_i ≤ 1` (delays can only grow);
+//! * zero slots (absent packets) stay zero — except for BAP's designated
+//!   insertion slots.
+
+use amoeba_nn::matrix::Matrix;
+
+/// Projects a candidate row into the feasibility box around `original`.
+/// `insertable[i]` marks packet slots where a new packet may materialise
+/// (all-false for C&W/NIDSGAN; BAP's insertion slots for BAP).
+pub fn project_row(candidate: &mut [f32], original: &[f32], insertable: &[bool]) {
+    assert_eq!(candidate.len(), original.len());
+    assert_eq!(insertable.len(), original.len() / 2);
+    for slot in 0..original.len() / 2 {
+        let (si, di) = (slot * 2, slot * 2 + 1);
+        let orig_s = original[si];
+        let orig_d = original[di];
+        let absent = orig_s == 0.0 && orig_d == 0.0;
+        if absent && !insertable[slot] {
+            candidate[si] = 0.0;
+            candidate[di] = 0.0;
+            continue;
+        }
+        if absent {
+            // Insertion slot: any signed size, non-negative delay.
+            candidate[si] = candidate[si].clamp(-1.0, 1.0);
+            candidate[di] = candidate[di].clamp(0.0, 1.0);
+            continue;
+        }
+        // Existing packet: padding only, same direction, delay only grows.
+        if orig_s >= 0.0 {
+            candidate[si] = candidate[si].clamp(orig_s, 1.0);
+        } else {
+            candidate[si] = candidate[si].clamp(-1.0, orig_s);
+        }
+        candidate[di] = candidate[di].clamp(orig_d, 1.0);
+    }
+}
+
+/// §5.3 overheads of an adversarial row relative to the original:
+/// `(data_overhead, time_overhead)`.
+pub fn row_overheads(adversarial: &[f32], original: &[f32]) -> (f32, f32) {
+    let mut orig_bytes = 0.0f32;
+    let mut adv_bytes = 0.0f32;
+    let mut orig_time = 0.0f32;
+    let mut adv_time = 0.0f32;
+    for slot in 0..original.len() / 2 {
+        orig_bytes += original[slot * 2].abs();
+        adv_bytes += adversarial[slot * 2].abs();
+        orig_time += original[slot * 2 + 1];
+        adv_time += adversarial[slot * 2 + 1];
+    }
+    let padding = (adv_bytes - orig_bytes).max(0.0);
+    let data = if adv_bytes > 0.0 { padding / adv_bytes } else { 0.0 };
+    let added = (adv_time - orig_time).max(0.0);
+    let time = if adv_time > 0.0 { added / adv_time } else { 0.0 };
+    (data, time)
+}
+
+/// Result of attacking one flow with a white-box method.
+#[derive(Debug, Clone)]
+pub struct WhiteBoxOutcome {
+    /// The adversarial row (position-major, normalised).
+    pub adversarial: Vec<f32>,
+    /// Whether the classifier now scores the row benign.
+    pub success: bool,
+    /// Classifier queries consumed for this sample.
+    pub queries: usize,
+    /// Data overhead (§5.3).
+    pub data_overhead: f32,
+    /// Time overhead (§5.3).
+    pub time_overhead: f32,
+}
+
+/// Aggregate over a test set (a Table 1 white-box cell).
+#[derive(Debug, Clone, Default)]
+pub struct WhiteBoxReport {
+    /// Per-flow outcomes.
+    pub outcomes: Vec<WhiteBoxOutcome>,
+    /// `(cumulative classifier queries, test ASR)` checkpoints captured
+    /// during generator training (Figure 7 curves); empty for C&W.
+    pub convergence: Vec<(usize, f32)>,
+}
+
+impl WhiteBoxReport {
+    /// Attack success rate.
+    pub fn asr(&self) -> f32 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.success).count() as f32 / self.outcomes.len() as f32
+    }
+
+    /// Mean data overhead over attacked flows.
+    pub fn data_overhead(&self) -> f32 {
+        mean(self.outcomes.iter().map(|o| o.data_overhead))
+    }
+
+    /// Mean time overhead over attacked flows.
+    pub fn time_overhead(&self) -> f32 {
+        mean(self.outcomes.iter().map(|o| o.time_overhead))
+    }
+
+    /// Total classifier queries consumed.
+    pub fn total_queries(&self) -> usize {
+        self.outcomes.iter().map(|o| o.queries).sum()
+    }
+}
+
+fn mean(it: impl Iterator<Item = f32>) -> f32 {
+    let v: Vec<f32> = it.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f32>() / v.len() as f32
+    }
+}
+
+/// Converts rows back through a batch matrix (training helper).
+pub fn rows_to_matrix(rows: &[Vec<f32>]) -> Matrix {
+    assert!(!rows.is_empty(), "rows_to_matrix: empty batch");
+    let cols = rows[0].len();
+    let mut data = Vec::with_capacity(rows.len() * cols);
+    for r in rows {
+        data.extend_from_slice(r);
+    }
+    Matrix::from_vec(rows.len(), cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_enforces_padding_only() {
+        let original = vec![0.3, 0.1, -0.5, 0.2, 0.0, 0.0];
+        let mut cand = vec![0.1, 0.0, -0.2, 0.9, 0.7, 0.5];
+        project_row(&mut cand, &original, &[false, false, false]);
+        assert_eq!(cand[0], 0.3); // cannot shrink below original
+        assert_eq!(cand[1], 0.1); // delay cannot shrink
+        assert_eq!(cand[2], -0.5); // inbound cannot shrink in magnitude
+        assert_eq!(cand[3], 0.9);
+        assert_eq!(cand[4], 0.0); // absent slot stays absent
+        assert_eq!(cand[5], 0.0);
+    }
+
+    #[test]
+    fn projection_allows_growth_within_bounds() {
+        let original = vec![0.3, 0.1, -0.5, 0.2];
+        let mut cand = vec![2.0, 0.5, -2.0, 2.0];
+        project_row(&mut cand, &original, &[false, false]);
+        assert_eq!(cand, vec![1.0, 0.5, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn insertion_slots_admit_new_packets() {
+        let original = vec![0.0, 0.0];
+        let mut cand = vec![-0.4, 0.3];
+        project_row(&mut cand, &original, &[true]);
+        assert_eq!(cand, vec![-0.4, 0.3]);
+    }
+
+    #[test]
+    fn overheads_match_hand_computation() {
+        let original = vec![0.5, 0.1, -0.5, 0.1];
+        let adversarial = vec![0.75, 0.1, -0.75, 0.3];
+        let (d, t) = row_overheads(&adversarial, &original);
+        // padding = 0.5 of 1.5 total adversarial bytes
+        assert!((d - 0.5 / 1.5).abs() < 1e-6);
+        // added delay 0.2 of 0.4 total
+        assert!((t - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_perturbation_has_zero_overheads() {
+        let original = vec![0.5, 0.1, -0.5, 0.1];
+        let (d, t) = row_overheads(&original, &original);
+        assert_eq!(d, 0.0);
+        assert_eq!(t, 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = WhiteBoxReport::default();
+        for i in 0..4 {
+            r.outcomes.push(WhiteBoxOutcome {
+                adversarial: vec![],
+                success: i % 2 == 0,
+                queries: 10,
+                data_overhead: 0.2,
+                time_overhead: 0.1,
+            });
+        }
+        assert_eq!(r.asr(), 0.5);
+        assert_eq!(r.total_queries(), 40);
+        assert!((r.data_overhead() - 0.2).abs() < 1e-6);
+    }
+}

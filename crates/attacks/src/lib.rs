@@ -1,0 +1,26 @@
+//! # amoeba-attacks
+//!
+//! The white-box attack baselines of Table 1 (§5.2):
+//!
+//! * [`cw`] — Carlini & Wagner-style projected gradient descent, querying
+//!   the classifier iteratively per flow;
+//! * [`nidsgan`] — a GAN-style perturbation generator with the censor as
+//!   the (frozen) discriminator; flow length is preserved;
+//! * [`bap`] — blind (universal) adversarial perturbations that may also
+//!   insert dummy packets, perturbing directional features.
+//!
+//! All three require gradients, so they apply only to the NN censors
+//! (SDAE/DF/LSTM) — the Table 1 "N/A" cells for DT/RF/CUMUL fall out of
+//! the type system here ([`amoeba_classifiers::NnModel`] is required).
+
+#![warn(missing_docs)]
+
+pub mod bap;
+pub mod common;
+pub mod cw;
+pub mod nidsgan;
+
+pub use bap::{evaluate_bap, train_bap, Bap, BapConfig};
+pub use common::{project_row, row_overheads, WhiteBoxOutcome, WhiteBoxReport};
+pub use cw::{cw_attack, cw_attack_flow, CwConfig};
+pub use nidsgan::{evaluate_nidsgan, train_nidsgan, NidsGan, NidsGanConfig};

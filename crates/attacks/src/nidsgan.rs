@@ -1,0 +1,255 @@
+//! NIDSGAN baseline (§5.2) [Zolbayar et al., 2022]: the censoring
+//! classifier plays the discriminator of a GAN, and a generator network
+//! learns minimal perturbations that flip it.
+//!
+//! The generator consumes a flow's position-major row and emits one
+//! perturbation fraction per channel, squashed through a sigmoid and
+//! scaled by the *headroom* of that channel (how much padding/delay the
+//! §3 constraints still allow), so feasibility holds by construction:
+//! `s' = s + sign(s)·σ(g)·(1−|s|)`, `d' = d + σ(g)·(1−d)`. Absent slots
+//! stay absent — per Table 1, "the length of adversarial flows must be
+//! equal to the length of input flows", NIDSGAN's documented limitation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use amoeba_classifiers::NnModel;
+use amoeba_nn::layers::{Activation, Mlp};
+use amoeba_nn::matrix::Matrix;
+use amoeba_nn::optim::{Adam, Optimizer};
+use amoeba_nn::tensor::Tensor;
+use amoeba_traffic::{Flow, FlowRepr};
+
+use crate::common::{row_overheads, rows_to_matrix, WhiteBoxOutcome, WhiteBoxReport};
+
+/// NIDSGAN training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct NidsGanConfig {
+    /// Generator hidden widths.
+    pub hidden: Vec<usize>,
+    /// Training epochs over the attack_train set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Weight of the perturbation-magnitude penalty.
+    pub overhead_weight: f32,
+    /// Evaluate test ASR every this many epochs (convergence curve).
+    pub eval_every: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for NidsGanConfig {
+    fn default() -> Self {
+        Self {
+            hidden: vec![128, 128],
+            epochs: 30,
+            batch_size: 32,
+            lr: 1e-3,
+            overhead_weight: 0.5,
+            eval_every: 5,
+            seed: 0,
+        }
+    }
+}
+
+/// Headroom masks for one row: how far each channel may legally grow
+/// (signed for sizes so that `adv = orig + σ(g) ∘ headroom` stays in the
+/// feasibility box).
+fn headroom(row: &[f32]) -> Vec<f32> {
+    let mut h = vec![0.0f32; row.len()];
+    for slot in 0..row.len() / 2 {
+        let (si, di) = (slot * 2, slot * 2 + 1);
+        let s = row[si];
+        let d = row[di];
+        if s == 0.0 && d == 0.0 {
+            continue; // absent packet: length must be preserved
+        }
+        h[si] = s.signum() * (1.0 - s.abs());
+        h[di] = 1.0 - d;
+    }
+    h
+}
+
+/// A trained NIDSGAN generator.
+pub struct NidsGan {
+    generator: Mlp,
+    repr: FlowRepr,
+}
+
+impl NidsGan {
+    /// Applies the generator to a batch of original rows (graph path).
+    fn perturb_graph(&self, originals: &Matrix) -> Tensor {
+        let head: Vec<Vec<f32>> = (0..originals.rows())
+            .map(|r| headroom(originals.row(r)))
+            .collect();
+        let head = rows_to_matrix(&head);
+        let x = Tensor::constant(originals.clone());
+        let g = self.generator.forward(&x).sigmoid();
+        x.add(&g.mul(&Tensor::constant(head)))
+    }
+
+    /// Adversarial row for one flow (deployment: single forward pass).
+    pub fn perturb_flow(&self, flow: &Flow) -> Vec<f32> {
+        let row = self.repr.to_position_major(flow);
+        let m = Matrix::from_vec(1, row.len(), row);
+        self.perturb_graph(&m).value().into_vec()
+    }
+}
+
+/// Trains NIDSGAN against a fixed NN censor and evaluates on `test_flows`.
+pub fn train_nidsgan(
+    model: &NnModel,
+    train_flows: &[Flow],
+    test_flows: &[Flow],
+    cfg: &NidsGanConfig,
+) -> (NidsGan, WhiteBoxReport) {
+    assert!(!train_flows.is_empty(), "train_nidsgan: no training flows");
+    let repr = model.repr();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let width = repr.width();
+    let mut dims = vec![width];
+    dims.extend(&cfg.hidden);
+    dims.push(width);
+    let gan = NidsGan {
+        generator: Mlp::new(&dims, Activation::Relu, Activation::Identity, &mut rng),
+        repr,
+    };
+    let mut opt = Adam::new(gan.generator.params(), cfg.lr);
+
+    let rows: Vec<Vec<f32>> = train_flows
+        .iter()
+        .map(|f| repr.to_position_major(f))
+        .collect();
+    let mut order: Vec<usize> = (0..rows.len()).collect();
+    let mut queries = 0usize;
+    let mut convergence = Vec::new();
+
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(cfg.batch_size.max(1)) {
+            let batch: Vec<Vec<f32>> = chunk.iter().map(|&i| rows[i].clone()).collect();
+            let originals = rows_to_matrix(&batch);
+            opt.zero_grad();
+            let adv = gan.perturb_graph(&originals);
+            let logits = model.forward_graph(&adv);
+            queries += chunk.len();
+            // Discriminator target: benign (label 0 = not sensitive).
+            let benign = Matrix::zeros(chunk.len(), 1);
+            let fool = logits.bce_with_logits_loss(&benign);
+            // Overhead term: mean perturbation magnitude.
+            let pert = adv.sub(&Tensor::constant(originals));
+            let magnitude = pert.mul(&pert).mean();
+            let loss = fool.add(&magnitude.scale(cfg.overhead_weight));
+            loss.backward();
+            // Only the generator is updated; the censor stays fixed.
+            opt.step();
+        }
+        if cfg.eval_every > 0 && (epoch + 1) % cfg.eval_every == 0 {
+            let report = evaluate_nidsgan(&gan, model, test_flows);
+            convergence.push((queries, report.asr()));
+        }
+    }
+
+    let mut report = evaluate_nidsgan(&gan, model, test_flows);
+    report.convergence = convergence;
+    (gan, report)
+}
+
+/// Evaluates a trained generator on test flows (one classifier query per
+/// flow at deployment, per §5.5.1).
+pub fn evaluate_nidsgan(gan: &NidsGan, model: &NnModel, flows: &[Flow]) -> WhiteBoxReport {
+    let repr = model.repr();
+    let outcomes = flows
+        .iter()
+        .map(|f| {
+            let original = repr.to_position_major(f);
+            let adversarial = gan.perturb_flow(f);
+            let x = Tensor::constant(Matrix::from_vec(1, adversarial.len(), adversarial.clone()));
+            let logit = model.forward_graph(&x).value()[(0, 0)];
+            let (data_overhead, time_overhead) = row_overheads(&adversarial, &original);
+            WhiteBoxOutcome {
+                adversarial,
+                success: logit < 0.0,
+                queries: 1,
+                data_overhead,
+                time_overhead,
+            }
+        })
+        .collect();
+    WhiteBoxReport { outcomes, convergence: Vec::new() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_classifiers::{train_nn_model, CensorKind, TrainConfig};
+    use amoeba_traffic::{build_dataset, DatasetKind, Label, Layer};
+
+    fn sensitive(ds: &amoeba_traffic::Dataset, n: usize) -> Vec<Flow> {
+        ds.flows
+            .iter()
+            .zip(&ds.labels)
+            .filter(|(_, &l)| l == Label::Sensitive)
+            .map(|(f, _)| f.clone())
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn nidsgan_learns_to_fool_sdae() {
+        let ds = build_dataset(DatasetKind::Tor, 100, None, 33);
+        let splits = ds.split(33);
+        let model = train_nn_model(
+            CensorKind::Sdae,
+            &splits.clf_train,
+            Layer::Tcp,
+            &TrainConfig::fast(),
+            5,
+        );
+        let train = sensitive(&splits.attack_train, 40);
+        let test = sensitive(&splits.test, 10);
+        let cfg = NidsGanConfig { epochs: 20, eval_every: 10, ..Default::default() };
+        let (_, report) = train_nidsgan(&model, &train, &test, &cfg);
+        assert!(report.asr() > 0.5, "NIDSGAN ASR {}", report.asr());
+        assert_eq!(report.convergence.len(), 2);
+        // Queries grow monotonically along the curve.
+        assert!(report.convergence[0].0 < report.convergence[1].0);
+    }
+
+    #[test]
+    fn perturbation_preserves_length_and_constraints() {
+        let ds = build_dataset(DatasetKind::Tor, 60, None, 34);
+        let splits = ds.split(34);
+        let model = train_nn_model(
+            CensorKind::Sdae,
+            &splits.clf_train,
+            Layer::Tcp,
+            &TrainConfig { epochs: 2, ..TrainConfig::fast() },
+            6,
+        );
+        let train = sensitive(&splits.attack_train, 20);
+        let cfg = NidsGanConfig { epochs: 2, eval_every: 0, ..Default::default() };
+        let (gan, _) = train_nidsgan(&model, &train, &train, &cfg);
+        let repr = model.repr();
+        for f in &train {
+            let orig = repr.to_position_major(f);
+            let adv = gan.perturb_flow(f);
+            for slot in 0..orig.len() / 2 {
+                let (si, di) = (slot * 2, slot * 2 + 1);
+                if orig[si] == 0.0 && orig[di] == 0.0 {
+                    assert_eq!(adv[si], 0.0, "absent slot materialised");
+                    assert_eq!(adv[di], 0.0);
+                } else {
+                    assert!(adv[si].abs() >= orig[si].abs() - 1e-5, "size shrank");
+                    assert!(adv[si].signum() == orig[si].signum() || adv[si] == 0.0);
+                    assert!(adv[di] >= orig[di] - 1e-5, "delay shrank");
+                    assert!(adv[si].abs() <= 1.0 + 1e-5 && adv[di] <= 1.0 + 1e-5);
+                }
+            }
+        }
+    }
+}

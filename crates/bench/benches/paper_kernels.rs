@@ -1,0 +1,186 @@
+//! Criterion micro-benchmarks: the computational kernel behind each table
+//! and figure of the paper (DESIGN.md §4 maps each group to its
+//! experiment). Full experiment regeneration lives in the `repro_all`
+//! binary; these benches keep `cargo bench --workspace` fast while still
+//! measuring what each experiment is bottlenecked by.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use amoeba_classifiers::{train_censor, Censor, CensorKind, TrainConfig};
+use amoeba_core::{
+    encode_frame, pretrain_encoder, synthetic_flows, AmoebaConfig, Batch, PpoLearner,
+    ProfileStore, ShapedSender, StateEncoder, Trajectory,
+};
+use amoeba_traffic::{
+    build_dataset, cumul_features, extract_features, DatasetKind, FlowRepr, Layer, TorGenerator,
+    TrafficGenerator,
+};
+
+fn small_ctx() -> (amoeba_traffic::Splits, Arc<dyn Censor>) {
+    let ds = build_dataset(DatasetKind::Tor, 120, None, 7);
+    let splits = ds.split(7);
+    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Dt,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig::fast(),
+        1,
+    ));
+    (splits, censor)
+}
+
+/// Table 1 kernel: censor inference over one flow.
+fn bench_table1_classifier_inference(c: &mut Criterion) {
+    let (splits, dt) = small_ctx();
+    let df: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Df,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig { epochs: 2, ..TrainConfig::fast() },
+        2,
+    ));
+    let flow = splits.test.flows[0].clone();
+    c.bench_function("table1_dt_score_flow", |b| b.iter(|| dt.score(&flow)));
+    c.bench_function("table1_df_score_flow", |b| b.iter(|| df.score(&flow)));
+}
+
+/// Figure 4 kernel: the 166-feature extractor.
+fn bench_fig4_feature_extraction(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let flow = TorGenerator::default().generate(&mut rng);
+    c.bench_function("fig4_extract_166_features", |b| {
+        b.iter(|| extract_features(&flow, Layer::Tcp))
+    });
+    c.bench_function("fig4_cumul_features", |b| b.iter(|| cumul_features(&flow, 100)));
+}
+
+/// Figure 11 kernel: single-step action inference (encoder push + actor
+/// forward) — the 0.37 ms quantity of §5.6.1.
+fn bench_fig11_action_inference(c: &mut Criterion) {
+    let mut cfg = AmoebaConfig::fast();
+    cfg.encoder_train_flows = 64;
+    cfg.encoder_epochs = 2;
+    let (encoder, _) = pretrain_encoder(&cfg);
+    let mut rng = StdRng::seed_from_u64(3);
+    let learner = PpoLearner::new(&cfg, &mut rng);
+    let actor = learner.actor.snapshot();
+    c.bench_function("fig11_single_step_inference", |b| {
+        let mut x_state = encoder.begin();
+        let a_state = encoder.begin();
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| {
+            x_state.push(&encoder, [0.4, 0.1]);
+            let mut state = x_state.representation().to_vec();
+            state.extend_from_slice(a_state.representation());
+            actor.sample(&state, &mut rng)
+        })
+    });
+}
+
+/// Figure 13 kernel: encoding a 60-packet flow.
+fn bench_fig13_encoder(c: &mut Criterion) {
+    let mut cfg = AmoebaConfig::fast();
+    cfg.encoder_train_flows = 64;
+    cfg.encoder_epochs = 2;
+    let mut rng = StdRng::seed_from_u64(5);
+    let enc = StateEncoder::new(cfg.encoder_hidden, cfg.encoder_layers, &mut rng);
+    let snap = enc.snapshot();
+    let flows = synthetic_flows(1, 60, &mut rng);
+    c.bench_function("fig13_encode_60_packets", |b| b.iter(|| snap.encode(&flows[0])));
+}
+
+/// Figures 7–9 kernel: one PPO update over a synthetic batch.
+fn bench_fig7_ppo_update(c: &mut Criterion) {
+    let mut cfg = AmoebaConfig::fast();
+    cfg.minibatches = 4;
+    cfg.update_epochs = 1;
+    let mut rng = StdRng::seed_from_u64(6);
+    let mut learner = PpoLearner::new(&cfg, &mut rng);
+    let dim = cfg.state_dim();
+    let traj = Trajectory {
+        states: (0..256).map(|i| vec![(i % 13) as f32 / 13.0; dim]).collect(),
+        actions: vec![[0.1, 0.2]; 256],
+        logps: vec![-1.0; 256],
+        rewards: vec![0.5; 256],
+        values: vec![0.2; 256],
+        dones: (0..256).map(|i| i % 32 == 31).collect(),
+        bootstrap: 0.0,
+        episodes: vec![],
+        queries: 0,
+    };
+    let batch = Batch::from_trajectories(&[traj], &cfg);
+    c.bench_function("fig7_ppo_update_256_steps", |b| {
+        b.iter(|| learner.update(&batch, &mut rng))
+    });
+}
+
+/// Table 2 kernel: embedding a flow into a stored profile database.
+fn bench_table2_profile_embed(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(8);
+    let gen = TorGenerator::default();
+    let profiles: Vec<_> = (0..16).map(|_| gen.generate(&mut rng)).collect();
+    let store = ProfileStore::from_flows(profiles.iter());
+    let flow = gen.generate(&mut rng);
+    c.bench_function("table2_profile_embed", |b| {
+        b.iter(|| store.embed(&flow, 60.0, 0))
+    });
+    c.bench_function("table2_profile_codec_roundtrip", |b| {
+        b.iter(|| ProfileStore::deserialize(&store.serialize()).expect("roundtrip"))
+    });
+}
+
+/// Deployment kernel: framing throughput of the shaper (§5.6.1).
+fn bench_shaper(c: &mut Criterion) {
+    let payload: Vec<u8> = (0..64 * 1024u32).map(|i| (i % 251) as u8).collect();
+    c.bench_function("shaper_frame_64k_payload", |b| {
+        b.iter_batched(
+            || ShapedSender::new(payload.clone()),
+            |mut tx| {
+                let mut frames = 0;
+                while !tx.finished() {
+                    let _ = tx.next_frame(1448);
+                    frames += 1;
+                }
+                frames
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("shaper_encode_single_frame", |b| {
+        b.iter(|| encode_frame(&payload[..1400], 1448))
+    });
+}
+
+/// Dataset kernel: flow generation + representation (feeds every figure).
+fn bench_traffic_generation(c: &mut Criterion) {
+    let gen = TorGenerator::default();
+    c.bench_function("traffic_generate_tor_flow", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| gen.generate(&mut rng))
+    });
+    let mut rng = StdRng::seed_from_u64(10);
+    let flow = gen.generate(&mut rng);
+    let repr = FlowRepr::tcp();
+    c.bench_function("traffic_position_major_encode", |b| {
+        b.iter(|| repr.to_position_major(&flow))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets =
+        bench_table1_classifier_inference,
+        bench_fig4_feature_extraction,
+        bench_fig11_action_inference,
+        bench_fig13_encoder,
+        bench_fig7_ppo_update,
+        bench_table2_profile_embed,
+        bench_shaper,
+        bench_traffic_generation
+}
+criterion_main!(kernels);

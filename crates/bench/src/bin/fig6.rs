@@ -1,0 +1,8 @@
+//! Regenerates the paper's fig6 (see DESIGN.md experiment index).
+//! Scale via `AMOEBA_SCALE=paper` (default: CPU-sized).
+use amoeba_bench::{experiments, Context, Scale};
+
+fn main() {
+    let mut ctx = Context::new(Scale::from_env());
+    print!("{}", experiments::fig6(&mut ctx));
+}

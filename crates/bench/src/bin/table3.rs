@@ -1,0 +1,7 @@
+//! Prints the live hyperparameter defaults against the paper's Table 3.
+use amoeba_bench::{experiments, Context, Scale};
+
+fn main() {
+    let ctx = Context::new(Scale::from_env());
+    print!("{}", experiments::table3(&ctx));
+}

@@ -1,0 +1,179 @@
+//! Deep Fingerprinting (DF) censor [Sirinam et al., CCS'18]: a 1-D CNN
+//! over the flow representation.
+//!
+//! The original DF consumes direction sequences only; per §5.1 the paper
+//! tailors it to the `(sizes, delays)` flow representation of §3, which is
+//! what this implementation does: input is the position-major encoding of
+//! [`FlowRepr`] (2 channels per packet slot), followed by two conv-ReLU
+//! blocks, max pooling, and a dense head.
+
+use rand::Rng;
+
+use amoeba_nn::conv::{Conv1d, Conv1dSnapshot, MaxPool1d};
+use amoeba_nn::layers::{Activation, Mlp, MlpSnapshot};
+use amoeba_nn::matrix::Matrix;
+use amoeba_nn::tensor::Tensor;
+use amoeba_traffic::{Flow, FlowRepr};
+
+use crate::censor::{Censor, CensorKind};
+
+/// Trainable DF model (autograd graph path).
+pub struct DfModel {
+    conv1: Conv1d,
+    conv2: Conv1d,
+    pool: MaxPool1d,
+    head: Mlp,
+    repr: FlowRepr,
+}
+
+/// Architecture constants for [`DfModel`].
+#[derive(Debug, Clone, Copy)]
+pub struct DfConfig {
+    /// Channels after the first conv block.
+    pub channels1: usize,
+    /// Channels after the second conv block.
+    pub channels2: usize,
+    /// Kernel width of both conv blocks.
+    pub kernel: usize,
+    /// Stride of both conv blocks.
+    pub stride: usize,
+    /// Hidden width of the dense head.
+    pub head_hidden: usize,
+}
+
+impl Default for DfConfig {
+    fn default() -> Self {
+        Self { channels1: 16, channels2: 32, kernel: 5, stride: 2, head_hidden: 64 }
+    }
+}
+
+impl DfModel {
+    /// Builds an untrained DF model for the given flow representation.
+    pub fn new<R: Rng + ?Sized>(repr: FlowRepr, config: DfConfig, rng: &mut R) -> Self {
+        let conv1 = Conv1d::new(FlowRepr::CHANNELS, config.channels1, config.kernel, config.stride, rng);
+        let conv2 = Conv1d::new(config.channels1, config.channels2, config.kernel, config.stride, rng);
+        let pool = MaxPool1d::new(config.channels2, 2, 2);
+        let l1 = conv1.out_len(repr.max_len);
+        let l2 = conv2.out_len(l1);
+        let l3 = pool.out_len(l2);
+        let head = Mlp::new(
+            &[l3 * config.channels2, config.head_hidden, 1],
+            Activation::Relu,
+            Activation::Identity,
+            rng,
+        );
+        Self { conv1, conv2, pool, head, repr }
+    }
+
+    /// Flow representation this model expects.
+    pub fn repr(&self) -> FlowRepr {
+        self.repr
+    }
+
+    /// Autograd forward over a position-major batch `(B, max_len * 2)`;
+    /// returns logits `(B, 1)` where sigmoid(logit) = P(sensitive).
+    pub fn forward_graph(&self, x: &Tensor) -> Tensor {
+        let h1 = self.conv1.forward(x).relu();
+        let h2 = self.conv2.forward(&h1).relu();
+        let h3 = self.pool.forward(&h2);
+        self.head.forward(&h3)
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p = self.conv1.params();
+        p.extend(self.conv2.params());
+        p.extend(self.head.params());
+        p
+    }
+
+    /// Freezes current weights into a thread-safe censor.
+    pub fn censor(&self) -> DfCensor {
+        DfCensor {
+            conv1: self.conv1.snapshot(),
+            conv2: self.conv2.snapshot(),
+            pool: self.pool,
+            head: self.head.snapshot(),
+            repr: self.repr,
+        }
+    }
+}
+
+/// Inference-only DF censor (`Send + Sync`).
+#[derive(Clone, Debug)]
+pub struct DfCensor {
+    conv1: Conv1dSnapshot,
+    conv2: Conv1dSnapshot,
+    pool: MaxPool1d,
+    head: MlpSnapshot,
+    repr: FlowRepr,
+}
+
+impl DfCensor {
+    /// P(sensitive) for a pre-encoded position-major row.
+    pub fn score_encoded(&self, row: &[f32]) -> f32 {
+        let x = Matrix::from_vec(1, row.len(), row.to_vec());
+        let h1 = self.conv1.forward(&x).map(|v| v.max(0.0));
+        let h2 = self.conv2.forward(&h1).map(|v| v.max(0.0));
+        let h3 = self.pool.forward_matrix(&h2);
+        let logit = self.head.forward(&h3)[(0, 0)];
+        1.0 / (1.0 + (-logit).exp())
+    }
+}
+
+impl Censor for DfCensor {
+    fn score(&self, flow: &Flow) -> f32 {
+        self.score_encoded(&self.repr.to_position_major(flow))
+    }
+
+    fn kind(&self) -> CensorKind {
+        CensorKind::Df
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let repr = FlowRepr::tcp();
+        let model = DfModel::new(repr, DfConfig::default(), &mut rng);
+        let x = Tensor::constant(Matrix::zeros(3, repr.width()));
+        let logits = model.forward_graph(&x);
+        assert_eq!(logits.shape(), (3, 1));
+    }
+
+    #[test]
+    fn censor_matches_graph() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let repr = FlowRepr::tcp();
+        let model = DfModel::new(repr, DfConfig::default(), &mut rng);
+        let censor = model.censor();
+        let flow = Flow::from_pairs(&[(536, 0.0), (-536, 2.0), (-1072, 0.3)]);
+        let row = repr.to_position_major(&flow);
+        let logit = model
+            .forward_graph(&Tensor::constant(Matrix::from_vec(1, row.len(), row.clone())))
+            .value()[(0, 0)];
+        let expect = 1.0 / (1.0 + (-logit).exp());
+        assert!((censor.score(&flow) - expect).abs() < 1e-5);
+        assert_eq!(censor.kind(), CensorKind::Df);
+    }
+
+    #[test]
+    fn gradients_reach_all_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let repr = FlowRepr { max_len: 24, max_size: 1460.0, max_delay_ms: 500.0 };
+        let model = DfModel::new(repr, DfConfig::default(), &mut rng);
+        let x = Tensor::constant(Matrix::randn(2, repr.width(), 0.5, &mut rng));
+        let y = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let loss = model.forward_graph(&x).bce_with_logits_loss(&y);
+        loss.backward();
+        for p in model.params() {
+            assert!(p.grad().norm() > 0.0, "parameter received no gradient");
+        }
+    }
+}

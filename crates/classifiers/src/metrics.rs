@@ -1,0 +1,157 @@
+//! Classification metrics (§5.3): accuracy and F1 over the positive
+//! (sensitive) class, plus the raw confusion matrix.
+
+use amoeba_traffic::{Dataset, Label};
+
+use crate::censor::Censor;
+
+/// Binary confusion matrix with the paper's metric definitions.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// True positives (sensitive classified sensitive).
+    pub tp: usize,
+    /// False positives (benign classified sensitive).
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl Metrics {
+    /// Accumulates one prediction.
+    pub fn record(&mut self, actual_sensitive: bool, predicted_sensitive: bool) {
+        match (actual_sensitive, predicted_sensitive) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fn_ += 1,
+            (false, true) => self.fp += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// `(TP + TN) / total`.
+    pub fn accuracy(&self) -> f32 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f32 / self.total() as f32
+    }
+
+    /// `TP / (TP + FP)` (0 when undefined).
+    pub fn precision(&self) -> f32 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f32 / (self.tp + self.fp) as f32
+    }
+
+    /// `TP / (TP + FN)` (0 when undefined).
+    pub fn recall(&self) -> f32 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f32 / (self.tp + self.fn_) as f32
+    }
+
+    /// Harmonic mean of precision and recall (0 when undefined).
+    pub fn f1(&self) -> f32 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc={:.3} f1={:.3} (tp={} fp={} tn={} fn={})",
+            self.accuracy(),
+            self.f1(),
+            self.tp,
+            self.fp,
+            self.tn,
+            self.fn_
+        )
+    }
+}
+
+/// Evaluates a censor on a labelled dataset.
+pub fn evaluate(censor: &dyn Censor, dataset: &Dataset) -> Metrics {
+    let mut m = Metrics::default();
+    for (flow, &label) in dataset.flows.iter().zip(&dataset.labels) {
+        m.record(label == Label::Sensitive, censor.blocks(flow));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::censor::{CensorKind, ConstantCensor};
+    use amoeba_traffic::Flow;
+
+    #[test]
+    fn perfect_classifier_metrics() {
+        let mut m = Metrics::default();
+        for _ in 0..10 {
+            m.record(true, true);
+            m.record(false, false);
+        }
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.f1(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_all_positive() {
+        let mut m = Metrics::default();
+        for _ in 0..5 {
+            m.record(true, true);
+            m.record(false, true);
+        }
+        assert_eq!(m.accuracy(), 0.5);
+        assert_eq!(m.recall(), 1.0);
+        assert_eq!(m.precision(), 0.5);
+        assert!((m.f1() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        let mut m = Metrics::default();
+        m.record(true, true); // tp
+        m.record(true, false); // fn
+        m.record(false, true); // fp
+        m.record(false, false); // tn
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (1, 1, 1, 1));
+        assert_eq!(m.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn evaluate_against_constant_censor() {
+        let mut ds = Dataset::new();
+        ds.push(Flow::from_pairs(&[(100, 0.0)]), amoeba_traffic::Label::Sensitive);
+        ds.push(Flow::from_pairs(&[(200, 0.0)]), amoeba_traffic::Label::Benign);
+        let censor = ConstantCensor { fixed_score: 1.0, as_kind: CensorKind::Dt };
+        let m = evaluate(&censor, &ds);
+        assert_eq!(m.tp, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.accuracy(), 0.5);
+    }
+}

@@ -1,0 +1,267 @@
+//! Stacked Denoising Autoencoder (SDAE) censor [Rimmer et al., NDSS'18].
+//!
+//! Greedy layer-wise denoising pretraining (each layer learns to
+//! reconstruct the previous layer's activations from a masked/corrupted
+//! copy), followed by supervised fine-tuning of the encoder stack with a
+//! logistic head — the classic SDAE recipe the paper's reference follows.
+
+use rand::Rng;
+
+use amoeba_nn::layers::{Activation, Linear, MlpSnapshot};
+use amoeba_nn::matrix::Matrix;
+use amoeba_nn::optim::{Adam, Optimizer};
+use amoeba_nn::tensor::Tensor;
+use amoeba_traffic::{Flow, FlowRepr};
+
+use crate::censor::{Censor, CensorKind};
+
+/// Architecture + pretraining knobs for [`SdaeModel`].
+#[derive(Debug, Clone)]
+pub struct SdaeConfig {
+    /// Encoder widths after the input layer (e.g. `[64, 32]`).
+    pub hidden: Vec<usize>,
+    /// Fraction of inputs zeroed during denoising pretraining.
+    pub corruption: f32,
+    /// Epochs of layer-wise pretraining per layer.
+    pub pretrain_epochs: usize,
+    /// Pretraining learning rate.
+    pub pretrain_lr: f32,
+}
+
+impl Default for SdaeConfig {
+    fn default() -> Self {
+        Self { hidden: vec![64, 32], corruption: 0.2, pretrain_epochs: 3, pretrain_lr: 1e-3 }
+    }
+}
+
+/// Trainable SDAE model.
+pub struct SdaeModel {
+    encoder: Vec<Linear>,
+    head: Linear,
+    repr: FlowRepr,
+    config: SdaeConfig,
+}
+
+impl SdaeModel {
+    /// Builds an untrained SDAE for the given flow representation.
+    pub fn new<R: Rng + ?Sized>(repr: FlowRepr, config: SdaeConfig, rng: &mut R) -> Self {
+        assert!(!config.hidden.is_empty(), "SdaeConfig.hidden must be nonempty");
+        let mut dims = vec![repr.width()];
+        dims.extend(&config.hidden);
+        let encoder = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        let head = Linear::new(*config.hidden.last().expect("nonempty"), 1, rng);
+        Self { encoder, head, repr, config }
+    }
+
+    /// Flow representation this model expects.
+    pub fn repr(&self) -> FlowRepr {
+        self.repr
+    }
+
+    /// Encoder forward (ReLU between layers).
+    fn encode(&self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &self.encoder {
+            h = layer.forward(&h).relu();
+        }
+        h
+    }
+
+    /// Autograd forward over a position-major batch; returns logits
+    /// `(B, 1)` with sigmoid(logit) = P(sensitive).
+    pub fn forward_graph(&self, x: &Tensor) -> Tensor {
+        self.head.forward(&self.encode(x))
+    }
+
+    /// Trainable parameters (encoder + head).
+    pub fn params(&self) -> Vec<Tensor> {
+        let mut p: Vec<Tensor> = self.encoder.iter().flat_map(Linear::params).collect();
+        p.extend(self.head.params());
+        p
+    }
+
+    /// Greedy layer-wise denoising pretraining on unlabelled rows.
+    ///
+    /// For each encoder layer, a throwaway decoder is trained to
+    /// reconstruct that layer's input from a corrupted copy; the encoder
+    /// weights learned this way initialise supervised fine-tuning.
+    pub fn pretrain<R: Rng + ?Sized>(&mut self, rows: &[Vec<f32>], rng: &mut R) {
+        if rows.is_empty() || self.config.pretrain_epochs == 0 {
+            return;
+        }
+        // Current representation of the data as it passes through trained
+        // layers (plain matrices; graph rebuilt per epoch).
+        let mut data: Vec<Vec<f32>> = rows.to_vec();
+        let encoder_dims: Vec<usize> = self.encoder.iter().map(Linear::out_dim).collect();
+
+        for (li, out_dim) in encoder_dims.iter().enumerate() {
+            let in_dim = data[0].len();
+            let decoder = Linear::new(*out_dim, in_dim, rng);
+            let mut params = self.encoder[li].params();
+            params.extend(decoder.params());
+            let mut opt = Adam::new(params, self.config.pretrain_lr);
+
+            for _ in 0..self.config.pretrain_epochs {
+                let batch = to_matrix(&data);
+                let corrupted = batch.map(|v| v); // clone via map
+                let mut corrupted = corrupted;
+                for v in corrupted.as_mut_slice() {
+                    if rng.gen::<f32>() < self.config.corruption {
+                        *v = 0.0;
+                    }
+                }
+                opt.zero_grad();
+                let hidden = self.encoder[li].forward(&Tensor::constant(corrupted)).relu();
+                let recon = decoder.forward(&hidden);
+                let loss = recon.mse_loss(&batch);
+                loss.backward();
+                opt.step();
+            }
+
+            // Propagate data through the freshly pretrained layer.
+            let snap = self.encoder[li].snapshot();
+            data = data
+                .iter()
+                .map(|row| {
+                    let m = Matrix::from_vec(1, row.len(), row.clone());
+                    snap.forward(&m).map(|v| v.max(0.0)).into_vec()
+                })
+                .collect();
+        }
+    }
+
+    /// Freezes current weights into a thread-safe censor.
+    pub fn censor(&self) -> SdaeCensor {
+        let mut layers: Vec<_> = self.encoder.iter().map(Linear::snapshot).collect();
+        layers.push(self.head.snapshot());
+        SdaeCensor {
+            net: MlpSnapshot {
+                layers,
+                hidden_activation: Activation::Relu,
+                output_activation: Activation::Sigmoid,
+            },
+            repr: self.repr,
+        }
+    }
+}
+
+fn to_matrix(rows: &[Vec<f32>]) -> Matrix {
+    let cols = rows[0].len();
+    let mut data = Vec::with_capacity(rows.len() * cols);
+    for r in rows {
+        data.extend_from_slice(r);
+    }
+    Matrix::from_vec(rows.len(), cols, data)
+}
+
+/// Inference-only SDAE censor (`Send + Sync`).
+#[derive(Clone, Debug)]
+pub struct SdaeCensor {
+    net: MlpSnapshot,
+    repr: FlowRepr,
+}
+
+impl SdaeCensor {
+    /// P(sensitive) for a pre-encoded position-major row.
+    pub fn score_encoded(&self, row: &[f32]) -> f32 {
+        let x = Matrix::from_vec(1, row.len(), row.to_vec());
+        self.net.forward(&x)[(0, 0)]
+    }
+}
+
+impl Censor for SdaeCensor {
+    fn score(&self, flow: &Flow) -> f32 {
+        self.score_encoded(&self.repr.to_position_major(flow))
+    }
+
+    fn kind(&self) -> CensorKind {
+        CensorKind::Sdae
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let repr = FlowRepr::tcp();
+        let model = SdaeModel::new(repr, SdaeConfig::default(), &mut rng);
+        let x = Tensor::constant(Matrix::zeros(4, repr.width()));
+        assert_eq!(model.forward_graph(&x).shape(), (4, 1));
+    }
+
+    #[test]
+    fn pretraining_reduces_reconstruction_error() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let repr = FlowRepr { max_len: 8, max_size: 1460.0, max_delay_ms: 500.0 };
+        let cfg = SdaeConfig {
+            hidden: vec![12],
+            corruption: 0.1,
+            pretrain_epochs: 60,
+            pretrain_lr: 5e-3,
+        };
+        let mut model = SdaeModel::new(repr, cfg, &mut rng);
+        // Structured data (low-rank) so a 12-dim bottleneck can reconstruct.
+        let rows: Vec<Vec<f32>> = (0..64)
+            .map(|i| {
+                let a = (i as f32 / 64.0) * 2.0 - 1.0;
+                (0..16).map(|j| a * (j as f32 / 16.0)).collect()
+            })
+            .collect();
+
+        // Reconstruction error before vs after pretraining, using a probe
+        // decoder trained for a fixed tiny budget both times.
+        let err = |model: &SdaeModel, rng: &mut StdRng| -> f32 {
+            let batch = to_matrix(&rows);
+            let hidden = model.encoder[0].forward(&Tensor::constant(batch.clone())).relu();
+            let probe = Linear::new(12, 16, rng);
+            let mut opt = Adam::new(probe.params(), 1e-2);
+            let mut last = f32::INFINITY;
+            for _ in 0..40 {
+                opt.zero_grad();
+                let recon = probe.forward(&hidden.detach());
+                let loss = recon.mse_loss(&batch);
+                last = loss.item();
+                loss.backward();
+                opt.step();
+            }
+            last
+        };
+
+        let before = err(&model, &mut rng);
+        model.pretrain(&rows, &mut rng);
+        let after = err(&model, &mut rng);
+        assert!(
+            after <= before * 1.1,
+            "pretraining should not hurt reconstruction: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn censor_matches_graph() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let repr = FlowRepr::tcp();
+        let model = SdaeModel::new(repr, SdaeConfig::default(), &mut rng);
+        let censor = model.censor();
+        let flow = Flow::from_pairs(&[(536, 0.0), (-1072, 1.0)]);
+        let row = repr.to_position_major(&flow);
+        let logit = model
+            .forward_graph(&Tensor::constant(Matrix::from_vec(1, row.len(), row.clone())))
+            .value()[(0, 0)];
+        let expect = 1.0 / (1.0 + (-logit).exp());
+        assert!((censor.score(&flow) - expect).abs() < 1e-5);
+        assert_eq!(censor.kind(), CensorKind::Sdae);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn rejects_empty_hidden() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = SdaeConfig { hidden: vec![], ..Default::default() };
+        let _ = SdaeModel::new(FlowRepr::tcp(), cfg, &mut rng);
+    }
+}

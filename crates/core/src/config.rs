@@ -1,0 +1,242 @@
+//! Hyperparameters for Amoeba (Table 3 / Appendix A.4) with CPU-friendly
+//! presets for the scaled-down experiment harness.
+
+use amoeba_traffic::Layer;
+
+/// Reconstruction loss for StateEncoder pretraining: the paper's prose
+/// (§A.2) says MSE while Algorithm 2 says MAE; both are provided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReconLoss {
+    /// Mean squared error (§A.2 prose).
+    Mse,
+    /// Mean absolute error (Algorithm 2).
+    Mae,
+}
+
+/// Full Amoeba hyperparameter set.
+#[derive(Debug, Clone)]
+pub struct AmoebaConfig {
+    // --- reward (§4.2) -----------------------------------------------------
+    /// Packet-truncation overhead coefficient `λ_split` (paper: 0.05).
+    pub lambda_split: f32,
+    /// Data overhead coefficient `λ_d` (paper: 0.2 Tor / 2.0 V2Ray).
+    pub lambda_data: f32,
+    /// Time overhead coefficient `λ_t` (paper: 0.2).
+    pub lambda_time: f32,
+    /// Probability of masking `r_adv` (0.5 substituted) — §5.5.3.
+    pub reward_mask_rate: f32,
+
+    // --- environment -------------------------------------------------------
+    /// Maximum extra delay per packet, ms (`max_delay` in §4.3).
+    pub max_delay_ms: f32,
+    /// Hard cap on adversarial-flow length as a multiple of the original
+    /// length (guards against unbounded truncation during exploration).
+    pub max_len_factor: usize,
+    /// Additive slack on top of `max_len_factor * len`.
+    pub max_len_slack: usize,
+    /// Minimum adversarial packet payload (bytes).
+    pub min_packet: u32,
+    /// Morphing operations available to the agent (§4.2 ablation).
+    pub action_space: crate::env::ActionSpace,
+
+    // --- StateEncoder (Algorithm 2) -----------------------------------------
+    /// GRU hidden width (paper: 512).
+    pub encoder_hidden: usize,
+    /// GRU depth (paper: 2).
+    pub encoder_layers: usize,
+    /// Synthetic pretraining flows (paper: 12 000 train / 3 000 test).
+    pub encoder_train_flows: usize,
+    /// Max synthetic sequence length `T` (paper plots up to 60).
+    pub encoder_max_len: usize,
+    /// Pretraining epochs.
+    pub encoder_epochs: usize,
+    /// Pretraining batch size.
+    pub encoder_batch: usize,
+    /// Pretraining learning rate.
+    pub encoder_lr: f32,
+    /// Reconstruction loss flavour.
+    pub encoder_loss: ReconLoss,
+
+    // --- actor / critic (§4.3, Table 3) --------------------------------------
+    /// Hidden widths of both MLPs (paper: 256 → 64 → 32).
+    pub actor_hidden: Vec<usize>,
+    /// Log-std clamp range for the Gaussian policy.
+    pub logstd_range: (f32, f32),
+
+    // --- PPO (Algorithm 1, §A.1) ---------------------------------------------
+    /// Discount `γ` (paper: 0.99).
+    pub gamma: f32,
+    /// GAE `λ` (paper: 0.95).
+    pub gae_lambda: f32,
+    /// PPO clip `ε`.
+    pub clip_eps: f32,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f32,
+    /// Learning rate (paper: 5e-4, Adam).
+    pub lr: f32,
+    /// Parallel environments `N`.
+    pub n_envs: usize,
+    /// Rollout length `T` per environment.
+    pub rollout_len: usize,
+    /// Minibatches `K` per update.
+    pub minibatches: usize,
+    /// Optimisation epochs over each rollout buffer.
+    pub update_epochs: usize,
+    /// Total environment timesteps to train for (paper: 300 000).
+    pub total_timesteps: usize,
+    /// Gradient clipping max-norm (0 disables).
+    pub max_grad_norm: f32,
+    /// Normalise advantages per update.
+    pub normalize_advantage: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl AmoebaConfig {
+    /// CPU-friendly defaults for tests and the scaled-down harness.
+    pub fn fast() -> Self {
+        Self {
+            lambda_split: 0.05,
+            lambda_data: 0.2,
+            lambda_time: 0.2,
+            reward_mask_rate: 0.0,
+            max_delay_ms: 100.0,
+            max_len_factor: 3,
+            max_len_slack: 16,
+            min_packet: 1,
+            action_space: crate::env::ActionSpace::Both,
+            encoder_hidden: 64,
+            encoder_layers: 2,
+            encoder_train_flows: 512,
+            encoder_max_len: 60,
+            encoder_epochs: 30,
+            encoder_batch: 32,
+            encoder_lr: 3e-3,
+            encoder_loss: ReconLoss::Mse,
+            actor_hidden: vec![128, 64],
+            logstd_range: (-3.0, 0.5),
+            gamma: 0.99,
+            gae_lambda: 0.95,
+            clip_eps: 0.2,
+            entropy_coef: 1e-2,
+            lr: 5e-4,
+            n_envs: 8,
+            rollout_len: 128,
+            minibatches: 4,
+            update_epochs: 3,
+            total_timesteps: 8_192,
+            max_grad_norm: 0.5,
+            normalize_advantage: true,
+            seed: 0,
+        }
+    }
+
+    /// Paper-scale preset (Table 3): 512-wide 2-layer GRU encoder,
+    /// 256→64→32 actor/critic, lr 5e-4, 300k timesteps.
+    pub fn paper(layer: Layer) -> Self {
+        Self {
+            lambda_data: match layer {
+                Layer::Tcp => 0.2,
+                Layer::TlsRecord => 2.0,
+            },
+            lambda_time: 0.2,
+            lambda_split: 0.05,
+            encoder_hidden: 512,
+            encoder_layers: 2,
+            encoder_train_flows: 12_000,
+            encoder_max_len: 60,
+            encoder_epochs: 50,
+            encoder_batch: 64,
+            encoder_lr: 1e-3,
+            actor_hidden: vec![256, 64, 32],
+            lr: 5e-4,
+            n_envs: 8,
+            rollout_len: 256,
+            minibatches: 8,
+            update_epochs: 4,
+            total_timesteps: 300_000,
+            ..Self::fast()
+        }
+    }
+
+    /// λ_data tuned per dataset layer (Table 3: 0.2 for Tor, 2 for V2Ray).
+    pub fn with_layer(mut self, layer: Layer) -> Self {
+        self.lambda_data = match layer {
+            Layer::Tcp => 0.2,
+            Layer::TlsRecord => 2.0,
+        };
+        self
+    }
+
+    /// Sets the reward mask rate (§5.5.3 experiments).
+    pub fn with_mask_rate(mut self, rate: f32) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "mask rate must be in [0,1]");
+        self.reward_mask_rate = rate;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the training budget in environment steps.
+    pub fn with_timesteps(mut self, steps: usize) -> Self {
+        self.total_timesteps = steps;
+        self
+    }
+
+    /// RL state dimensionality: `E(x_{1:t}) ‖ E(a_{1:t})`.
+    pub fn state_dim(&self) -> usize {
+        2 * self.encoder_hidden
+    }
+}
+
+impl Default for AmoebaConfig {
+    fn default() -> Self {
+        Self::fast()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_preset_matches_table3() {
+        let cfg = AmoebaConfig::paper(Layer::Tcp);
+        assert_eq!(cfg.lambda_split, 0.05);
+        assert_eq!(cfg.lambda_time, 0.2);
+        assert_eq!(cfg.lambda_data, 0.2);
+        assert_eq!(cfg.lr, 5e-4);
+        assert_eq!(cfg.encoder_hidden, 512);
+        assert_eq!(cfg.encoder_layers, 2);
+        assert_eq!(cfg.actor_hidden, vec![256, 64, 32]);
+        assert_eq!(cfg.gamma, 0.99);
+        assert_eq!(cfg.gae_lambda, 0.95);
+        assert_eq!(cfg.total_timesteps, 300_000);
+        let v2 = AmoebaConfig::paper(Layer::TlsRecord);
+        assert_eq!(v2.lambda_data, 2.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let cfg = AmoebaConfig::fast()
+            .with_layer(Layer::TlsRecord)
+            .with_mask_rate(0.5)
+            .with_seed(9)
+            .with_timesteps(1000);
+        assert_eq!(cfg.lambda_data, 2.0);
+        assert_eq!(cfg.reward_mask_rate, 0.5);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.total_timesteps, 1000);
+        assert_eq!(cfg.state_dim(), 2 * cfg.encoder_hidden);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask rate")]
+    fn rejects_bad_mask_rate() {
+        let _ = AmoebaConfig::fast().with_mask_rate(1.5);
+    }
+}

@@ -1,0 +1,222 @@
+//! Transport-layer framing for adversarial packets (§5.6.1 deployment).
+//!
+//! When Amoeba truncates and pads packets, the receiving proxy must
+//! recover the original byte stream. This module provides the framing the
+//! paper's "transport layer extension" needs: every wire packet is a
+//! *frame* — a 4-byte header (magic + payload length) followed by payload
+//! and dummy padding. [`ShapedSender`] slices an outgoing byte stream into
+//! frames of whatever sizes the agent (or a stored profile) dictates;
+//! [`ShapedReceiver`] reassembles the exact original stream, which is the
+//! "adversarial TCP flow is still a legitimate TCP flow" guarantee of
+//! §4 made concrete.
+
+use bytes::{Buf, BufMut};
+
+/// Frame header length: 1 magic byte + 1 flags byte + u16 payload length.
+pub const HEADER_LEN: usize = 4;
+
+/// Minimum legal wire size for a frame (header only = pure dummy frame).
+pub const MIN_FRAME: usize = HEADER_LEN;
+
+const FRAME_MAGIC: u8 = 0xA7;
+
+/// Framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Frame shorter than the header.
+    TooShort,
+    /// Magic byte mismatch.
+    BadMagic,
+    /// Declared payload exceeds the frame body.
+    LengthMismatch,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TooShort => write!(f, "frame shorter than header"),
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::LengthMismatch => write!(f, "declared payload exceeds frame"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Encodes one frame: `payload` bytes padded up to `wire_size`.
+///
+/// # Panics
+/// Panics if `wire_size < HEADER_LEN + payload.len()` or the payload
+/// exceeds `u16::MAX`.
+pub fn encode_frame(payload: &[u8], wire_size: usize) -> Vec<u8> {
+    assert!(payload.len() <= u16::MAX as usize, "frame payload too large");
+    assert!(
+        wire_size >= HEADER_LEN + payload.len(),
+        "wire size {wire_size} cannot carry {} payload bytes",
+        payload.len()
+    );
+    let mut frame = Vec::with_capacity(wire_size);
+    frame.put_u8(FRAME_MAGIC);
+    frame.put_u8(0); // flags (reserved)
+    frame.put_u16(payload.len() as u16);
+    frame.extend_from_slice(payload);
+    frame.resize(wire_size, 0); // dummy padding
+    frame
+}
+
+/// Decodes a frame, returning its payload slice.
+pub fn decode_frame(frame: &[u8]) -> Result<&[u8], FrameError> {
+    if frame.len() < HEADER_LEN {
+        return Err(FrameError::TooShort);
+    }
+    let mut header = &frame[..HEADER_LEN];
+    if header.get_u8() != FRAME_MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let _flags = header.get_u8();
+    let len = header.get_u16() as usize;
+    if HEADER_LEN + len > frame.len() {
+        return Err(FrameError::LengthMismatch);
+    }
+    Ok(&frame[HEADER_LEN..HEADER_LEN + len])
+}
+
+/// Sender side: slices a byte stream into frames of dictated sizes.
+#[derive(Debug, Clone)]
+pub struct ShapedSender {
+    payload: Vec<u8>,
+    cursor: usize,
+}
+
+impl ShapedSender {
+    /// Wraps an outgoing byte stream.
+    pub fn new(payload: Vec<u8>) -> Self {
+        Self { payload, cursor: 0 }
+    }
+
+    /// Bytes not yet transmitted.
+    pub fn remaining(&self) -> usize {
+        self.payload.len() - self.cursor
+    }
+
+    /// True when the entire stream has been framed.
+    pub fn finished(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Produces the next frame with the given wire size (from the agent's
+    /// size action or a profile packet). A frame smaller than the pending
+    /// payload truncates the stream; a larger one pads. Returns header +
+    /// payload + padding of exactly `wire_size` bytes.
+    ///
+    /// # Panics
+    /// Panics if `wire_size < MIN_FRAME`.
+    pub fn next_frame(&mut self, wire_size: usize) -> Vec<u8> {
+        assert!(wire_size >= MIN_FRAME, "wire size below minimum frame size");
+        let carry = (wire_size - HEADER_LEN)
+            .min(self.remaining())
+            .min(u16::MAX as usize);
+        let payload = &self.payload[self.cursor..self.cursor + carry];
+        let frame = encode_frame(payload, wire_size);
+        self.cursor += carry;
+        frame
+    }
+}
+
+/// Receiver side: reassembles the original stream from frames.
+#[derive(Debug, Clone, Default)]
+pub struct ShapedReceiver {
+    payload: Vec<u8>,
+}
+
+impl ShapedReceiver {
+    /// Fresh receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one frame, appending its payload.
+    pub fn push_frame(&mut self, frame: &[u8]) -> Result<(), FrameError> {
+        let payload = decode_frame(frame)?;
+        self.payload.extend_from_slice(payload);
+        Ok(())
+    }
+
+    /// Bytes reassembled so far.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Finishes reassembly, returning the stream.
+    pub fn into_payload(self) -> Vec<u8> {
+        self.payload
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(b"hello", 32);
+        assert_eq!(frame.len(), 32);
+        assert_eq!(decode_frame(&frame).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn dummy_frame_is_empty_payload() {
+        let frame = encode_frame(b"", MIN_FRAME);
+        assert_eq!(decode_frame(&frame).unwrap(), b"");
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        assert_eq!(decode_frame(&[0xA7, 0, 0]), Err(FrameError::TooShort));
+        let mut frame = encode_frame(b"abc", 16);
+        frame[0] = 0x00;
+        assert_eq!(decode_frame(&frame), Err(FrameError::BadMagic));
+        let mut frame = encode_frame(b"abc", 16);
+        frame[2] = 0xFF;
+        frame[3] = 0xFF;
+        assert_eq!(decode_frame(&frame), Err(FrameError::LengthMismatch));
+    }
+
+    #[test]
+    fn stream_reassembly_identity() {
+        let payload: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let mut tx = ShapedSender::new(payload.clone());
+        let mut rx = ShapedReceiver::new();
+        // Agent-dictated erratic wire sizes, including pure-dummy frames.
+        let sizes = [5usize, 100, 4, 1448, 64, 700, 4, 9000, 1448];
+        let mut i = 0;
+        while !tx.finished() {
+            let size = sizes[i % sizes.len()];
+            i += 1;
+            rx.push_frame(&tx.next_frame(size)).unwrap();
+        }
+        // Trailing dummy frames change nothing.
+        rx.push_frame(&tx.next_frame(256)).unwrap();
+        assert_eq!(rx.into_payload(), payload);
+    }
+
+    #[test]
+    fn truncation_spreads_payload_across_frames() {
+        let mut tx = ShapedSender::new(vec![1, 2, 3, 4, 5, 6]);
+        let f1 = tx.next_frame(HEADER_LEN + 2);
+        let f2 = tx.next_frame(HEADER_LEN + 2);
+        let f3 = tx.next_frame(HEADER_LEN + 10); // padded
+        assert!(tx.finished());
+        assert_eq!(decode_frame(&f1).unwrap(), &[1, 2]);
+        assert_eq!(decode_frame(&f2).unwrap(), &[3, 4]);
+        assert_eq!(decode_frame(&f3).unwrap(), &[5, 6]);
+        assert_eq!(f3.len(), HEADER_LEN + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "below minimum")]
+    fn rejects_tiny_wire_size() {
+        let mut tx = ShapedSender::new(vec![1]);
+        let _ = tx.next_frame(2);
+    }
+}

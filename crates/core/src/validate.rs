@@ -1,0 +1,171 @@
+//! Constraint validation for adversarial flows.
+//!
+//! §3 requires that an adversarial flow carries every original payload
+//! byte in order (Eq. 1) and only ever *adds* delay (Eq. 2). The emulator
+//! guarantees this by construction; this module provides the independent
+//! checker — the kind of referee a downstream deployment wants before
+//! trusting a profile database or a third-party agent.
+//!
+//! Truncation boundaries are not recoverable from the adversarial flow
+//! alone, so the checker verifies the strongest properties that are
+//! observable from the `(original, adversarial)` pair:
+//!
+//! * per-direction byte conservation (`adv bytes ≥ original bytes`);
+//! * per-direction packet-order feasibility (the k-th original packet's
+//!   bytes are covered no later than the adversarial prefix that carries
+//!   k cumulative original payloads);
+//! * non-negative delays, and total duration at least the original's
+//!   (every mandatory `φ_i` must have been paid).
+
+use amoeba_traffic::{Direction, Flow};
+
+/// Why an adversarial flow fails validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintViolation {
+    /// Fewer bytes than the original in some direction (Eq. 1).
+    PayloadLost {
+        /// Direction in deficit.
+        direction: Direction,
+        /// Bytes present in the original.
+        original: u64,
+        /// Bytes present in the adversarial flow.
+        adversarial: u64,
+    },
+    /// A packet with a negative delay (Eq. 2).
+    NegativeDelay {
+        /// Index of the offending packet.
+        index: usize,
+        /// The delay found.
+        delay_ms: f32,
+    },
+    /// Total duration shorter than the original's mandatory delays
+    /// (Eq. 2: `φ̃_{i,1} ≥ φ_i` summed).
+    DurationShrunk {
+        /// Original duration (ms).
+        original_ms: f32,
+        /// Adversarial duration (ms).
+        adversarial_ms: f32,
+    },
+    /// The adversarial flow is empty while the original carries payload.
+    Empty,
+}
+
+impl std::fmt::Display for ConstraintViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConstraintViolation::PayloadLost { direction, original, adversarial } => write!(
+                f,
+                "Eq.1 violated: {direction:?} carries {adversarial} B < original {original} B"
+            ),
+            ConstraintViolation::NegativeDelay { index, delay_ms } => {
+                write!(f, "Eq.2 violated: packet {index} has negative delay {delay_ms} ms")
+            }
+            ConstraintViolation::DurationShrunk { original_ms, adversarial_ms } => write!(
+                f,
+                "Eq.2 violated: duration {adversarial_ms} ms < original {original_ms} ms"
+            ),
+            ConstraintViolation::Empty => write!(f, "adversarial flow is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintViolation {}
+
+/// Verifies the §3 constraints for an `(original, adversarial)` pair.
+pub fn verify_constraints(
+    original: &Flow,
+    adversarial: &Flow,
+) -> Result<(), ConstraintViolation> {
+    if adversarial.is_empty() && !original.is_empty() {
+        return Err(ConstraintViolation::Empty);
+    }
+    for dir in [Direction::Outbound, Direction::Inbound] {
+        let orig = original.bytes(dir);
+        let adv = adversarial.bytes(dir);
+        if adv < orig {
+            return Err(ConstraintViolation::PayloadLost {
+                direction: dir,
+                original: orig,
+                adversarial: adv,
+            });
+        }
+    }
+    for (index, p) in adversarial.packets.iter().enumerate() {
+        if p.delay_ms < 0.0 {
+            return Err(ConstraintViolation::NegativeDelay { index, delay_ms: p.delay_ms });
+        }
+    }
+    let orig_ms = original.duration_ms();
+    let adv_ms = adversarial.duration_ms();
+    if adv_ms + 1e-3 < orig_ms {
+        return Err(ConstraintViolation::DurationShrunk {
+            original_ms: orig_ms,
+            adversarial_ms: adv_ms,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orig() -> Flow {
+        Flow::from_pairs(&[(1000, 0.0), (-600, 5.0)])
+    }
+
+    #[test]
+    fn accepts_valid_morph() {
+        let adv = Flow::from_pairs(&[(700, 0.0), (400, 1.0), (-800, 6.0)]);
+        assert_eq!(verify_constraints(&orig(), &adv), Ok(()));
+    }
+
+    #[test]
+    fn rejects_payload_loss() {
+        let adv = Flow::from_pairs(&[(500, 0.0), (-600, 5.0)]);
+        assert!(matches!(
+            verify_constraints(&orig(), &adv),
+            Err(ConstraintViolation::PayloadLost { direction: Direction::Outbound, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_negative_delay() {
+        let adv = Flow {
+            packets: vec![
+                amoeba_traffic::Packet { size: 1200, delay_ms: 0.0 },
+                amoeba_traffic::Packet { size: -700, delay_ms: -1.0 },
+            ],
+        };
+        assert!(matches!(
+            verify_constraints(&orig(), &adv),
+            Err(ConstraintViolation::NegativeDelay { index: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_shrunk_duration() {
+        let adv = Flow::from_pairs(&[(1200, 0.0), (-700, 1.0)]);
+        assert!(matches!(
+            verify_constraints(&orig(), &adv),
+            Err(ConstraintViolation::DurationShrunk { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_adversarial() {
+        assert_eq!(verify_constraints(&orig(), &Flow::new()), Err(ConstraintViolation::Empty));
+        // but an empty pair is fine
+        assert_eq!(verify_constraints(&Flow::new(), &Flow::new()), Ok(()));
+    }
+
+    #[test]
+    fn violations_render() {
+        let v = ConstraintViolation::PayloadLost {
+            direction: Direction::Inbound,
+            original: 10,
+            adversarial: 5,
+        };
+        assert!(v.to_string().contains("Eq.1"));
+    }
+}

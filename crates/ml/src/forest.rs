@@ -1,0 +1,173 @@
+//! Random forest: bagged CART trees with per-split feature subsampling.
+
+use rand::Rng;
+
+use crate::tree::{DecisionTree, TreeConfig};
+
+/// Hyperparameters for a [`RandomForest`].
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree configuration. If `max_features` is `None`, the forest
+    /// substitutes `sqrt(n_features)` (the scikit-learn default the paper
+    /// inherits from [2]).
+    pub tree: TreeConfig,
+    /// Bootstrap sample fraction (1.0 = classic bagging with replacement).
+    pub bootstrap_fraction: f32,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 50,
+            tree: TreeConfig::default(),
+            bootstrap_fraction: 1.0,
+        }
+    }
+}
+
+/// Bagged ensemble of [`DecisionTree`]s.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    importances: Vec<f32>,
+}
+
+impl RandomForest {
+    /// Fits the ensemble.
+    ///
+    /// # Panics
+    /// Panics on empty input or a zero-tree configuration.
+    pub fn fit<R: Rng + ?Sized>(
+        x: &[Vec<f32>],
+        y: &[u8],
+        config: ForestConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!x.is_empty(), "RandomForest::fit: empty dataset");
+        assert!(config.n_trees > 0, "RandomForest::fit: need at least one tree");
+        let n_features = x[0].len();
+        let mut tree_cfg = config.tree;
+        if tree_cfg.max_features.is_none() {
+            tree_cfg.max_features = Some(((n_features as f32).sqrt().ceil() as usize).max(1));
+        }
+
+        let sample_n = ((x.len() as f32 * config.bootstrap_fraction) as usize).max(1);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        let mut importances = vec![0.0f32; n_features];
+        for _ in 0..config.n_trees {
+            let mut bx = Vec::with_capacity(sample_n);
+            let mut by = Vec::with_capacity(sample_n);
+            for _ in 0..sample_n {
+                let i = rng.gen_range(0..x.len());
+                bx.push(x[i].clone());
+                by.push(y[i]);
+            }
+            let tree = DecisionTree::fit(&bx, &by, tree_cfg, rng);
+            for (acc, imp) in importances.iter_mut().zip(tree.feature_importances()) {
+                *acc += imp;
+            }
+            trees.push(tree);
+        }
+        let total: f32 = importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut importances {
+                *imp /= total;
+            }
+        }
+        Self { trees, importances }
+    }
+
+    /// Mean of tree probabilities (soft voting).
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        let sum: f32 = self.trees.iter().map(|t| t.predict_proba(features)).sum();
+        sum / self.trees.len() as f32
+    }
+
+    /// Hard 0/1 prediction (threshold 0.5 on the soft vote).
+    pub fn predict(&self, features: &[f32]) -> u8 {
+        u8::from(self.predict_proba(features) >= 0.5)
+    }
+
+    /// Normalised mean feature importances across trees.
+    pub fn feature_importances(&self) -> &[f32] {
+        &self.importances
+    }
+
+    /// Number of trees in the ensemble.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn two_cluster(n: usize, rng: &mut StdRng) -> (Vec<Vec<f32>>, Vec<u8>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let label = rng.gen_bool(0.5);
+            let center = if label { 1.0 } else { -1.0 };
+            x.push(vec![
+                center + rng.gen_range(-0.6..0.6),
+                rng.gen_range(-1.0f32..1.0),
+                center + rng.gen_range(-0.8..0.8),
+            ]);
+            y.push(u8::from(label));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn forest_beats_chance_and_uses_informative_features() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = two_cluster(300, &mut rng);
+        let forest = RandomForest::fit(&x, &y, ForestConfig::default(), &mut rng);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| forest.predict(xi) == yi)
+            .count();
+        assert!(correct as f32 / 300.0 > 0.9, "accuracy {correct}/300");
+        let imp = forest.feature_importances();
+        // feature 1 is pure noise
+        assert!(imp[1] < imp[0] && imp[1] < imp[2], "importances {imp:?}");
+    }
+
+    #[test]
+    fn probabilities_average_over_trees() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = two_cluster(100, &mut rng);
+        let forest = RandomForest::fit(
+            &x,
+            &y,
+            ForestConfig { n_trees: 10, ..Default::default() },
+            &mut rng,
+        );
+        let p = forest.predict_proba(&x[0]);
+        assert!((0.0..=1.0).contains(&p));
+        assert_eq!(forest.n_trees(), 10);
+    }
+
+    #[test]
+    fn importances_are_normalised() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (x, y) = two_cluster(150, &mut rng);
+        let forest = RandomForest::fit(&x, &y, ForestConfig::default(), &mut rng);
+        let sum: f32 = forest.feature_importances().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4, "sum {sum}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_zero_trees() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = ForestConfig { n_trees: 0, ..Default::default() };
+        let _ = RandomForest::fit(&[vec![0.0]], &[0], cfg, &mut rng);
+    }
+}

@@ -1,0 +1,120 @@
+//! k-fold cross-validation utilities for the classical models.
+//!
+//! Used to sanity-check censor hyperparameters the way the paper's
+//! validation split does, without touching the attack splits.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Index partition for one fold: `(train indices, test indices)`.
+pub type Fold = (Vec<usize>, Vec<usize>);
+
+/// Produces `k` shuffled folds over `n` samples.
+///
+/// # Panics
+/// Panics when `k < 2` or `k > n`.
+pub fn kfold_indices<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<Fold> {
+    assert!(k >= 2, "kfold: need at least 2 folds");
+    assert!(k <= n, "kfold: more folds than samples");
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let base = n / k;
+    let extra = n % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0usize;
+    for i in 0..k {
+        let len = base + usize::from(i < extra);
+        let test: Vec<usize> = order[start..start + len].to_vec();
+        let train: Vec<usize> = order[..start]
+            .iter()
+            .chain(&order[start + len..])
+            .copied()
+            .collect();
+        folds.push((train, test));
+        start += len;
+    }
+    folds
+}
+
+/// Runs k-fold cross-validation: `fit` builds a model from `(x, y)`
+/// subsets, `predict` scores one sample; returns per-fold accuracy.
+pub fn cross_validate<M, R: Rng + ?Sized>(
+    x: &[Vec<f32>],
+    y: &[u8],
+    k: usize,
+    rng: &mut R,
+    mut fit: impl FnMut(&[Vec<f32>], &[u8], &mut R) -> M,
+    predict: impl Fn(&M, &[f32]) -> u8,
+) -> Vec<f32> {
+    assert_eq!(x.len(), y.len(), "cross_validate: x/y length mismatch");
+    let folds = kfold_indices(x.len(), k, rng);
+    folds
+        .into_iter()
+        .map(|(train, test)| {
+            let tx: Vec<Vec<f32>> = train.iter().map(|&i| x[i].clone()).collect();
+            let ty: Vec<u8> = train.iter().map(|&i| y[i]).collect();
+            let model = fit(&tx, &ty, rng);
+            let correct = test
+                .iter()
+                .filter(|&&i| predict(&model, &x[i]) == y[i])
+                .count();
+            correct as f32 / test.len().max(1) as f32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, TreeConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn folds_partition_all_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let folds = kfold_indices(10, 3, &mut rng);
+        assert_eq!(folds.len(), 3);
+        let mut all_test: Vec<usize> = folds.iter().flat_map(|(_, t)| t.clone()).collect();
+        all_test.sort_unstable();
+        assert_eq!(all_test, (0..10).collect::<Vec<_>>());
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 10);
+            assert!(train.iter().all(|i| !test.contains(i)));
+        }
+    }
+
+    #[test]
+    fn uneven_folds_differ_by_at_most_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let folds = kfold_indices(11, 4, &mut rng);
+        let sizes: Vec<usize> = folds.iter().map(|(_, t)| t.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 11);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn cross_validation_of_tree_on_separable_data() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: Vec<Vec<f32>> = (0..60).map(|i| vec![i as f32]).collect();
+        let y: Vec<u8> = (0..60).map(|i| u8::from(i >= 30)).collect();
+        let scores = cross_validate(
+            &x,
+            &y,
+            5,
+            &mut rng,
+            |tx, ty, r| DecisionTree::fit(tx, ty, TreeConfig::default(), r),
+            |m, f| m.predict(f),
+        );
+        assert_eq!(scores.len(), 5);
+        let mean: f32 = scores.iter().sum::<f32>() / 5.0;
+        assert!(mean > 0.9, "CV accuracy {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_single_fold() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = kfold_indices(10, 1, &mut rng);
+    }
+}

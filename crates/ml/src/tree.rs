@@ -1,0 +1,323 @@
+//! CART decision tree with Gini impurity.
+//!
+//! Used directly as the paper's DT censoring classifier and as the base
+//! learner of the random forest (Barradas et al., USENIX Security'18 — the
+//! paper's reference [2] for tree-based censors). Exposes Gini-based
+//! feature importances, which back the Figure 4 experiment.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Hyperparameters for a [`DecisionTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to split an internal node.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Number of features considered per split; `None` = all (plain CART),
+    /// `Some(k)` = random subset of `k` (random-forest mode).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 16,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// P(class 1) among training samples that reached this leaf.
+        prob: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Binary CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    importances: Vec<f32>,
+    config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Fits a tree on `x` (one feature row per sample) and binary labels
+    /// `y` (0/1).
+    ///
+    /// # Panics
+    /// Panics on empty input, ragged feature rows, or labels other than 0/1.
+    pub fn fit<R: Rng + ?Sized>(x: &[Vec<f32>], y: &[u8], config: TreeConfig, rng: &mut R) -> Self {
+        assert!(!x.is_empty(), "DecisionTree::fit: empty dataset");
+        assert_eq!(x.len(), y.len(), "DecisionTree::fit: x/y length mismatch");
+        let n_features = x[0].len();
+        assert!(
+            x.iter().all(|row| row.len() == n_features),
+            "DecisionTree::fit: ragged feature rows"
+        );
+        assert!(y.iter().all(|&l| l <= 1), "DecisionTree::fit: labels must be 0/1");
+
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features,
+            importances: vec![0.0; n_features],
+            config,
+        };
+        let indices: Vec<usize> = (0..x.len()).collect();
+        tree.build(x, y, indices, 0, rng);
+        let total: f32 = tree.importances.iter().sum();
+        if total > 0.0 {
+            for imp in &mut tree.importances {
+                *imp /= total;
+            }
+        }
+        tree
+    }
+
+    fn build<R: Rng + ?Sized>(
+        &mut self,
+        x: &[Vec<f32>],
+        y: &[u8],
+        indices: Vec<usize>,
+        depth: usize,
+        rng: &mut R,
+    ) -> usize {
+        let n = indices.len();
+        let pos = indices.iter().filter(|&&i| y[i] == 1).count();
+        let prob = pos as f32 / n as f32;
+
+        let pure = pos == 0 || pos == n;
+        if pure || depth >= self.config.max_depth || n < self.config.min_samples_split {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        }
+
+        let split = self.best_split(x, y, &indices, rng);
+        let Some((feature, threshold, gain)) = split else {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        };
+
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+            indices.iter().partition(|&&i| x[i][feature] <= threshold);
+        if left_idx.len() < self.config.min_samples_leaf
+            || right_idx.len() < self.config.min_samples_leaf
+        {
+            self.nodes.push(Node::Leaf { prob });
+            return self.nodes.len() - 1;
+        }
+
+        self.importances[feature] += gain * n as f32;
+
+        let node_id = self.nodes.len();
+        self.nodes.push(Node::Leaf { prob }); // placeholder, patched below
+        let left = self.build(x, y, left_idx, depth + 1, rng);
+        let right = self.build(x, y, right_idx, depth + 1, rng);
+        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        node_id
+    }
+
+    /// Finds the `(feature, threshold, gini_gain)` of the best split, or
+    /// `None` if no split improves impurity.
+    fn best_split<R: Rng + ?Sized>(
+        &self,
+        x: &[Vec<f32>],
+        y: &[u8],
+        indices: &[usize],
+        rng: &mut R,
+    ) -> Option<(usize, f32, f32)> {
+        let n = indices.len() as f32;
+        let pos_total = indices.iter().filter(|&&i| y[i] == 1).count() as f32;
+        let parent_gini = gini(pos_total, n);
+
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if let Some(k) = self.config.max_features {
+            features.shuffle(rng);
+            features.truncate(k.max(1).min(self.n_features));
+        }
+
+        let mut best: Option<(usize, f32, f32)> = None;
+        let mut sorted = indices.to_vec();
+        for &f in &features {
+            sorted.sort_by(|&a, &b| {
+                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut left_pos = 0.0f32;
+            for (k, win) in sorted.windows(2).enumerate() {
+                let (i, j) = (win[0], win[1]);
+                if y[i] == 1 {
+                    left_pos += 1.0;
+                }
+                if x[i][f] == x[j][f] {
+                    continue; // can't split between equal values
+                }
+                let left_n = (k + 1) as f32;
+                let right_n = n - left_n;
+                let right_pos = pos_total - left_pos;
+                let weighted = (left_n / n) * gini(left_pos, left_n)
+                    + (right_n / n) * gini(right_pos, right_n);
+                let gain = parent_gini - weighted;
+                if gain > 1e-9 && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                    let threshold = 0.5 * (x[i][f] + x[j][f]);
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// P(class 1) for one sample.
+    pub fn predict_proba(&self, features: &[f32]) -> f32 {
+        assert_eq!(features.len(), self.n_features, "predict: feature count mismatch");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Hard 0/1 prediction (threshold 0.5).
+    pub fn predict(&self, features: &[f32]) -> u8 {
+        u8::from(self.predict_proba(features) >= 0.5)
+    }
+
+    /// Normalised Gini-gain feature importances (sums to 1 when any split
+    /// was made).
+    pub fn feature_importances(&self) -> &[f32] {
+        &self.importances
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Expected feature dimensionality.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+}
+
+/// Gini impurity of a node with `pos` positives out of `n`.
+fn gini(pos: f32, n: f32) -> f32 {
+    if n <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / n;
+    2.0 * p * (1.0 - p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn axis_separable(n: usize, rng: &mut StdRng) -> (Vec<Vec<f32>>, Vec<u8>) {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a: f32 = rng.gen_range(-1.0..1.0);
+            let b: f32 = rng.gen_range(-1.0..1.0);
+            x.push(vec![a, b]);
+            y.push(u8::from(a > 0.2));
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn learns_axis_aligned_split() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (x, y) = axis_separable(200, &mut rng);
+        let tree = DecisionTree::fit(&x, &y, TreeConfig::default(), &mut rng);
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(xi, &yi)| tree.predict(xi) == yi)
+            .count();
+        assert!(correct >= 198, "accuracy {correct}/200");
+        // Feature 0 should dominate importances.
+        let imp = tree.feature_importances();
+        assert!(imp[0] > 0.9, "importances {imp:?}");
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (x, y) = axis_separable(100, &mut rng);
+        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, cfg, &mut rng);
+        // depth-1 tree: 1 split node + 2 leaves
+        assert!(tree.node_count() <= 3);
+    }
+
+    #[test]
+    fn pure_node_is_single_leaf() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = vec![vec![0.0], vec![1.0], vec![2.0]];
+        let y = vec![1, 1, 1];
+        let tree = DecisionTree::fit(&x, &y, TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[5.0]), 1);
+    }
+
+    #[test]
+    fn constant_features_yield_leaf() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = vec![vec![1.0, 1.0]; 10];
+        let y = vec![0, 1, 0, 1, 0, 1, 0, 1, 0, 1];
+        let tree = DecisionTree::fit(&x, &y, TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert!((tree.predict_proba(&[1.0, 1.0]) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn probabilities_reflect_leaf_composition() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // One feature; left side 25% positive, right side 100% positive.
+        let x: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32]).collect();
+        let y = vec![0, 0, 0, 1, 1, 1, 1, 1];
+        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let tree = DecisionTree::fit(&x, &y, cfg, &mut rng);
+        let p_left = tree.predict_proba(&[0.0]);
+        let p_right = tree.predict_proba(&[7.0]);
+        assert!(p_left < 0.5);
+        assert!(p_right > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0/1")]
+    fn rejects_multiclass_labels() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = DecisionTree::fit(&[vec![0.0]], &[2], TreeConfig::default(), &mut rng);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (x, y) = axis_separable(100, &mut StdRng::seed_from_u64(7));
+        let t1 = DecisionTree::fit(&x, &y, TreeConfig::default(), &mut StdRng::seed_from_u64(9));
+        let t2 = DecisionTree::fit(&x, &y, TreeConfig::default(), &mut StdRng::seed_from_u64(9));
+        for xi in &x {
+            assert_eq!(t1.predict_proba(xi), t2.predict_proba(xi));
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! 1-D convolution and pooling for the DF (Deep Fingerprinting) classifier.
+//!
+//! Sequences are stored *position-major*: a row of the input matrix is a
+//! flattened `(L, C)` array, so column `l * C + c` holds channel `c` at
+//! position `l`. This makes every convolution patch a contiguous slice and
+//! lets the conv be expressed as `unfold1d` (im2col) followed by a matmul.
+
+use rand::Rng;
+
+use crate::init::he_uniform;
+use crate::matrix::Matrix;
+use crate::tensor::Tensor;
+
+/// 1-D convolution layer.
+pub struct Conv1d {
+    /// Kernel weights, shape `(kernel * in_channels, out_channels)`.
+    pub w: Tensor,
+    /// Bias, shape `(1, out_channels)`.
+    pub b: Tensor,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+}
+
+impl Conv1d {
+    /// He-initialised conv layer (pairs with ReLU in DF).
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "Conv1d: kernel/stride must be positive");
+        Self {
+            w: Tensor::parameter(he_uniform(kernel * in_channels, out_channels, rng)),
+            b: Tensor::parameter(Matrix::zeros(1, out_channels)),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+        }
+    }
+
+    /// Output sequence length for an input of `length` positions.
+    pub fn out_len(&self, length: usize) -> usize {
+        assert!(length >= self.kernel, "Conv1d: input shorter than kernel");
+        (length - self.kernel) / self.stride + 1
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Autograd forward. `x` has shape `(B, L * in_channels)` position-major;
+    /// the result has shape `(B, L_out * out_channels)` position-major.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        let (batch, width) = x.shape();
+        assert_eq!(
+            width % self.in_channels,
+            0,
+            "Conv1d: width {width} not divisible by {} channels",
+            self.in_channels
+        );
+        let length = width / self.in_channels;
+        let out_len = self.out_len(length);
+        let patches = x.unfold1d(self.in_channels, self.kernel, self.stride);
+        let convolved = patches.matmul(&self.w).add_bias(&self.b);
+        convolved.reshape(batch, out_len * self.out_channels)
+    }
+
+    /// Trainable parameters.
+    pub fn params(&self) -> Vec<Tensor> {
+        vec![self.w.clone(), self.b.clone()]
+    }
+
+    /// Thread-safe plain-weight copy.
+    pub fn snapshot(&self) -> Conv1dSnapshot {
+        Conv1dSnapshot {
+            w: self.w.value(),
+            b: self.b.value(),
+            in_channels: self.in_channels,
+            out_channels: self.out_channels,
+            kernel: self.kernel,
+            stride: self.stride,
+        }
+    }
+}
+
+/// Plain-weight copy of a [`Conv1d`]; `Send + Sync`.
+#[derive(Clone, Debug)]
+pub struct Conv1dSnapshot {
+    w: Matrix,
+    b: Matrix,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+}
+
+impl Conv1dSnapshot {
+    /// Inference forward on raw matrices.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let (batch, width) = x.shape();
+        let length = width / self.in_channels;
+        let out_len = (length - self.kernel) / self.stride + 1;
+        let patch = self.kernel * self.in_channels;
+        let mut patches = Matrix::zeros(batch * out_len, patch);
+        for bi in 0..batch {
+            let row = x.row(bi);
+            for l in 0..out_len {
+                let src = l * self.stride * self.in_channels;
+                patches
+                    .row_mut(bi * out_len + l)
+                    .copy_from_slice(&row[src..src + patch]);
+            }
+        }
+        patches
+            .matmul(&self.w)
+            .add_row_broadcast(&self.b)
+            .reshape(batch, out_len * self.out_channels)
+    }
+}
+
+/// 1-D max pooling layer over position-major sequences.
+#[derive(Debug, Clone, Copy)]
+pub struct MaxPool1d {
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+}
+
+impl MaxPool1d {
+    /// Pooling over windows of `kernel` positions with the given stride.
+    pub fn new(channels: usize, kernel: usize, stride: usize) -> Self {
+        assert!(channels > 0 && kernel > 0 && stride > 0);
+        Self { channels, kernel, stride }
+    }
+
+    /// Output length for `length` input positions.
+    pub fn out_len(&self, length: usize) -> usize {
+        assert!(length >= self.kernel, "MaxPool1d: input shorter than kernel");
+        (length - self.kernel) / self.stride + 1
+    }
+
+    /// Autograd forward.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        x.maxpool1d(self.channels, self.kernel, self.stride)
+    }
+
+    /// Inference forward on raw matrices.
+    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+        let (batch, width) = x.shape();
+        let length = width / self.channels;
+        let out_len = self.out_len(length);
+        let mut out = Matrix::zeros(batch, out_len * self.channels);
+        for b in 0..batch {
+            let row = x.row(b);
+            for l in 0..out_len {
+                for c in 0..self.channels {
+                    let mut best = f32::NEG_INFINITY;
+                    for k in 0..self.kernel {
+                        best = best.max(row[(l * self.stride + k) * self.channels + c]);
+                    }
+                    out[(b, l * self.channels + c)] = best;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn conv_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let conv = Conv1d::new(2, 4, 3, 1, &mut rng);
+        // batch 2, length 8, channels 2
+        let x = Tensor::constant(Matrix::ones(2, 16));
+        let y = conv.forward(&x);
+        assert_eq!(y.shape(), (2, 6 * 4));
+        assert_eq!(conv.out_len(8), 6);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // Single channel, kernel 2, identity-ish weights: y_l = x_l + 2*x_{l+1}.
+        let w = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+        let b = Matrix::zeros(1, 1);
+        let conv = Conv1d {
+            w: Tensor::parameter(w),
+            b: Tensor::parameter(b),
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 2,
+            stride: 1,
+        };
+        let x = Tensor::constant(Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
+        let y = conv.forward(&x).value();
+        assert_eq!(y.as_slice(), &[5.0, 8.0, 11.0]);
+    }
+
+    #[test]
+    fn conv_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let conv = Conv1d::new(2, 3, 2, 2, &mut rng);
+        let x = Matrix::randn(2, 12, 1.0, &mut rng);
+        let params = conv.params();
+        check_gradients(
+            &params,
+            || conv.forward(&Tensor::constant(x.clone())).square().sum(),
+            1e-2,
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn conv_then_pool_pipeline() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let conv = Conv1d::new(1, 2, 3, 1, &mut rng);
+        let pool = MaxPool1d::new(2, 2, 2);
+        let x = Tensor::constant(Matrix::randn(3, 10, 1.0, &mut rng));
+        let y = pool.forward(&conv.forward(&x));
+        // conv: 10 -> 8 positions, 2 ch; pool: 8 -> 4 positions
+        assert_eq!(y.shape(), (3, 8));
+    }
+
+    #[test]
+    fn snapshot_matches_graph() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let conv = Conv1d::new(2, 3, 3, 2, &mut rng);
+        let x = Matrix::randn(2, 14, 1.0, &mut rng);
+        let graph = conv.forward(&Tensor::constant(x.clone())).value();
+        let snap = conv.snapshot().forward(&x);
+        for (a, b) in graph.as_slice().iter().zip(snap.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pool_matrix_matches_graph() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pool = MaxPool1d::new(3, 2, 2);
+        let x = Matrix::randn(2, 18, 1.0, &mut rng);
+        let graph = pool.forward(&Tensor::constant(x.clone())).value();
+        let mat = pool.forward_matrix(&x);
+        assert_eq!(graph.as_slice(), mat.as_slice());
+    }
+}

@@ -1,0 +1,117 @@
+//! Finite-difference gradient verification.
+//!
+//! Every op and layer in this crate is validated against central
+//! differences. The checker is public so downstream crates (classifiers,
+//! attacks, the RL core) can gradient-check their own composite losses.
+
+use crate::matrix::Matrix;
+use crate::tensor::Tensor;
+
+/// Verifies analytic gradients of `f` w.r.t. `params` by central
+/// differences.
+///
+/// `f` must rebuild the computation graph from the given parameter tensors
+/// on every call and return a scalar (1x1) tensor.
+///
+/// # Panics
+/// Panics with a diagnostic message if any element's analytic and numeric
+/// gradients disagree beyond `tol` (relative to the gradient magnitude).
+pub fn check_gradients(params: &[Tensor], f: impl Fn() -> Tensor, eps: f32, tol: f32) {
+    // Analytic pass.
+    for p in params {
+        p.zero_grad();
+    }
+    let loss = f();
+    assert_eq!(loss.shape(), (1, 1), "check_gradients: loss must be scalar");
+    loss.backward();
+    let analytic: Vec<Matrix> = params.iter().map(|p| p.grad()).collect();
+
+    // Numeric passes.
+    for (pi, p) in params.iter().enumerate() {
+        let base = p.value();
+        let (rows, cols) = base.shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut plus = base.clone();
+                plus[(r, c)] += eps;
+                p.set_value(plus);
+                let up = f().item();
+
+                let mut minus = base.clone();
+                minus[(r, c)] -= eps;
+                p.set_value(minus);
+                let down = f().item();
+
+                p.set_value(base.clone());
+
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic[pi][(r, c)];
+                let denom = 1.0_f32.max(a.abs()).max(numeric.abs());
+                assert!(
+                    (a - numeric).abs() / denom <= tol,
+                    "gradient mismatch at param {pi} ({r},{c}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+}
+
+/// Maximum relative gradient error, without panicking (for diagnostics).
+pub fn max_gradient_error(params: &[Tensor], f: impl Fn() -> Tensor, eps: f32) -> f32 {
+    for p in params {
+        p.zero_grad();
+    }
+    let loss = f();
+    loss.backward();
+    let analytic: Vec<Matrix> = params.iter().map(|p| p.grad()).collect();
+
+    let mut worst = 0.0f32;
+    for (pi, p) in params.iter().enumerate() {
+        let base = p.value();
+        let (rows, cols) = base.shape();
+        for r in 0..rows {
+            for c in 0..cols {
+                let mut plus = base.clone();
+                plus[(r, c)] += eps;
+                p.set_value(plus);
+                let up = f().item();
+                let mut minus = base.clone();
+                minus[(r, c)] -= eps;
+                p.set_value(minus);
+                let down = f().item();
+                p.set_value(base.clone());
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic[pi][(r, c)];
+                let denom = 1.0_f32.max(a.abs()).max(numeric.abs());
+                worst = worst.max((a - numeric).abs() / denom);
+            }
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catches_correct_gradient() {
+        let x = Tensor::parameter(Matrix::from_vec(1, 2, vec![0.3, -0.8]));
+        check_gradients(&[x.clone()], || x.square().sum(), 1e-3, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn catches_wrong_gradient() {
+        // detach() deliberately breaks the gradient of x*x.
+        let x = Tensor::parameter(Matrix::from_vec(1, 1, vec![2.0]));
+        check_gradients(&[x.clone()], || x.detach().mul(&x).sum(), 1e-3, 1e-3);
+    }
+
+    #[test]
+    fn max_error_is_small_for_smooth_fn() {
+        let x = Tensor::parameter(Matrix::from_vec(2, 2, vec![0.1, 0.7, -0.3, 0.5]));
+        let err = max_gradient_error(&[x.clone()], || x.tanh().sum(), 1e-3);
+        assert!(err < 1e-2, "err={err}");
+    }
+}

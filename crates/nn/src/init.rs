@@ -1,0 +1,72 @@
+//! Weight initialisation schemes.
+//!
+//! The paper initialises every network with Xavier (Glorot) initialisation
+//! [Glorot & Bengio 2010]; He initialisation is provided for the ReLU
+//! convolutional stacks in the DF classifier.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+///
+/// For a `(fan_in, fan_out)` weight matrix as used by [`crate::layers::Linear`].
+pub fn xavier_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::uniform(fan_in, fan_out, -a, a, rng)
+}
+
+/// Xavier uniform for an arbitrary-shape matrix with explicit fan counts
+/// (used for fused RNN gate matrices, where the stored shape is
+/// `(fan_in, gates * hidden)` but each gate's fan-out is `hidden`).
+pub fn xavier_uniform_shaped<R: Rng + ?Sized>(
+    rows: usize,
+    cols: usize,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut R,
+) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::uniform(rows, cols, -a, a, rng)
+}
+
+/// He (Kaiming) uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+pub fn he_uniform<R: Rng + ?Sized>(fan_in: usize, fan_out: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / fan_in as f32).sqrt();
+    Matrix::uniform(fan_in, fan_out, -a, a, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_bound_scales_with_fans() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let small = xavier_uniform(10, 10, &mut rng);
+        let large = xavier_uniform(1000, 1000, &mut rng);
+        let bound_small = (6.0f32 / 20.0).sqrt();
+        let bound_large = (6.0f32 / 2000.0).sqrt();
+        assert!(small.max() <= bound_small && small.min() >= -bound_small);
+        assert!(large.max() <= bound_large && large.min() >= -bound_large);
+        assert!(small.max() > large.max());
+    }
+
+    #[test]
+    fn he_bound() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = he_uniform(24, 8, &mut rng);
+        let bound = (6.0f32 / 24.0).sqrt();
+        assert!(w.max() <= bound && w.min() >= -bound);
+        assert_eq!(w.shape(), (24, 8));
+    }
+
+    #[test]
+    fn shaped_variant_respects_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = xavier_uniform_shaped(16, 48, 16, 16, &mut rng);
+        assert_eq!(w.shape(), (16, 48));
+    }
+}

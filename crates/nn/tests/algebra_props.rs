@@ -1,0 +1,118 @@
+//! Property tests over the matrix kernel and autograd engine: the
+//! algebraic laws every higher layer silently depends on.
+
+use proptest::prelude::*;
+
+use amoeba_nn::matrix::Matrix;
+use amoeba_nn::tensor::Tensor;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+fn assert_close(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+        prop_assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (AB)C = A(BC) within float tolerance.
+    #[test]
+    fn matmul_is_associative(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 5),
+        c in arb_matrix(5, 2),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        assert_close(&left, &right, 1e-4)?;
+    }
+
+    /// A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes_over_add(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 3),
+        c in arb_matrix(4, 3),
+    ) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        assert_close(&left, &right, 1e-4)?;
+    }
+
+    /// (A^T)^T = A and (AB)^T = B^T A^T.
+    #[test]
+    fn transpose_laws(a in arb_matrix(3, 5), b in arb_matrix(5, 2)) {
+        assert_close(&a.transpose().transpose(), &a, 0.0)?;
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        assert_close(&left, &right, 1e-5)?;
+    }
+
+    /// The fused transpose products agree with explicit transposes.
+    #[test]
+    fn fused_transpose_products(a in arb_matrix(4, 3), b in arb_matrix(4, 2)) {
+        assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-5)?;
+        let c = Matrix::from_vec(2, 3, a.as_slice()[..6].to_vec());
+        let d = Matrix::from_vec(5, 3, b.as_slice().iter().chain(b.as_slice().iter()).chain(b.as_slice()[..7].iter().map(|v| v)).copied().take(15).collect());
+        assert_close(&c.matmul_t(&d), &c.matmul(&d.transpose()), 1e-5)?;
+    }
+
+    /// Row-gather of everything in order is the identity.
+    #[test]
+    fn gather_all_rows_is_identity(a in arb_matrix(4, 3)) {
+        let idx: Vec<usize> = (0..4).collect();
+        assert_close(&a.gather_rows(&idx), &a, 0.0)?;
+    }
+
+    /// concat then slice round-trips.
+    #[test]
+    fn concat_slice_roundtrip(a in arb_matrix(3, 2), b in arb_matrix(3, 4)) {
+        let cat = a.concat_cols(&b);
+        assert_close(&cat.slice_cols(0, 2), &a, 0.0)?;
+        assert_close(&cat.slice_cols(2, 6), &b, 0.0)?;
+    }
+
+    /// Gradient of sum(A ∘ B) wrt A equals B (autograd sanity beyond the
+    /// unit gradchecks).
+    #[test]
+    fn hadamard_sum_gradient(a in arb_matrix(3, 3), b in arb_matrix(3, 3)) {
+        let ta = Tensor::parameter(a);
+        let tb = Tensor::constant(b.clone());
+        ta.mul(&tb).sum().backward();
+        assert_close(&ta.grad(), &b, 1e-6)?;
+    }
+
+    /// Gradient of a linear map y = xW summed is x-independent: dW = x^T 1.
+    #[test]
+    fn linear_map_gradient(x in arb_matrix(4, 3), w in arb_matrix(3, 2)) {
+        let tx = Tensor::constant(x.clone());
+        let tw = Tensor::parameter(w);
+        tx.matmul(&tw).sum().backward();
+        let expected = x.t_matmul(&Matrix::ones(4, 2));
+        assert_close(&tw.grad(), &expected, 1e-5)?;
+    }
+
+    /// Softplus-free BCE is bounded below by 0 and finite for any logits.
+    #[test]
+    fn bce_is_finite_nonnegative(z in arb_matrix(4, 1)) {
+        let labels = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let loss = Tensor::parameter(z).bce_with_logits_loss(&labels);
+        let v = loss.item();
+        prop_assert!(v.is_finite());
+        prop_assert!(v >= 0.0);
+    }
+
+    /// Reshape preserves the sum (it never copies out of order).
+    #[test]
+    fn reshape_preserves_content(a in arb_matrix(4, 6)) {
+        let r = a.reshape(6, 4);
+        prop_assert_eq!(a.as_slice(), r.as_slice());
+    }
+}

@@ -1,0 +1,246 @@
+//! Labelled datasets and the paper's 40/40/10/10 split protocol (§5.4).
+
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::flow::{Flow, Label};
+use crate::generate::{
+    HttpsTcpGenerator, HttpsTlsGenerator, Layer, TorGenerator, TrafficGenerator, V2RayGenerator,
+};
+use crate::netem::NetEm;
+
+/// Which of the paper's two datasets to synthesise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// Tor vs plain HTTPS at the TCP layer.
+    Tor,
+    /// V2Ray vs plain HTTPS at the TLS-record layer.
+    V2Ray,
+}
+
+impl DatasetKind {
+    /// Observation layer of this dataset.
+    pub fn layer(&self) -> Layer {
+        match self {
+            DatasetKind::Tor => Layer::Tcp,
+            DatasetKind::V2Ray => Layer::TlsRecord,
+        }
+    }
+}
+
+/// A labelled collection of flows.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Flows.
+    pub flows: Vec<Flow>,
+    /// Parallel labels.
+    pub labels: Vec<Label>,
+}
+
+impl Dataset {
+    /// Empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Appends a labelled flow.
+    pub fn push(&mut self, flow: Flow, label: Label) {
+        self.flows.push(flow);
+        self.labels.push(label);
+    }
+
+    /// Count of samples with the given label.
+    pub fn count_label(&self, label: Label) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// Only the flows carrying `label`.
+    pub fn filter_label(&self, label: Label) -> Dataset {
+        let mut out = Dataset::new();
+        for (f, &l) in self.flows.iter().zip(&self.labels) {
+            if l == label {
+                out.push(f.clone(), l);
+            }
+        }
+        out
+    }
+
+    /// Labels as 0/1 bytes (1 = sensitive).
+    pub fn labels_u8(&self) -> Vec<u8> {
+        self.labels.iter().map(Label::as_u8).collect()
+    }
+
+    /// Shuffles samples in place.
+    pub fn shuffle(&mut self, rng: &mut StdRng) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.flows = order.iter().map(|&i| self.flows[i].clone()).collect();
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Splits into the paper's four subsets:
+    /// `clf_train` (40%), `attack_train` (40%), `validation` (10%),
+    /// `test` (10%). Shuffles first with the given seed.
+    pub fn split(mut self, seed: u64) -> Splits {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.shuffle(&mut rng);
+        let n = self.len();
+        let a = (n as f32 * 0.4) as usize;
+        let b = (n as f32 * 0.8) as usize;
+        let c = (n as f32 * 0.9) as usize;
+        let mut clf_train = Dataset::new();
+        let mut attack_train = Dataset::new();
+        let mut validation = Dataset::new();
+        let mut test = Dataset::new();
+        for (i, (f, l)) in self.flows.into_iter().zip(self.labels).enumerate() {
+            let target = if i < a {
+                &mut clf_train
+            } else if i < b {
+                &mut attack_train
+            } else if i < c {
+                &mut validation
+            } else {
+                &mut test
+            };
+            target.push(f, l);
+        }
+        Splits { clf_train, attack_train, validation, test }
+    }
+}
+
+/// The paper's four-way dataset split.
+#[derive(Debug, Clone)]
+pub struct Splits {
+    /// 40% — trains the censoring classifiers.
+    pub clf_train: Dataset,
+    /// 40% — trains Amoeba (disjoint from the censor's data, §5.4).
+    pub attack_train: Dataset,
+    /// 10% — hyperparameter tuning.
+    pub validation: Dataset,
+    /// 10% — final evaluation.
+    pub test: Dataset,
+}
+
+/// Builds a balanced synthetic dataset of `n_per_class` sensitive +
+/// `n_per_class` benign flows, optionally passed through a [`NetEm`]
+/// environment.
+pub fn build_dataset(
+    kind: DatasetKind,
+    n_per_class: usize,
+    netem: Option<NetEm>,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ds = Dataset::new();
+    match kind {
+        DatasetKind::Tor => {
+            let sensitive = TorGenerator::default();
+            let benign = HttpsTcpGenerator::default();
+            for _ in 0..n_per_class {
+                let mut f = sensitive.generate(&mut rng);
+                if let Some(ne) = &netem {
+                    f = ne.apply(&f, &mut rng);
+                }
+                ds.push(f, Label::Sensitive);
+                let mut g = benign.generate(&mut rng);
+                if let Some(ne) = &netem {
+                    g = ne.apply(&g, &mut rng);
+                }
+                ds.push(g, Label::Benign);
+            }
+        }
+        DatasetKind::V2Ray => {
+            let sensitive = V2RayGenerator::default();
+            let benign = HttpsTlsGenerator::default();
+            for _ in 0..n_per_class {
+                let mut f = sensitive.generate(&mut rng);
+                if let Some(ne) = &netem {
+                    f = ne.apply(&f, &mut rng);
+                }
+                ds.push(f, Label::Sensitive);
+                let mut g = benign.generate(&mut rng);
+                if let Some(ne) = &netem {
+                    g = ne.apply(&g, &mut rng);
+                }
+                ds.push(g, Label::Benign);
+            }
+        }
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_balanced_and_seeded() {
+        let ds = build_dataset(DatasetKind::Tor, 50, None, 7);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.count_label(Label::Sensitive), 50);
+        assert_eq!(ds.count_label(Label::Benign), 50);
+        let ds2 = build_dataset(DatasetKind::Tor, 50, None, 7);
+        assert_eq!(ds.flows[0], ds2.flows[0]);
+    }
+
+    #[test]
+    fn split_fractions_match_paper() {
+        let ds = build_dataset(DatasetKind::V2Ray, 100, None, 1);
+        let splits = ds.split(42);
+        assert_eq!(splits.clf_train.len(), 80);
+        assert_eq!(splits.attack_train.len(), 80);
+        assert_eq!(splits.validation.len(), 20);
+        assert_eq!(splits.test.len(), 20);
+    }
+
+    #[test]
+    fn split_preserves_total_and_roughly_balances() {
+        let ds = build_dataset(DatasetKind::Tor, 200, None, 3);
+        let splits = ds.split(3);
+        let total = splits.clf_train.len()
+            + splits.attack_train.len()
+            + splits.validation.len()
+            + splits.test.len();
+        assert_eq!(total, 400);
+        // Shuffled split keeps both classes present in every subset.
+        for sub in [&splits.clf_train, &splits.attack_train, &splits.validation, &splits.test] {
+            assert!(sub.count_label(Label::Sensitive) > 0);
+            assert!(sub.count_label(Label::Benign) > 0);
+        }
+    }
+
+    #[test]
+    fn netem_changes_flows() {
+        let clean = build_dataset(DatasetKind::Tor, 20, None, 11);
+        let lossy = build_dataset(DatasetKind::Tor, 20, Some(NetEm::with_drop_rate(0.1)), 11);
+        let clean_pkts: usize = clean.flows.iter().map(Flow::len).sum();
+        let lossy_pkts: usize = lossy.flows.iter().map(Flow::len).sum();
+        assert!(lossy_pkts > clean_pkts);
+    }
+
+    #[test]
+    fn filter_label_partitions() {
+        let ds = build_dataset(DatasetKind::Tor, 10, None, 2);
+        let s = ds.filter_label(Label::Sensitive);
+        let b = ds.filter_label(Label::Benign);
+        assert_eq!(s.len() + b.len(), ds.len());
+        assert!(s.labels.iter().all(|&l| l == Label::Sensitive));
+    }
+
+    #[test]
+    fn kind_layer_mapping() {
+        assert_eq!(DatasetKind::Tor.layer(), Layer::Tcp);
+        assert_eq!(DatasetKind::V2Ray.layer(), Layer::TlsRecord);
+    }
+}

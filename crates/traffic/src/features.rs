@@ -1,0 +1,355 @@
+//! The 166-dimensional flow feature vector used by the tree-based censors.
+//!
+//! The paper follows Barradas et al. [2] and "extract[s] 166 features from
+//! each network flow, covering bi-directional packet/timing statistics,
+//! burst behaviors, percentile features and flow-level information"
+//! (§5.1). The exact list is not published; this module reconstructs a
+//! 166-feature vector from those four documented categories. Every feature
+//! is tagged [`FeatureKind::Packet`] or [`FeatureKind::Timing`], which is
+//! what the Figure 4 experiment (packet- vs timing-feature importance)
+//! consumes.
+
+use std::sync::OnceLock;
+
+use crate::flow::{Direction, Flow};
+use crate::generate::Layer;
+use crate::stats::{histogram, Summary};
+
+/// Total number of features produced by [`extract_features`].
+pub const NUM_FEATURES: usize = 166;
+
+/// Whether a feature is derived from packet sizes/counts or from timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeatureKind {
+    /// Size/count/direction-derived.
+    Packet,
+    /// Delay/duration/rate-derived.
+    Timing,
+}
+
+/// Static description of the feature vector layout.
+#[derive(Debug, Clone)]
+pub struct FeatureSchema {
+    /// Feature names, in extraction order.
+    pub names: Vec<String>,
+    /// Feature kinds, parallel to `names`.
+    pub kinds: Vec<FeatureKind>,
+}
+
+fn emit_all(flow: &Flow, layer: Layer, emit: &mut impl FnMut(String, FeatureKind, f32)) {
+    use FeatureKind::{Packet, Timing};
+    let max_unit = layer.max_unit() as f32;
+
+    let out_sizes: Vec<f32> = flow
+        .packets
+        .iter()
+        .filter(|p| p.direction() == Direction::Outbound)
+        .map(|p| p.magnitude() as f32)
+        .collect();
+    let in_sizes: Vec<f32> = flow
+        .packets
+        .iter()
+        .filter(|p| p.direction() == Direction::Inbound)
+        .map(|p| p.magnitude() as f32)
+        .collect();
+    let bi_sizes: Vec<f32> = flow.packets.iter().map(|p| p.magnitude() as f32).collect();
+
+    // --- 1. bidirectional packet-size statistics (3 x 12 = 36, Packet) ---
+    for (dir, sizes) in [("out", &out_sizes), ("in", &in_sizes), ("bi", &bi_sizes)] {
+        let s = Summary::of(sizes);
+        for (name, v) in Summary::names().iter().zip(s.to_vec()) {
+            emit(format!("size_{dir}_{name}"), Packet, v);
+        }
+    }
+
+    // --- 2. timing statistics (3 x 12 = 36, Timing) -----------------------
+    let out_gaps = flow.same_direction_gaps(Direction::Outbound);
+    let in_gaps = flow.same_direction_gaps(Direction::Inbound);
+    let bi_gaps: Vec<f32> = flow.packets.iter().skip(1).map(|p| p.delay_ms).collect();
+    for (dir, gaps) in [("out", &out_gaps), ("in", &in_gaps), ("bi", &bi_gaps)] {
+        let s = Summary::of(gaps);
+        for (name, v) in Summary::names().iter().zip(s.to_vec()) {
+            emit(format!("gap_{dir}_{name}"), Timing, v);
+        }
+    }
+
+    // --- 3. burst behaviour (2 x (7 Packet + 2 Timing) = 18) --------------
+    let bursts = flow.bursts();
+    for dir in [Direction::Outbound, Direction::Inbound] {
+        let tag = if dir == Direction::Outbound { "out" } else { "in" };
+        let lens: Vec<f32> = bursts
+            .iter()
+            .filter(|b| b.0 == dir)
+            .map(|b| b.1 as f32)
+            .collect();
+        let bytes: Vec<f32> = bursts
+            .iter()
+            .filter(|b| b.0 == dir)
+            .map(|b| b.2 as f32)
+            .collect();
+        let durations: Vec<f32> = bursts
+            .iter()
+            .filter(|b| b.0 == dir)
+            .map(|b| b.3)
+            .collect();
+        let ls = Summary::of(&lens);
+        let bs = Summary::of(&bytes);
+        let ds = Summary::of(&durations);
+        emit(format!("burst_{tag}_count"), Packet, lens.len() as f32);
+        emit(format!("burst_{tag}_len_mean"), Packet, ls.mean);
+        emit(format!("burst_{tag}_len_std"), Packet, ls.std);
+        emit(format!("burst_{tag}_len_max"), Packet, ls.max);
+        emit(format!("burst_{tag}_bytes_mean"), Packet, bs.mean);
+        emit(format!("burst_{tag}_bytes_std"), Packet, bs.std);
+        emit(format!("burst_{tag}_bytes_max"), Packet, bs.max);
+        emit(format!("burst_{tag}_dur_mean"), Timing, ds.mean);
+        emit(format!("burst_{tag}_dur_max"), Timing, ds.max);
+    }
+
+    // --- 4. size histograms (2 x 10 = 20, Packet) --------------------------
+    for (tag, sizes) in [("out", &out_sizes), ("in", &in_sizes)] {
+        for (i, frac) in histogram(sizes, 0.0, max_unit, 10).into_iter().enumerate() {
+            emit(format!("size_hist_{tag}_{i}"), Packet, frac);
+        }
+    }
+
+    // --- 5. delay histogram (10, Timing) -----------------------------------
+    for (i, frac) in histogram(&bi_gaps, 0.0, 500.0, 10).into_iter().enumerate() {
+        emit(format!("gap_hist_bi_{i}"), Timing, frac);
+    }
+
+    // --- 6. cumulative-trace interpolation (10, Packet) --------------------
+    let mut cumulative = Vec::with_capacity(flow.len());
+    let mut acc = 0.0f32;
+    for p in &flow.packets {
+        acc += p.size as f32;
+        cumulative.push(acc);
+    }
+    for i in 0..10 {
+        let v = if cumulative.is_empty() {
+            0.0
+        } else {
+            let pos = (i as f32 / 9.0) * (cumulative.len() - 1) as f32;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            let frac = pos - lo as f32;
+            cumulative[lo] * (1.0 - frac) + cumulative[hi] * frac
+        };
+        emit(format!("cumul_{i}"), Packet, v);
+    }
+
+    // --- 7. first-packets behaviour (8 Packet + 8 Timing = 16) -------------
+    for i in 0..8 {
+        let v = flow.packets.get(i).map(|p| p.size as f32).unwrap_or(0.0);
+        emit(format!("first_size_{i}"), Packet, v);
+    }
+    for i in 0..8 {
+        let v = flow.packets.get(i).map(|p| p.delay_ms).unwrap_or(0.0);
+        emit(format!("first_gap_{i}"), Timing, v);
+    }
+
+    // --- 8. flow-level features (11 Packet + 5 Timing = 16) ----------------
+    let n = flow.len() as f32;
+    let n_out = out_sizes.len() as f32;
+    let n_in = in_sizes.len() as f32;
+    let bytes_out: f32 = out_sizes.iter().sum();
+    let bytes_in: f32 = in_sizes.iter().sum();
+    let duration = flow.duration_ms();
+    emit("pkt_count".into(), Packet, n);
+    emit("pkt_count_out".into(), Packet, n_out);
+    emit("pkt_count_in".into(), Packet, n_in);
+    emit("pkt_ratio_out".into(), Packet, if n > 0.0 { n_out / n } else { 0.0 });
+    emit("bytes_total".into(), Packet, bytes_out + bytes_in);
+    emit("bytes_out".into(), Packet, bytes_out);
+    emit("bytes_in".into(), Packet, bytes_in);
+    emit(
+        "bytes_ratio_out".into(),
+        Packet,
+        if bytes_out + bytes_in > 0.0 { bytes_out / (bytes_out + bytes_in) } else { 0.0 },
+    );
+    let flips = flow
+        .packets
+        .windows(2)
+        .filter(|w| w[0].direction() != w[1].direction())
+        .count() as f32;
+    emit("dir_flip_rate".into(), Packet, if n > 1.0 { flips / (n - 1.0) } else { 0.0 });
+    let at_max = bi_sizes.iter().filter(|&&s| s >= max_unit).count() as f32;
+    emit("frac_max_unit".into(), Packet, if n > 0.0 { at_max / n } else { 0.0 });
+    let mut unique = bi_sizes.clone();
+    unique.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    unique.dedup();
+    emit(
+        "size_diversity".into(),
+        Packet,
+        if n > 0.0 { unique.len() as f32 / n } else { 0.0 },
+    );
+
+    emit("duration_ms".into(), Timing, duration);
+    let secs = (duration / 1000.0).max(1e-6);
+    emit("pkts_per_sec".into(), Timing, n / secs);
+    emit("bytes_per_sec".into(), Timing, (bytes_out + bytes_in) / secs);
+    let first_response = flow
+        .packets
+        .iter()
+        .scan(0.0f32, |t, p| {
+            *t += p.delay_ms;
+            Some((*t, p.direction()))
+        })
+        .find(|(_, d)| *d == Direction::Inbound)
+        .map(|(t, _)| t)
+        .unwrap_or(0.0);
+    emit("first_response_ms".into(), Timing, first_response);
+    let mean_out_gap = if out_gaps.is_empty() {
+        0.0
+    } else {
+        out_gaps.iter().sum::<f32>() / out_gaps.len() as f32
+    };
+    let mean_in_gap = if in_gaps.is_empty() {
+        0.0
+    } else {
+        in_gaps.iter().sum::<f32>() / in_gaps.len() as f32
+    };
+    emit(
+        "gap_ratio_out_in".into(),
+        Timing,
+        if mean_in_gap > 1e-9 { mean_out_gap / mean_in_gap } else { 0.0 },
+    );
+    emit("burst_count_total".into(), Packet, bursts.len() as f32);
+    let longest_run = bursts.iter().map(|b| b.1).max().unwrap_or(0) as f32;
+    emit(
+        "longest_run_frac".into(),
+        Packet,
+        if n > 0.0 { longest_run / n } else { 0.0 },
+    );
+    let idle: f32 = bi_gaps.iter().filter(|&&g| g > 100.0).sum();
+    emit("idle_frac".into(), Timing, if duration > 1e-9 { idle / duration } else { 0.0 });
+    let first5: Vec<f32> = bi_gaps.iter().take(5).copied().collect();
+    emit(
+        "mean_gap_first5".into(),
+        Timing,
+        if first5.is_empty() { 0.0 } else { first5.iter().sum::<f32>() / first5.len() as f32 },
+    );
+}
+
+/// Extracts the 166-feature vector for a flow on the given layer.
+pub fn extract_features(flow: &Flow, layer: Layer) -> Vec<f32> {
+    let mut values = Vec::with_capacity(NUM_FEATURES);
+    emit_all(flow, layer, &mut |_, _, v| values.push(if v.is_finite() { v } else { 0.0 }));
+    debug_assert_eq!(values.len(), NUM_FEATURES);
+    values
+}
+
+/// The static feature schema (names + kinds).
+pub fn feature_schema() -> &'static FeatureSchema {
+    static SCHEMA: OnceLock<FeatureSchema> = OnceLock::new();
+    SCHEMA.get_or_init(|| {
+        let mut names = Vec::with_capacity(NUM_FEATURES);
+        let mut kinds = Vec::with_capacity(NUM_FEATURES);
+        let dummy = Flow::from_pairs(&[(100, 0.0), (-200, 1.0)]);
+        emit_all(&dummy, Layer::Tcp, &mut |n, k, _| {
+            names.push(n);
+            kinds.push(k);
+        });
+        assert_eq!(names.len(), NUM_FEATURES, "feature schema drifted from NUM_FEATURES");
+        FeatureSchema { names, kinds }
+    })
+}
+
+/// Extracts features for every flow in a slice.
+pub fn extract_features_batch(flows: &[Flow], layer: Layer) -> Vec<Vec<f32>> {
+    flows.iter().map(|f| extract_features(f, layer)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Packet;
+    use crate::generate::{TorGenerator, TrafficGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exactly_166_features() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let flow = TorGenerator::default().generate(&mut rng);
+        let f = extract_features(&flow, Layer::Tcp);
+        assert_eq!(f.len(), NUM_FEATURES);
+        assert_eq!(f.len(), 166);
+    }
+
+    #[test]
+    fn schema_is_consistent_and_unique() {
+        let schema = feature_schema();
+        assert_eq!(schema.names.len(), NUM_FEATURES);
+        assert_eq!(schema.kinds.len(), NUM_FEATURES);
+        let mut sorted = schema.names.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), NUM_FEATURES, "duplicate feature names");
+    }
+
+    #[test]
+    fn kind_split_covers_both_categories() {
+        let schema = feature_schema();
+        let packet = schema.kinds.iter().filter(|k| **k == FeatureKind::Packet).count();
+        let timing = schema.kinds.iter().filter(|k| **k == FeatureKind::Timing).count();
+        assert_eq!(packet + timing, NUM_FEATURES);
+        assert!(packet > 40, "packet features: {packet}");
+        assert!(timing > 40, "timing features: {timing}");
+    }
+
+    #[test]
+    fn features_are_finite_for_edge_cases() {
+        // Single-packet flow, single-direction flow, zero-delay flow.
+        let cases = vec![
+            Flow::from_pairs(&[(100, 0.0)]),
+            Flow::from_pairs(&[(100, 0.0), (200, 0.0), (300, 0.0)]),
+            Flow::from_pairs(&[(-500, 0.0), (-500, 0.0)]),
+        ];
+        for flow in cases {
+            let f = extract_features(&flow, Layer::Tcp);
+            assert_eq!(f.len(), NUM_FEATURES);
+            assert!(f.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn byte_accounting_features_match_flow() {
+        let mut flow = Flow::new();
+        flow.push(Packet::outbound(300, 0.0));
+        flow.push(Packet::inbound(700, 5.0));
+        let f = extract_features(&flow, Layer::Tcp);
+        let schema = feature_schema();
+        let idx = |name: &str| schema.names.iter().position(|n| n == name).unwrap();
+        assert_eq!(f[idx("bytes_out")], 300.0);
+        assert_eq!(f[idx("bytes_in")], 700.0);
+        assert_eq!(f[idx("bytes_total")], 1000.0);
+        assert_eq!(f[idx("pkt_count")], 2.0);
+        assert_eq!(f[idx("duration_ms")], 5.0);
+        assert_eq!(f[idx("first_response_ms")], 5.0);
+    }
+
+    #[test]
+    fn tor_and_https_feature_vectors_differ() {
+        use crate::generate::HttpsTcpGenerator;
+        let mut rng = StdRng::seed_from_u64(2);
+        let tor = TorGenerator::default().generate(&mut rng);
+        let https = HttpsTcpGenerator::default().generate(&mut rng);
+        let ft = extract_features(&tor, Layer::Tcp);
+        let fh = extract_features(&https, Layer::Tcp);
+        let diff: f32 = ft.iter().zip(&fh).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1.0, "feature vectors should differ");
+    }
+
+    #[test]
+    fn batch_matches_individual() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let flows: Vec<Flow> = (0..3)
+            .map(|_| TorGenerator::default().generate(&mut rng))
+            .collect();
+        let batch = extract_features_batch(&flows, Layer::Tcp);
+        for (bf, f) in batch.iter().zip(&flows) {
+            assert_eq!(*bf, extract_features(f, Layer::Tcp));
+        }
+    }
+}

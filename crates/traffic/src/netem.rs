@@ -1,0 +1,134 @@
+//! Network-environment emulation: packet loss, retransmission, and jitter.
+//!
+//! Backs the §5.5.2 robustness experiment (Figure 6): the paper re-collects
+//! the Tor dataset under enforced bidirectional packet-drop rates from 0%
+//! to 10% and cross-evaluates Amoeba across environments. Here the same
+//! effect is obtained by post-processing generated flows: a dropped packet
+//! is retransmitted after a timeout, which the on-path censor observes as a
+//! duplicate with a large inter-packet gap — exactly the heterogeneity the
+//! experiment needs.
+
+use rand::Rng;
+
+use crate::flow::Flow;
+
+/// Emulated network-path configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NetEm {
+    /// Probability that a packet is lost and retransmitted (bidirectional).
+    pub drop_rate: f32,
+    /// Retransmission timeout added before the retransmitted copy (ms).
+    pub retransmit_timeout_ms: f32,
+    /// Multiplicative delay jitter: each delay is scaled by
+    /// `max(0, 1 + N(0, jitter_std))`.
+    pub jitter_std: f32,
+}
+
+impl Default for NetEm {
+    fn default() -> Self {
+        Self { drop_rate: 0.0, retransmit_timeout_ms: 200.0, jitter_std: 0.05 }
+    }
+}
+
+impl NetEm {
+    /// A lossy environment with the given drop rate and default RTO/jitter.
+    pub fn with_drop_rate(drop_rate: f32) -> Self {
+        assert!((0.0..=1.0).contains(&drop_rate), "drop rate must be in [0,1]");
+        Self { drop_rate, ..Default::default() }
+    }
+
+    /// An ideal environment (no loss, no jitter).
+    pub fn ideal() -> Self {
+        Self { drop_rate: 0.0, retransmit_timeout_ms: 0.0, jitter_std: 0.0 }
+    }
+
+    /// Applies loss/retransmission/jitter to a flow, returning what an
+    /// on-path observer between client and first relay would record.
+    pub fn apply<R: Rng + ?Sized>(&self, flow: &Flow, rng: &mut R) -> Flow {
+        let mut out = Flow::new();
+        for (i, p) in flow.packets.iter().enumerate() {
+            let mut pkt = *p;
+            if i > 0 && self.jitter_std > 0.0 {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                pkt.delay_ms *= (1.0 + self.jitter_std * z).max(0.0);
+            }
+            out.push(pkt);
+            if self.drop_rate > 0.0 && rng.gen_bool(self.drop_rate as f64) {
+                // The original copy crossed the observation point and was
+                // lost downstream; the retransmission appears after an RTO.
+                let mut retx = pkt;
+                retx.delay_ms = self.retransmit_timeout_ms
+                    * (1.0 + rng.gen_range(-0.2..0.2f32)).max(0.1);
+                out.push(retx);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Packet;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_flow() -> Flow {
+        let mut f = Flow::new();
+        f.push(Packet::outbound(500, 0.0));
+        for _ in 0..50 {
+            f.push(Packet::inbound(1448, 1.0));
+        }
+        f
+    }
+
+    #[test]
+    fn ideal_environment_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = base_flow();
+        let g = NetEm::ideal().apply(&f, &mut rng);
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn drop_rate_inserts_retransmissions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let f = base_flow();
+        let netem = NetEm { drop_rate: 0.2, retransmit_timeout_ms: 100.0, jitter_std: 0.0 };
+        let g = netem.apply(&f, &mut rng);
+        assert!(g.len() > f.len(), "expected duplicates: {} vs {}", g.len(), f.len());
+        // Retransmitted copies carry the RTO-scale delay.
+        assert!(g.packets.iter().any(|p| p.delay_ms > 50.0));
+    }
+
+    #[test]
+    fn zero_drop_preserves_length() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = base_flow();
+        let netem = NetEm { drop_rate: 0.0, retransmit_timeout_ms: 100.0, jitter_std: 0.1 };
+        let g = netem.apply(&f, &mut rng);
+        assert_eq!(g.len(), f.len());
+        // Jitter perturbs delays but keeps them non-negative.
+        assert!(g.packets.iter().all(|p| p.delay_ms >= 0.0));
+    }
+
+    #[test]
+    fn higher_drop_rate_creates_more_duplicates() {
+        let f = base_flow();
+        let low = NetEm::with_drop_rate(0.025)
+            .apply(&f, &mut StdRng::seed_from_u64(4))
+            .len();
+        let high = NetEm::with_drop_rate(0.10)
+            .apply(&f, &mut StdRng::seed_from_u64(4))
+            .len();
+        assert!(high >= low, "high {high} low {low}");
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate")]
+    fn rejects_invalid_drop_rate() {
+        let _ = NetEm::with_drop_rate(1.5);
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: train a censoring classifier, train Amoeba against it as a
+//! black box, and measure the attack success rate.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+
+use amoeba::classifiers::{evaluate, train_censor, Censor, CensorKind, TrainConfig};
+use amoeba::core::{sensitive_flows, train_amoeba, AmoebaConfig};
+use amoeba::traffic::{build_dataset, DatasetKind, Layer};
+
+fn main() {
+    // 1. A synthetic "Tor vs HTTPS" dataset, split 40/40/10/10 (§5.4).
+    let splits = build_dataset(DatasetKind::Tor, 300, None, 42).split(42);
+
+    // 2. The censor trains a random forest on its own 40% split.
+    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Rf,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig::fast(),
+        1,
+    ));
+    let metrics = evaluate(censor.as_ref(), &splits.test);
+    println!("censor (RF) on raw traffic: {metrics}");
+
+    // 3. The attacker trains Amoeba on a disjoint split, observing only
+    //    the censor's allow/block decisions.
+    let attack_flows = sensitive_flows(&splits.attack_train);
+    let cfg = AmoebaConfig::fast().with_timesteps(20_000).with_seed(7);
+    let (agent, report) = train_amoeba(Arc::clone(&censor), &attack_flows, Layer::Tcp, &cfg, None);
+    println!(
+        "trained: {} timesteps, {} censor queries, encoder loss {:.3}",
+        report.total_timesteps(),
+        report.total_queries(),
+        report.encoder_loss
+    );
+
+    // 4. Evaluate on unseen test flows.
+    let test_flows = sensitive_flows(&splits.test);
+    let eval = agent.evaluate(&censor, &test_flows);
+    println!(
+        "Amoeba vs RF: ASR {:.1}%  data overhead {:.1}%  time overhead {:.1}%",
+        eval.asr() * 100.0,
+        eval.data_overhead() * 100.0,
+        eval.time_overhead() * 100.0
+    );
+
+    // 5. Every adversarial flow still carries the full original payload.
+    let outcome = agent.attack_flow(&censor, &test_flows[0]);
+    println!(
+        "payload: original {} B -> adversarial {} B across {} packets (was {})",
+        test_flows[0].total_bytes(),
+        outcome.adversarial.total_bytes(),
+        outcome.adversarial.len(),
+        test_flows[0].len()
+    );
+}

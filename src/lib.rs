@@ -1,0 +1,46 @@
+//! # amoeba
+//!
+//! Umbrella crate for the Amoeba reproduction (CoNEXT'23: *"Amoeba:
+//! Circumventing ML-supported Network Censorship via Adversarial
+//! Reinforcement Learning"*, Liu, Diallo & Patras).
+//!
+//! Re-exports the workspace crates under one roof:
+//!
+//! * [`nn`] — from-scratch autograd + layers (the PyTorch substitute);
+//! * [`ml`] — CART / random forest / SMO-SVM (the scikit-learn substitute);
+//! * [`traffic`] — flows, synthetic Tor/V2Ray/HTTPS generators, netem,
+//!   datasets, feature extractors;
+//! * [`classifiers`] — the six censoring classifiers behind a common
+//!   [`classifiers::Censor`] oracle;
+//! * [`core`] — the Amoeba agent: environment, StateEncoder, PPO,
+//!   profiles, shaper;
+//! * [`attacks`] — white-box baselines (C&W, NIDSGAN, BAP).
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use amoeba::classifiers::{train_censor, Censor, CensorKind, TrainConfig};
+//! use amoeba::core::{sensitive_flows, train_amoeba, AmoebaConfig};
+//! use amoeba::traffic::{build_dataset, DatasetKind, Layer};
+//!
+//! let splits = build_dataset(DatasetKind::Tor, 300, None, 42).split(42);
+//! let censor: Arc<dyn Censor> = Arc::new(train_censor(
+//!     CensorKind::Rf, &splits.clf_train, Layer::Tcp, &TrainConfig::fast(), 0));
+//! let (agent, _) = train_amoeba(
+//!     Arc::clone(&censor),
+//!     &sensitive_flows(&splits.attack_train),
+//!     Layer::Tcp,
+//!     &AmoebaConfig::fast().with_timesteps(20_000),
+//!     None,
+//! );
+//! let report = agent.evaluate(&censor, &sensitive_flows(&splits.test));
+//! println!("ASR {:.1}%", report.asr() * 100.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use amoeba_attacks as attacks;
+pub use amoeba_classifiers as classifiers;
+pub use amoeba_core as core;
+pub use amoeba_ml as ml;
+pub use amoeba_nn as nn;
+pub use amoeba_traffic as traffic;

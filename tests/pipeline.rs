@@ -1,0 +1,160 @@
+//! Integration tests spanning the full pipeline:
+//! dataset → censor → Amoeba training → attack → metrics.
+
+use std::sync::Arc;
+
+use amoeba::classifiers::{evaluate, train_censor, Censor, CensorKind, TrainConfig};
+use amoeba::core::{sensitive_flows, train_amoeba, AmoebaConfig};
+use amoeba::traffic::{build_dataset, DatasetKind, Direction, Layer};
+
+fn small_amoeba_cfg() -> AmoebaConfig {
+    let mut cfg = AmoebaConfig::fast().with_timesteps(6_000).with_seed(1);
+    cfg.encoder_train_flows = 128;
+    cfg.encoder_epochs = 8;
+    cfg
+}
+
+#[test]
+fn end_to_end_tor_vs_dt() {
+    let splits = build_dataset(DatasetKind::Tor, 200, None, 77).split(77);
+    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Dt,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig::fast(),
+        1,
+    ));
+    // The censor must be competent before the attack means anything.
+    let m = evaluate(censor.as_ref(), &splits.test);
+    assert!(m.f1() > 0.9, "DT censor too weak: {m}");
+
+    let (agent, report) = train_amoeba(
+        Arc::clone(&censor),
+        &sensitive_flows(&splits.attack_train),
+        Layer::Tcp,
+        &small_amoeba_cfg(),
+        None,
+    );
+    assert!(report.total_queries() > 0);
+
+    let eval = agent.evaluate(&censor, &sensitive_flows(&splits.test));
+    assert!(eval.asr() > 0.7, "Amoeba failed to evade DT: ASR {}", eval.asr());
+    assert!(eval.data_overhead() < 0.95);
+}
+
+#[test]
+fn end_to_end_v2ray_vs_cumul() {
+    let splits = build_dataset(DatasetKind::V2Ray, 200, None, 78).split(78);
+    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Cumul,
+        &splits.clf_train,
+        Layer::TlsRecord,
+        &TrainConfig::fast(),
+        1,
+    ));
+    let m = evaluate(censor.as_ref(), &splits.test);
+    assert!(m.f1() > 0.85, "CUMUL censor too weak: {m}");
+
+    let cfg = small_amoeba_cfg().with_layer(Layer::TlsRecord);
+    let (agent, _) = train_amoeba(
+        Arc::clone(&censor),
+        &sensitive_flows(&splits.attack_train),
+        Layer::TlsRecord,
+        &cfg,
+        None,
+    );
+    let eval = agent.evaluate(&censor, &sensitive_flows(&splits.test));
+    assert!(eval.asr() > 0.5, "Amoeba vs CUMUL ASR {}", eval.asr());
+}
+
+#[test]
+fn adversarial_flows_conserve_payload_per_direction() {
+    let splits = build_dataset(DatasetKind::Tor, 120, None, 79).split(79);
+    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Rf,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig::fast(),
+        1,
+    ));
+    let (agent, _) = train_amoeba(
+        Arc::clone(&censor),
+        &sensitive_flows(&splits.attack_train),
+        Layer::Tcp,
+        &small_amoeba_cfg(),
+        None,
+    );
+    for flow in sensitive_flows(&splits.test).iter().take(10) {
+        let out = agent.attack_flow(&censor, flow);
+        for dir in [Direction::Outbound, Direction::Inbound] {
+            assert!(
+                out.adversarial.bytes(dir) >= flow.bytes(dir),
+                "Eq. 1 violated in direction {dir:?}: {} < {}",
+                out.adversarial.bytes(dir),
+                flow.bytes(dir)
+            );
+        }
+        // Eq. 2: delays are never negative and every original packet's
+        // mandatory delay is paid (total adversarial duration >= original).
+        assert!(out.adversarial.packets.iter().all(|p| p.delay_ms >= 0.0));
+        assert!(out.adversarial.duration_ms() >= flow.duration_ms() - 1e-3);
+    }
+}
+
+#[test]
+fn reward_masking_trades_queries_for_asr() {
+    let splits = build_dataset(DatasetKind::Tor, 150, None, 80).split(80);
+    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Dt,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig::fast(),
+        1,
+    ));
+    let flows = sensitive_flows(&splits.attack_train);
+
+    let (_, full) = train_amoeba(
+        Arc::clone(&censor),
+        &flows,
+        Layer::Tcp,
+        &small_amoeba_cfg(),
+        None,
+    );
+    let (_, masked) = train_amoeba(
+        Arc::clone(&censor),
+        &flows,
+        Layer::Tcp,
+        &small_amoeba_cfg().with_mask_rate(0.9),
+        None,
+    );
+    // §5.5.3: a 90% mask rate cuts queries by roughly 10x.
+    assert!(
+        (masked.total_queries() as f32) < full.total_queries() as f32 * 0.25,
+        "masking did not reduce queries: {} vs {}",
+        masked.total_queries(),
+        full.total_queries()
+    );
+}
+
+#[test]
+fn agents_attack_deterministically_per_flow() {
+    let splits = build_dataset(DatasetKind::Tor, 100, None, 81).split(81);
+    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Dt,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig::fast(),
+        1,
+    ));
+    let (agent, _) = train_amoeba(
+        Arc::clone(&censor),
+        &sensitive_flows(&splits.attack_train),
+        Layer::Tcp,
+        &small_amoeba_cfg(),
+        None,
+    );
+    let flow = &sensitive_flows(&splits.test)[0];
+    let a = agent.attack_flow(&censor, flow);
+    let b = agent.attack_flow(&censor, flow);
+    assert_eq!(a.adversarial, b.adversarial, "seeded attack must be reproducible");
+}
