@@ -44,11 +44,17 @@ pub struct BapConfig {
 
 impl Default for BapConfig {
     fn default() -> Self {
+        // Deliberately stronger than the original 60-epoch / lr 1e-2
+        // configuration: that budget stalls at ASR ~0 against a
+        // fast-trained SDAE (the hardest of the three NN censors for
+        // BAP), which would make the Table 1 / Figure 7 BAP baseline
+        // degenerate. 120 epochs at lr 1e-1 converges reliably
+        // (ASR 0.7-0.9 in the integration tests) at ~2x the wall-clock.
         Self {
             insertions: 6,
-            epochs: 60,
+            epochs: 120,
             batch_size: 32,
-            lr: 1e-2,
+            lr: 1e-1,
             overhead_weight: 0.05,
             eval_every: 10,
             seed: 0,
@@ -187,7 +193,11 @@ impl Bap {
 
     /// Learned parameters.
     fn params(&self) -> Vec<Tensor> {
-        vec![self.pad.clone(), self.ins_size.clone(), self.ins_delay.clone()]
+        vec![
+            self.pad.clone(),
+            self.ins_size.clone(),
+            self.ins_delay.clone(),
+        ]
     }
 }
 
@@ -212,8 +222,7 @@ pub fn train_bap(
     };
     let mut opt = Adam::new(bap.params(), cfg.lr);
 
-    let expanded: Vec<(Vec<f32>, Vec<usize>)> =
-        train_flows.iter().map(|f| bap.expand(f)).collect();
+    let expanded: Vec<(Vec<f32>, Vec<usize>)> = train_flows.iter().map(|f| bap.expand(f)).collect();
     let mut order: Vec<usize> = (0..expanded.len()).collect();
     let mut queries = 0usize;
     let mut convergence = Vec::new();
@@ -267,7 +276,10 @@ pub fn evaluate_bap(bap: &Bap, model: &NnModel, flows: &[Flow]) -> WhiteBoxRepor
             }
         })
         .collect();
-    WhiteBoxReport { outcomes, convergence: Vec::new() }
+    WhiteBoxReport {
+        outcomes,
+        convergence: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -330,7 +342,10 @@ mod tests {
         );
         let train = sensitive(&splits.attack_train, 40);
         let test = sensitive(&splits.test, 10);
-        let cfg = BapConfig { eval_every: 30, ..Default::default() };
+        let cfg = BapConfig {
+            eval_every: 60,
+            ..Default::default()
+        };
         let (_, report) = train_bap(&model, &train, &test, &cfg);
         assert!(report.asr() > 0.4, "BAP ASR {}", report.asr());
         assert_eq!(report.convergence.len(), 2);
@@ -344,18 +359,29 @@ mod tests {
             CensorKind::Sdae,
             &splits.clf_train,
             Layer::Tcp,
-            &TrainConfig { epochs: 1, ..TrainConfig::fast() },
+            &TrainConfig {
+                epochs: 1,
+                ..TrainConfig::fast()
+            },
             9,
         );
         let train = sensitive(&splits.attack_train, 10);
-        let cfg = BapConfig { epochs: 1, eval_every: 0, insertions: 3, ..Default::default() };
+        let cfg = BapConfig {
+            epochs: 1,
+            eval_every: 0,
+            insertions: 3,
+            ..Default::default()
+        };
         let (bap, _) = train_bap(&model, &train, &train, &cfg);
         let flow = &train[0];
         let adv = bap.perturb_flow(flow);
         let (_, slots) = bap.expand(flow);
         for &slot in &slots {
             // Inserted slot carries a (possibly small) packet.
-            assert!(adv[slot * 2].abs() > 0.0, "insertion slot {slot} stayed empty");
+            assert!(
+                adv[slot * 2].abs() > 0.0,
+                "insertion slot {slot} stayed empty"
+            );
         }
     }
 

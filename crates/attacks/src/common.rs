@@ -19,12 +19,12 @@ use amoeba_nn::matrix::Matrix;
 pub fn project_row(candidate: &mut [f32], original: &[f32], insertable: &[bool]) {
     assert_eq!(candidate.len(), original.len());
     assert_eq!(insertable.len(), original.len() / 2);
-    for slot in 0..original.len() / 2 {
+    for (slot, &may_insert) in insertable.iter().enumerate() {
         let (si, di) = (slot * 2, slot * 2 + 1);
         let orig_s = original[si];
         let orig_d = original[di];
         let absent = orig_s == 0.0 && orig_d == 0.0;
-        if absent && !insertable[slot] {
+        if absent && !may_insert {
             candidate[si] = 0.0;
             candidate[di] = 0.0;
             continue;
@@ -59,9 +59,17 @@ pub fn row_overheads(adversarial: &[f32], original: &[f32]) -> (f32, f32) {
         adv_time += adversarial[slot * 2 + 1];
     }
     let padding = (adv_bytes - orig_bytes).max(0.0);
-    let data = if adv_bytes > 0.0 { padding / adv_bytes } else { 0.0 };
+    let data = if adv_bytes > 0.0 {
+        padding / adv_bytes
+    } else {
+        0.0
+    };
     let added = (adv_time - orig_time).max(0.0);
-    let time = if adv_time > 0.0 { added / adv_time } else { 0.0 };
+    let time = if adv_time > 0.0 {
+        added / adv_time
+    } else {
+        0.0
+    };
     (data, time)
 }
 

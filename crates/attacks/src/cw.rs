@@ -28,7 +28,12 @@ pub struct CwConfig {
 
 impl Default for CwConfig {
     fn default() -> Self {
-        Self { max_iters: 300, lr: 0.05, dist_weight: 0.05, refine: false }
+        Self {
+            max_iters: 300,
+            lr: 0.05,
+            dist_weight: 0.05,
+            refine: false,
+        }
     }
 }
 
@@ -79,7 +84,10 @@ pub fn cw_attack_flow(model: &NnModel, flow: &Flow, cfg: &CwConfig) -> WhiteBoxO
 /// Attacks every flow; the Table 1 C&W cell.
 pub fn cw_attack(model: &NnModel, flows: &[Flow], cfg: &CwConfig) -> WhiteBoxReport {
     WhiteBoxReport {
-        outcomes: flows.iter().map(|f| cw_attack_flow(model, f, cfg)).collect(),
+        outcomes: flows
+            .iter()
+            .map(|f| cw_attack_flow(model, f, cfg))
+            .collect(),
         convergence: Vec::new(),
     }
 }
@@ -126,7 +134,10 @@ mod tests {
                     o.adversarial[slot * 2].abs() >= orig[slot * 2].abs() - 1e-6,
                     "size shrank"
                 );
-                assert!(o.adversarial[slot * 2 + 1] >= orig[slot * 2 + 1] - 1e-6, "delay shrank");
+                assert!(
+                    o.adversarial[slot * 2 + 1] >= orig[slot * 2 + 1] - 1e-6,
+                    "delay shrank"
+                );
             }
         }
     }
@@ -134,7 +145,10 @@ mod tests {
     #[test]
     fn queries_bounded_by_max_iters() {
         let (model, flows) = setup();
-        let cfg = CwConfig { max_iters: 5, ..Default::default() };
+        let cfg = CwConfig {
+            max_iters: 5,
+            ..Default::default()
+        };
         let report = cw_attack(&model, &flows[..2], &cfg);
         for o in &report.outcomes {
             assert!(o.queries <= 5);

@@ -180,7 +180,10 @@ pub fn evaluate_nidsgan(gan: &NidsGan, model: &NnModel, flows: &[Flow]) -> White
             }
         })
         .collect();
-    WhiteBoxReport { outcomes, convergence: Vec::new() }
+    WhiteBoxReport {
+        outcomes,
+        convergence: Vec::new(),
+    }
 }
 
 #[cfg(test)]
@@ -212,7 +215,11 @@ mod tests {
         );
         let train = sensitive(&splits.attack_train, 40);
         let test = sensitive(&splits.test, 10);
-        let cfg = NidsGanConfig { epochs: 20, eval_every: 10, ..Default::default() };
+        let cfg = NidsGanConfig {
+            epochs: 20,
+            eval_every: 10,
+            ..Default::default()
+        };
         let (_, report) = train_nidsgan(&model, &train, &test, &cfg);
         assert!(report.asr() > 0.5, "NIDSGAN ASR {}", report.asr());
         assert_eq!(report.convergence.len(), 2);
@@ -228,11 +235,18 @@ mod tests {
             CensorKind::Sdae,
             &splits.clf_train,
             Layer::Tcp,
-            &TrainConfig { epochs: 2, ..TrainConfig::fast() },
+            &TrainConfig {
+                epochs: 2,
+                ..TrainConfig::fast()
+            },
             6,
         );
         let train = sensitive(&splits.attack_train, 20);
-        let cfg = NidsGanConfig { epochs: 2, eval_every: 0, ..Default::default() };
+        let cfg = NidsGanConfig {
+            epochs: 2,
+            eval_every: 0,
+            ..Default::default()
+        };
         let (gan, _) = train_nidsgan(&model, &train, &train, &cfg);
         let repr = model.repr();
         for f in &train {

@@ -10,14 +10,15 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use amoeba_classifiers::{train_censor, Censor, CensorKind, TrainConfig};
+use amoeba_classifiers::{train_censor, Censor, CensorKind, ConstantCensor, TrainConfig};
 use amoeba_core::{
-    encode_frame, pretrain_encoder, synthetic_flows, AmoebaConfig, Batch, PpoLearner,
-    ProfileStore, ShapedSender, StateEncoder, Trajectory,
+    collect_rollouts_threaded, encode_frame, pretrain_encoder, synthetic_flows, AmoebaConfig,
+    Batch, EnvConfig, PolicySnapshots, PpoLearner, ProfileStore, ShapedSender, StateEncoder,
+    Trajectory, Worker,
 };
 use amoeba_traffic::{
-    build_dataset, cumul_features, extract_features, DatasetKind, FlowRepr, Layer, TorGenerator,
-    TrafficGenerator,
+    build_dataset, cumul_features, extract_features, DatasetKind, Flow, FlowRepr, Layer,
+    TorGenerator, TrafficGenerator,
 };
 
 fn small_ctx() -> (amoeba_traffic::Splits, Arc<dyn Censor>) {
@@ -40,7 +41,10 @@ fn bench_table1_classifier_inference(c: &mut Criterion) {
         CensorKind::Df,
         &splits.clf_train,
         Layer::Tcp,
-        &TrainConfig { epochs: 2, ..TrainConfig::fast() },
+        &TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast()
+        },
         2,
     ));
     let flow = splits.test.flows[0].clone();
@@ -55,7 +59,9 @@ fn bench_fig4_feature_extraction(c: &mut Criterion) {
     c.bench_function("fig4_extract_166_features", |b| {
         b.iter(|| extract_features(&flow, Layer::Tcp))
     });
-    c.bench_function("fig4_cumul_features", |b| b.iter(|| cumul_features(&flow, 100)));
+    c.bench_function("fig4_cumul_features", |b| {
+        b.iter(|| cumul_features(&flow, 100))
+    });
 }
 
 /// Figure 11 kernel: single-step action inference (encoder push + actor
@@ -90,7 +96,61 @@ fn bench_fig13_encoder(c: &mut Criterion) {
     let enc = StateEncoder::new(cfg.encoder_hidden, cfg.encoder_layers, &mut rng);
     let snap = enc.snapshot();
     let flows = synthetic_flows(1, 60, &mut rng);
-    c.bench_function("fig13_encode_60_packets", |b| b.iter(|| snap.encode(&flows[0])));
+    c.bench_function("fig13_encode_60_packets", |b| {
+        b.iter(|| snap.encode(&flows[0]))
+    });
+}
+
+/// Rollout-collection kernel: one PPO window across 1 vs N OS threads
+/// (the tentpole speedup — each worker owns its env, the snapshots are
+/// `Arc`-shared, and the merged batch is bit-identical either way).
+fn bench_parallel_rollouts(c: &mut Criterion) {
+    let mut cfg = AmoebaConfig::fast();
+    cfg.encoder_hidden = 32;
+    cfg.actor_hidden = vec![64, 32];
+    cfg.n_envs = 8;
+    let mut rng = StdRng::seed_from_u64(12);
+    let encoder = StateEncoder::new(cfg.encoder_hidden, cfg.encoder_layers, &mut rng).snapshot();
+    let learner = PpoLearner::new(&cfg, &mut rng);
+    let policy = PolicySnapshots::new(
+        encoder.clone(),
+        learner.actor.snapshot(),
+        learner.critic.snapshot(),
+    );
+    let censor: std::sync::Arc<dyn Censor> = std::sync::Arc::new(ConstantCensor {
+        fixed_score: 0.3,
+        as_kind: CensorKind::Dt,
+    });
+    let flows = std::sync::Arc::new(vec![
+        Flow::from_pairs(&[(600, 0.0), (-1200, 3.0), (500, 1.0), (-900, 0.5)]),
+        Flow::from_pairs(&[(300, 0.0), (-800, 2.0), (700, 1.5)]),
+    ]);
+    let make_workers = |cfg: &AmoebaConfig| -> Vec<Worker> {
+        (0..cfg.n_envs)
+            .map(|i| {
+                Worker::new(
+                    std::sync::Arc::clone(&censor),
+                    Layer::Tcp,
+                    EnvConfig::from(cfg),
+                    &encoder,
+                    i as u64,
+                )
+            })
+            .collect()
+    };
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut thread_counts = vec![1usize, 2, 4];
+    if hw > 4 {
+        thread_counts.push(hw);
+    }
+    for threads in thread_counts {
+        let mut workers = make_workers(&cfg);
+        c.bench_function(&format!("rollout_64_steps_8_envs_{threads}_threads"), |b| {
+            b.iter(|| collect_rollouts_threaded(&mut workers, 64, &policy, &flows, threads))
+        });
+    }
 }
 
 /// Figures 7–9 kernel: one PPO update over a synthetic batch.
@@ -102,7 +162,9 @@ fn bench_fig7_ppo_update(c: &mut Criterion) {
     let mut learner = PpoLearner::new(&cfg, &mut rng);
     let dim = cfg.state_dim();
     let traj = Trajectory {
-        states: (0..256).map(|i| vec![(i % 13) as f32 / 13.0; dim]).collect(),
+        states: (0..256)
+            .map(|i| vec![(i % 13) as f32 / 13.0; dim])
+            .collect(),
         actions: vec![[0.1, 0.2]; 256],
         logps: vec![-1.0; 256],
         rewards: vec![0.5; 256],
@@ -178,6 +240,7 @@ criterion_group! {
         bench_fig4_feature_extraction,
         bench_fig11_action_inference,
         bench_fig13_encoder,
+        bench_parallel_rollouts,
         bench_fig7_ppo_update,
         bench_table2_profile_embed,
         bench_shaper,

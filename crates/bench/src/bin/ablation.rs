@@ -33,7 +33,10 @@ fn main() {
     let base_cfg = scale.amoeba_config(kind);
     let (encoder, encoder_loss) = pretrain_encoder(&base_cfg);
 
-    println!("## Ablation — §4.2 action space (Tor, {} steps/agent)\n", scale.amoeba_timesteps);
+    println!(
+        "## Ablation — §4.2 action space (Tor, {} steps/agent)\n",
+        scale.amoeba_timesteps
+    );
     println!("paper's claim: only-padding fails vs directional-feature censors; only-truncation fails vs cell-size censors; both is required.\n");
 
     for censor_kind in [CensorKind::Rf, CensorKind::Sdae, CensorKind::Cumul] {

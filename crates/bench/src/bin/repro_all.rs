@@ -6,7 +6,10 @@ use amoeba_bench::{experiments, Context, Scale};
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("# scale: {} flows/class, {} PPO steps/censor", scale.n_per_class, scale.amoeba_timesteps);
+    eprintln!(
+        "# scale: {} flows/class, {} PPO steps/censor",
+        scale.n_per_class, scale.amoeba_timesteps
+    );
     let mut ctx = Context::new(scale);
     let t0 = Instant::now();
     type Exp = (&'static str, fn(&mut Context) -> String);

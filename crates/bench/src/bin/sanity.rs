@@ -12,7 +12,17 @@ fn main() {
     let ds = build_dataset(DatasetKind::Tor, 300, None, 42);
     let splits = ds.split(42);
     let censor: Arc<dyn Censor> = Arc::new(train_censor(
-        std::env::args().nth(1).map(|s| match s.as_str() { "df" => CensorKind::Df, "rf" => CensorKind::Rf, "sdae" => CensorKind::Sdae, "lstm" => CensorKind::Lstm, "cumul" => CensorKind::Cumul, _ => CensorKind::Dt }).unwrap_or(CensorKind::Dt),
+        std::env::args()
+            .nth(1)
+            .map(|s| match s.as_str() {
+                "df" => CensorKind::Df,
+                "rf" => CensorKind::Rf,
+                "sdae" => CensorKind::Sdae,
+                "lstm" => CensorKind::Lstm,
+                "cumul" => CensorKind::Cumul,
+                _ => CensorKind::Dt,
+            })
+            .unwrap_or(CensorKind::Dt),
         &splits.clf_train,
         Layer::Tcp,
         &TrainConfig::fast(),
@@ -25,26 +35,51 @@ fn main() {
     let test_flows = sensitive_flows(&splits.test);
 
     let cfg = AmoebaConfig {
-        total_timesteps: std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6000),
+        total_timesteps: std::env::args()
+            .nth(2)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(6000),
         rollout_len: 128,
-        encoder_epochs: std::env::args().nth(5).and_then(|s| s.parse().ok()).unwrap_or(10),
+        encoder_epochs: std::env::args()
+            .nth(5)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10),
         encoder_hidden: 64,
         actor_hidden: vec![128, 64],
         n_envs: 8,
         lr: 5e-4,
-        encoder_train_flows: std::env::args().nth(4).and_then(|s| s.parse().ok()).unwrap_or(128),
-        entropy_coef: std::env::args().nth(3).and_then(|s| s.parse().ok()).unwrap_or(3e-3),
+        encoder_train_flows: std::env::args()
+            .nth(4)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(128),
+        entropy_coef: std::env::args()
+            .nth(3)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(3e-3),
         ..AmoebaConfig::fast()
     };
     let (agent, report) = train_amoeba(censor.clone(), &attack_flows, Layer::Tcp, &cfg, None);
-    println!("[{:?}] trained {} steps, {} queries, encoder loss {:.4}",
-        t0.elapsed(), report.total_timesteps(), report.total_queries(), report.encoder_loss);
+    println!(
+        "[{:?}] trained {} steps, {} queries, encoder loss {:.4}",
+        t0.elapsed(),
+        report.total_timesteps(),
+        report.total_queries(),
+        report.encoder_loss
+    );
     for (i, it) in report.iterations.iter().enumerate() {
-        if i % 8 == 0 || i == report.iterations.len()-1 {
-            println!("  iter {i:>3}: reward {:+.3} rollout_asr {:.2} ent {:.2}", it.mean_reward, it.rollout_asr, it.entropy);
+        if i % 8 == 0 || i == report.iterations.len() - 1 {
+            println!(
+                "  iter {i:>3}: reward {:+.3} rollout_asr {:.2} ent {:.2}",
+                it.mean_reward, it.rollout_asr, it.entropy
+            );
         }
     }
     let eval = agent.evaluate(&censor, &test_flows);
-    println!("[{:?}] Amoeba vs DT: ASR={:.1}% DO={:.1}% TO={:.1}%",
-        t0.elapsed(), eval.asr()*100.0, eval.data_overhead()*100.0, eval.time_overhead()*100.0);
+    println!(
+        "[{:?}] Amoeba vs DT: ASR={:.1}% DO={:.1}% TO={:.1}%",
+        t0.elapsed(),
+        eval.asr() * 100.0,
+        eval.data_overhead() * 100.0,
+        eval.time_overhead() * 100.0
+    );
 }

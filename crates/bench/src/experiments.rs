@@ -35,14 +35,37 @@ pub fn table1(ctx: &mut Context) -> String {
                 let scale_seed = ctx.scale.seed;
                 let model = ctx.nn_model(kind, censor_kind);
                 let cw = cw_attack(model, &eval_flows, &CwConfig::default());
-                let ng_cfg = NidsGanConfig { seed: scale_seed, eval_every: 0, ..Default::default() };
+                let ng_cfg = NidsGanConfig {
+                    seed: scale_seed,
+                    eval_every: 0,
+                    ..Default::default()
+                };
                 let (_, ng) = train_nidsgan(model, &attack_flows, &eval_flows, &ng_cfg);
-                let bap_cfg = BapConfig { seed: scale_seed, eval_every: 0, ..Default::default() };
+                let bap_cfg = BapConfig {
+                    seed: scale_seed,
+                    eval_every: 0,
+                    ..Default::default()
+                };
                 let (_, bap) = train_bap(model, &attack_flows, &eval_flows, &bap_cfg);
                 (
-                    format!("{:.1}/{:.1}/{:.1}", cw.asr() * 100.0, cw.data_overhead() * 100.0, cw.time_overhead() * 100.0),
-                    format!("{:.1}/{:.1}/{:.1}", ng.asr() * 100.0, ng.data_overhead() * 100.0, ng.time_overhead() * 100.0),
-                    format!("{:.1}/{:.1}/{:.1}", bap.asr() * 100.0, bap.data_overhead() * 100.0, bap.time_overhead() * 100.0),
+                    format!(
+                        "{:.1}/{:.1}/{:.1}",
+                        cw.asr() * 100.0,
+                        cw.data_overhead() * 100.0,
+                        cw.time_overhead() * 100.0
+                    ),
+                    format!(
+                        "{:.1}/{:.1}/{:.1}",
+                        ng.asr() * 100.0,
+                        ng.data_overhead() * 100.0,
+                        ng.time_overhead() * 100.0
+                    ),
+                    format!(
+                        "{:.1}/{:.1}/{:.1}",
+                        bap.asr() * 100.0,
+                        bap.data_overhead() * 100.0,
+                        bap.time_overhead() * 100.0
+                    ),
                 )
             } else {
                 ("N/A".into(), "N/A".into(), "N/A".into())
@@ -165,7 +188,8 @@ pub fn fig5(ctx: &mut Context) -> String {
 /// Figure 6: ASR matrix across packet-drop-rate environments (train rows ×
 /// test columns) against DF on Tor.
 pub fn fig6(ctx: &mut Context) -> String {
-    let mut out = String::from("## Figure 6 — robustness across packet-drop environments (DF, Tor)\n\n");
+    let mut out =
+        String::from("## Figure 6 — robustness across packet-drop environments (DF, Tor)\n\n");
     out.push_str("paper: diagonal 87.5–94.2%; agents trained on lossy (≥2.5%) data transfer with ≤2% degradation; the 0% row degrades most (6–8%).\n\n");
     let rates = [0.0f32, 0.025, 0.05, 0.075, 0.10];
     let scale = ctx.scale.clone();
@@ -206,14 +230,20 @@ pub fn fig6(ctx: &mut Context) -> String {
         );
         let mut row = vec![format!("train {:.1}%", rates[i] * 100.0)];
         let diag = agent
-            .evaluate(&censor, &filter_sensitive(&env_data[i].test, scale.eval_flows))
+            .evaluate(
+                &censor,
+                &filter_sensitive(&env_data[i].test, scale.eval_flows),
+            )
             .asr();
         for (j, test_split) in env_data.iter().enumerate() {
             let asr = if i == j {
                 diag
             } else {
                 agent
-                    .evaluate(&censor, &filter_sensitive(&test_split.test, scale.eval_flows))
+                    .evaluate(
+                        &censor,
+                        &filter_sensitive(&test_split.test, scale.eval_flows),
+                    )
                     .asr()
             };
             row.push(if i == j {
@@ -267,9 +297,17 @@ pub fn fig7(ctx: &mut Context) -> String {
             .collect();
 
         let model = ctx.nn_model(kind, censor_kind);
-        let ng_cfg = NidsGanConfig { eval_every: 5, seed: scale.seed, ..Default::default() };
+        let ng_cfg = NidsGanConfig {
+            eval_every: 5,
+            seed: scale.seed,
+            ..Default::default()
+        };
         let (_, ng) = train_nidsgan(model, &attack_flows, &eval_flows, &ng_cfg);
-        let bap_cfg = BapConfig { eval_every: 10, seed: scale.seed, ..Default::default() };
+        let bap_cfg = BapConfig {
+            eval_every: 10,
+            seed: scale.seed,
+            ..Default::default()
+        };
         let (_, bap) = train_bap(model, &attack_flows, &eval_flows, &bap_cfg);
 
         for (name, curve) in [
@@ -326,7 +364,10 @@ pub fn fig8(ctx: &mut Context) -> String {
                 let _ = report;
                 asr_sum += agent.evaluate(&censor, &eval_flows).asr();
             }
-            row.push(format!("{:.1}", asr_sum / scale.repeats.max(1) as f32 * 100.0));
+            row.push(format!(
+                "{:.1}",
+                asr_sum / scale.repeats.max(1) as f32 * 100.0
+            ));
         }
         rows.push(row);
     }
@@ -390,7 +431,9 @@ pub fn fig10(ctx: &mut Context) -> String {
     let mut out = String::from("## Figure 10 — transferability of adversarial flows\n\n");
     out.push_str("paper: flows transfer well between similar architectures (SDAE↔DF, DT↔RF) and poorly across dissimilar ones.\n\n");
     for kind in [DatasetKind::Tor, DatasetKind::V2Ray] {
-        out.push_str(&format!("### {kind:?} (rows = source, cols = target, ASR%)\n\n"));
+        out.push_str(&format!(
+            "### {kind:?} (rows = source, cols = target, ASR%)\n\n"
+        ));
         let flows = ctx.eval_flows(kind);
         // Pre-generate adversarial flows per source.
         let mut adv_per_source = Vec::new();
@@ -458,8 +501,7 @@ pub fn fig11(ctx: &mut Context) -> String {
         a_state.push(&encoder, [a[0].clamp(-1.0, 1.0), a[1].clamp(0.0, 1.0)]);
     }
     let per_step_ms = start.elapsed().as_secs_f32() * 1000.0 / n as f32;
-    let below = gaps.iter().filter(|&&g| g < per_step_ms).count() as f32
-        / gaps.len().max(1) as f32;
+    let below = gaps.iter().filter(|&&g| g < per_step_ms).count() as f32 / gaps.len().max(1) as f32;
     out.push_str(&format!(
         "measured single-step inference: {per_step_ms:.4} ms (CPU); {:.1}% of gaps fall below it (paper: 0.37 ms on a K80, 67.5%)\n\n",
         below * 100.0
@@ -486,7 +528,12 @@ pub fn table2(ctx: &mut Context) -> String {
             .map(|o| o.adversarial)
             .collect();
         if successful.is_empty() {
-            rows.push(vec![censor_kind.name().into(), "—".into(), "—".into(), "—".into()]);
+            rows.push(vec![
+                censor_kind.name().into(),
+                "—".into(),
+                "—".into(),
+                "—".into(),
+            ]);
             continue;
         }
         let store = ProfileStore::from_flows(successful.iter());
@@ -506,22 +553,29 @@ pub fn table2(ctx: &mut Context) -> String {
             format!("{:.1}", time_sum / n as f32 * 100.0),
         ]);
     }
-    out.push_str(&markdown_table(&["censor", "profiles", "DO %", "TO %"], &rows));
+    out.push_str(&markdown_table(
+        &["censor", "profiles", "DO %", "TO %"],
+        &rows,
+    ));
     out.push('\n');
     out
 }
 
 /// Figure 13: StateEncoder reconstruction NMAE vs flow length.
 pub fn fig13(ctx: &mut Context) -> String {
-    let mut out = String::from("## Figure 13 — StateEncoder reconstruction NMAE vs flow length\n\n");
+    let mut out =
+        String::from("## Figure 13 — StateEncoder reconstruction NMAE vs flow length\n\n");
     out.push_str("paper: ≈9% NMAE below length 40, rising toward ≈19% at length 60.\n\n");
     // Reconstruction of i.i.d. uniform sequences is a pure-memory task:
     // it needs more hidden capacity than the RL encoder default, so this
-    // experiment uses its own (still far below the paper's 512) budget.
+    // experiment doubles the configured budget (capped far below the
+    // paper's 512). Scaling relative to the Scale keeps smoke-test runs
+    // cheap: at Scale::small() this is 128 hidden / 1024 flows / 60
+    // epochs, exactly the previous fixed floors.
     let mut cfg = ctx.scale.amoeba_config(DatasetKind::Tor);
-    cfg.encoder_hidden = cfg.encoder_hidden.max(128);
-    cfg.encoder_train_flows = cfg.encoder_train_flows.max(1024);
-    cfg.encoder_epochs = cfg.encoder_epochs.max(60);
+    cfg.encoder_hidden = (2 * cfg.encoder_hidden).min(128);
+    cfg.encoder_train_flows = (2 * cfg.encoder_train_flows).min(1024);
+    cfg.encoder_epochs = (2 * cfg.encoder_epochs).min(60);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut enc = StateEncoder::new(cfg.encoder_hidden, cfg.encoder_layers, &mut rng);
     let loss = enc.pretrain(&cfg);
@@ -547,7 +601,9 @@ pub fn fig14(ctx: &mut Context) -> String {
     let flows = ctx.eval_flows(kind);
     let mean_len: f32 =
         flows.iter().map(|f| f.len() as f32).sum::<f32>() / flows.len().max(1) as f32;
-    out.push_str(&format!("mean original flow length: {mean_len:.1} packets\n\n"));
+    out.push_str(&format!(
+        "mean original flow length: {mean_len:.1} packets\n\n"
+    ));
     let mut rows = Vec::new();
     for censor_kind in CensorKind::ALL {
         let censor = ctx.censor(kind, censor_kind);
@@ -575,10 +631,26 @@ pub fn table3(ctx: &Context) -> String {
     let fast = ctx.scale.amoeba_config(DatasetKind::Tor);
     let rows = vec![
         vec!["optimizer".into(), "Adam".into(), "Adam".into()],
-        vec!["learning rate".into(), format!("{}", paper.lr), format!("{}", fast.lr)],
-        vec!["λ_split".into(), format!("{}", paper.lambda_split), format!("{}", fast.lambda_split)],
-        vec!["λ_time".into(), format!("{}", paper.lambda_time), format!("{}", fast.lambda_time)],
-        vec!["λ_data (Tor)".into(), format!("{}", paper.lambda_data), format!("{}", fast.lambda_data)],
+        vec![
+            "learning rate".into(),
+            format!("{}", paper.lr),
+            format!("{}", fast.lr),
+        ],
+        vec![
+            "λ_split".into(),
+            format!("{}", paper.lambda_split),
+            format!("{}", fast.lambda_split),
+        ],
+        vec![
+            "λ_time".into(),
+            format!("{}", paper.lambda_time),
+            format!("{}", fast.lambda_time),
+        ],
+        vec![
+            "λ_data (Tor)".into(),
+            format!("{}", paper.lambda_data),
+            format!("{}", fast.lambda_data),
+        ],
         vec![
             "actor/critic dims".into(),
             format!("{:?}", paper.actor_hidden),
@@ -595,7 +667,11 @@ pub fn table3(ctx: &Context) -> String {
             format!("{}", paper.encoder_layers),
             format!("{}", fast.encoder_layers),
         ],
-        vec!["γ / GAE λ".into(), format!("{} / {}", paper.gamma, paper.gae_lambda), format!("{} / {}", fast.gamma, fast.gae_lambda)],
+        vec![
+            "γ / GAE λ".into(),
+            format!("{} / {}", paper.gamma, paper.gae_lambda),
+            format!("{} / {}", fast.gamma, fast.gae_lambda),
+        ],
         vec![
             "timesteps".into(),
             format!("{}", paper.total_timesteps),
@@ -603,7 +679,10 @@ pub fn table3(ctx: &Context) -> String {
         ],
     ];
     let mut out = String::from("## Table 3 — hyperparameters (paper preset vs this run)\n\n");
-    out.push_str(&markdown_table(&["hyperparameter", "paper", "this run"], &rows));
+    out.push_str(&markdown_table(
+        &["hyperparameter", "paper", "this run"],
+        &rows,
+    ));
     out.push('\n');
     out
 }

@@ -14,9 +14,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use amoeba_classifiers::{
-    train_censor, train_nn_model, Censor, CensorKind, NnModel, TrainConfig,
-};
+use amoeba_classifiers::{train_censor, train_nn_model, Censor, CensorKind, NnModel, TrainConfig};
 use amoeba_core::{
     pretrain_encoder, train_amoeba_with_encoder, AmoebaAgent, AmoebaConfig, EncoderSnapshot,
     TrainReport,
@@ -221,7 +219,8 @@ impl Context {
             encoder_loss,
             None,
         );
-        self.agents.insert((kind, censor), (agent.clone(), report.clone()));
+        self.agents
+            .insert((kind, censor), (agent.clone(), report.clone()));
         (agent, report)
     }
 }

@@ -11,7 +11,18 @@
 //! *score = P(sensitive)*; an adversarial flow succeeds when
 //! `blocks == false`.
 
+use amoeba_nn::{Forward, Matrix};
 use amoeba_traffic::Flow;
+
+/// The shared numeric scoring path: every censor family's per-flow
+/// probability is one [`Forward`] evaluation over that family's numeric
+/// representation (position-major rows for the NN censors, hand-crafted /
+/// cumulative features for DT/RF/CUMUL). Centralising it here keeps the
+/// six `Censor::score` impls free of duplicated forward plumbing.
+pub(crate) fn score_row(net: &dyn Forward, row: &[f32]) -> f32 {
+    let x = Matrix::from_vec(1, row.len(), row.to_vec());
+    net.forward(&x)[(0, 0)]
+}
 
 /// A trained censoring classifier.
 pub trait Censor: Send + Sync {
@@ -109,8 +120,14 @@ mod tests {
 
     #[test]
     fn blocks_threshold() {
-        let block_all = ConstantCensor { fixed_score: 0.9, as_kind: CensorKind::Dt };
-        let allow_all = ConstantCensor { fixed_score: 0.1, as_kind: CensorKind::Dt };
+        let block_all = ConstantCensor {
+            fixed_score: 0.9,
+            as_kind: CensorKind::Dt,
+        };
+        let allow_all = ConstantCensor {
+            fixed_score: 0.1,
+            as_kind: CensorKind::Dt,
+        };
         let flow = Flow::from_pairs(&[(100, 0.0)]);
         assert!(block_all.blocks(&flow));
         assert!(!allow_all.blocks(&flow));

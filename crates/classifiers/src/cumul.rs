@@ -2,9 +2,10 @@
 //! cumulative-trace representation, with feature standardisation.
 
 use amoeba_ml::{StandardScaler, Svm};
+use amoeba_nn::{Forward, Matrix};
 use amoeba_traffic::{cumul_features, Flow};
 
-use crate::censor::{Censor, CensorKind};
+use crate::censor::{score_row, Censor, CensorKind};
 
 /// CUMUL censor: scaler + SVM over interpolated cumulative traces.
 #[derive(Debug, Clone)]
@@ -24,10 +25,24 @@ impl CumulCensor {
     }
 }
 
+impl Forward for CumulCensor {
+    /// Each row of `x` is one raw cumulative-trace feature vector; the
+    /// standardiser and the SVM run inside the forward, returning `(B, 1)`
+    /// logistic-squashed margins.
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let probs = (0..x.rows())
+            .map(|r| {
+                let scaled = self.scaler.transform_row(x.row(r));
+                self.svm.predict_proba(&scaled)
+            })
+            .collect();
+        Matrix::col_vector(probs)
+    }
+}
+
 impl Censor for CumulCensor {
     fn score(&self, flow: &Flow) -> f32 {
-        let f = self.scaler.transform_row(&self.features(flow));
-        self.svm.predict_proba(&f)
+        score_row(self, &self.features(flow))
     }
 
     fn kind(&self) -> CensorKind {
@@ -48,15 +63,27 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let ds = build_dataset(DatasetKind::V2Ray, 60, None, 3);
         let n_points = 40;
-        let feats: Vec<Vec<f32>> = ds.flows.iter().map(|f| cumul_features(f, n_points)).collect();
+        let feats: Vec<Vec<f32>> = ds
+            .flows
+            .iter()
+            .map(|f| cumul_features(f, n_points))
+            .collect();
         let (scaler, scaled) = StandardScaler::fit_transform(&feats);
         let svm = Svm::fit(
             &scaled,
             &ds.labels_u8(),
-            SvmConfig { kernel: Kernel::Rbf { gamma: 0.02 }, c: 2.0, ..Default::default() },
+            SvmConfig {
+                kernel: Kernel::Rbf { gamma: 0.02 },
+                c: 2.0,
+                ..Default::default()
+            },
             &mut rng,
         );
-        let censor = CumulCensor { svm, scaler, n_points };
+        let censor = CumulCensor {
+            svm,
+            scaler,
+            n_points,
+        };
         let mut correct = 0;
         for (f, &l) in ds.flows.iter().zip(&ds.labels) {
             if censor.blocks(f) == (l == Label::Sensitive) {

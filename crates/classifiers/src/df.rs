@@ -9,13 +9,13 @@
 
 use rand::Rng;
 
-use amoeba_nn::conv::{Conv1d, Conv1dSnapshot, MaxPool1d};
-use amoeba_nn::layers::{Activation, Mlp, MlpSnapshot};
-use amoeba_nn::matrix::Matrix;
+use amoeba_nn::conv::{Conv1d, MaxPool1d};
+use amoeba_nn::forward::Pipeline;
+use amoeba_nn::layers::{Activation, Mlp};
 use amoeba_nn::tensor::Tensor;
 use amoeba_traffic::{Flow, FlowRepr};
 
-use crate::censor::{Censor, CensorKind};
+use crate::censor::{score_row, Censor, CensorKind};
 
 /// Trainable DF model (autograd graph path).
 pub struct DfModel {
@@ -43,15 +43,33 @@ pub struct DfConfig {
 
 impl Default for DfConfig {
     fn default() -> Self {
-        Self { channels1: 16, channels2: 32, kernel: 5, stride: 2, head_hidden: 64 }
+        Self {
+            channels1: 16,
+            channels2: 32,
+            kernel: 5,
+            stride: 2,
+            head_hidden: 64,
+        }
     }
 }
 
 impl DfModel {
     /// Builds an untrained DF model for the given flow representation.
     pub fn new<R: Rng + ?Sized>(repr: FlowRepr, config: DfConfig, rng: &mut R) -> Self {
-        let conv1 = Conv1d::new(FlowRepr::CHANNELS, config.channels1, config.kernel, config.stride, rng);
-        let conv2 = Conv1d::new(config.channels1, config.channels2, config.kernel, config.stride, rng);
+        let conv1 = Conv1d::new(
+            FlowRepr::CHANNELS,
+            config.channels1,
+            config.kernel,
+            config.stride,
+            rng,
+        );
+        let conv2 = Conv1d::new(
+            config.channels1,
+            config.channels2,
+            config.kernel,
+            config.stride,
+            rng,
+        );
         let pool = MaxPool1d::new(config.channels2, 2, 2);
         let l1 = conv1.out_len(repr.max_len);
         let l2 = conv2.out_len(l1);
@@ -62,7 +80,13 @@ impl DfModel {
             Activation::Identity,
             rng,
         );
-        Self { conv1, conv2, pool, head, repr }
+        Self {
+            conv1,
+            conv2,
+            pool,
+            head,
+            repr,
+        }
     }
 
     /// Flow representation this model expects.
@@ -87,13 +111,18 @@ impl DfModel {
         p
     }
 
-    /// Freezes current weights into a thread-safe censor.
+    /// Freezes current weights into a thread-safe censor: the whole
+    /// inference path becomes one [`Pipeline`] of `Forward` stages.
     pub fn censor(&self) -> DfCensor {
         DfCensor {
-            conv1: self.conv1.snapshot(),
-            conv2: self.conv2.snapshot(),
-            pool: self.pool,
-            head: self.head.snapshot(),
+            net: Pipeline::new()
+                .then(self.conv1.snapshot())
+                .then(Activation::Relu)
+                .then(self.conv2.snapshot())
+                .then(Activation::Relu)
+                .then(self.pool)
+                .then(self.head.snapshot())
+                .then(Activation::Sigmoid),
             repr: self.repr,
         }
     }
@@ -102,22 +131,14 @@ impl DfModel {
 /// Inference-only DF censor (`Send + Sync`).
 #[derive(Clone, Debug)]
 pub struct DfCensor {
-    conv1: Conv1dSnapshot,
-    conv2: Conv1dSnapshot,
-    pool: MaxPool1d,
-    head: MlpSnapshot,
+    net: Pipeline,
     repr: FlowRepr,
 }
 
 impl DfCensor {
     /// P(sensitive) for a pre-encoded position-major row.
     pub fn score_encoded(&self, row: &[f32]) -> f32 {
-        let x = Matrix::from_vec(1, row.len(), row.to_vec());
-        let h1 = self.conv1.forward(&x).map(|v| v.max(0.0));
-        let h2 = self.conv2.forward(&h1).map(|v| v.max(0.0));
-        let h3 = self.pool.forward_matrix(&h2);
-        let logit = self.head.forward(&h3)[(0, 0)];
-        1.0 / (1.0 + (-logit).exp())
+        score_row(&self.net, row)
     }
 }
 
@@ -134,6 +155,7 @@ impl Censor for DfCensor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use amoeba_nn::matrix::Matrix;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -156,7 +178,11 @@ mod tests {
         let flow = Flow::from_pairs(&[(536, 0.0), (-536, 2.0), (-1072, 0.3)]);
         let row = repr.to_position_major(&flow);
         let logit = model
-            .forward_graph(&Tensor::constant(Matrix::from_vec(1, row.len(), row.clone())))
+            .forward_graph(&Tensor::constant(Matrix::from_vec(
+                1,
+                row.len(),
+                row.clone(),
+            )))
             .value()[(0, 0)];
         let expect = 1.0 / (1.0 + (-logit).exp());
         assert!((censor.score(&flow) - expect).abs() < 1e-5);
@@ -166,7 +192,11 @@ mod tests {
     #[test]
     fn gradients_reach_all_params() {
         let mut rng = StdRng::seed_from_u64(3);
-        let repr = FlowRepr { max_len: 24, max_size: 1460.0, max_delay_ms: 500.0 };
+        let repr = FlowRepr {
+            max_len: 24,
+            max_size: 1460.0,
+            max_delay_ms: 500.0,
+        };
         let model = DfModel::new(repr, DfConfig::default(), &mut rng);
         let x = Tensor::constant(Matrix::randn(2, repr.width(), 0.5, &mut rng));
         let y = Matrix::from_vec(2, 1, vec![0.0, 1.0]);

@@ -8,9 +8,10 @@
 
 use rand::Rng;
 
-use amoeba_nn::layers::{Linear, LinearSnapshot};
+use amoeba_nn::forward::{Forward, Pipeline};
+use amoeba_nn::layers::{Activation, Linear};
 use amoeba_nn::matrix::Matrix;
-use amoeba_nn::rnn::{Lstm, LstmSnapshot};
+use amoeba_nn::rnn::Lstm;
 use amoeba_nn::tensor::Tensor;
 use amoeba_traffic::{Flow, FlowRepr};
 
@@ -27,7 +28,10 @@ pub struct LstmConfig {
 
 impl Default for LstmConfig {
     fn default() -> Self {
-        Self { hidden: 32, layers: 2 }
+        Self {
+            hidden: 32,
+            layers: 2,
+        }
     }
 }
 
@@ -74,9 +78,7 @@ impl LstmModel {
     pub fn forward_graph(&self, x: &Tensor) -> Tensor {
         let (_, width) = x.shape();
         let steps = width / FlowRepr::CHANNELS;
-        let xs: Vec<Tensor> = (0..steps)
-            .map(|t| x.slice_cols(t * 2, t * 2 + 2))
-            .collect();
+        let xs: Vec<Tensor> = (0..steps).map(|t| x.slice_cols(t * 2, t * 2 + 2)).collect();
         self.head.forward(&self.lstm.forward_sequence(&xs))
     }
 
@@ -87,11 +89,14 @@ impl LstmModel {
         p
     }
 
-    /// Freezes current weights into a thread-safe censor.
+    /// Freezes current weights into a thread-safe censor: the recurrence,
+    /// the dense head and the sigmoid squash become one [`Pipeline`].
     pub fn censor(&self) -> LstmCensor {
         LstmCensor {
-            lstm: self.lstm.snapshot(),
-            head: self.head.snapshot(),
+            net: Pipeline::new()
+                .then(self.lstm.snapshot())
+                .then(self.head.snapshot())
+                .then(Activation::Sigmoid),
             repr: self.repr,
         }
     }
@@ -100,25 +105,25 @@ impl LstmModel {
 /// Inference-only LSTM censor (`Send + Sync`).
 #[derive(Clone, Debug)]
 pub struct LstmCensor {
-    lstm: LstmSnapshot,
-    head: LinearSnapshot,
+    net: Pipeline,
     repr: FlowRepr,
 }
 
 impl Censor for LstmCensor {
     fn score(&self, flow: &Flow) -> f32 {
+        // One timestep per row, per the recurrent Forward convention; an
+        // empty flow contributes a single zero step (no evidence).
         let steps = self.repr.to_steps(flow);
-        let xs: Vec<Matrix> = if steps.is_empty() {
-            vec![Matrix::zeros(1, 2)]
+        let x = if steps.is_empty() {
+            Matrix::zeros(1, 2)
         } else {
-            steps
-                .iter()
-                .map(|s| Matrix::from_vec(1, 2, s.to_vec()))
-                .collect()
+            let mut m = Matrix::zeros(steps.len(), 2);
+            for (t, s) in steps.iter().enumerate() {
+                m.row_mut(t).copy_from_slice(s);
+            }
+            m
         };
-        let h = self.lstm.forward_sequence(&xs);
-        let logit = self.head.forward(&h)[(0, 0)];
-        1.0 / (1.0 + (-logit).exp())
+        self.net.forward(&x)[(0, 0)]
     }
 
     fn kind(&self) -> CensorKind {
@@ -138,7 +143,9 @@ mod tests {
         let model = LstmModel::new(FlowRepr::tcp(), LstmConfig::default(), &mut rng);
         let censor = model.censor();
         for len in [1usize, 3, 20, 150] {
-            let pairs: Vec<(i32, f32)> = (0..len).map(|i| (536 * (1 - 2 * (i as i32 % 2)), 1.0)).collect();
+            let pairs: Vec<(i32, f32)> = (0..len)
+                .map(|i| (536 * (1 - 2 * (i as i32 % 2)), 1.0))
+                .collect();
             let flow = Flow::from_pairs(&pairs);
             let s = censor.score(&flow);
             assert!((0.0..=1.0).contains(&s), "len {len} score {s}");
@@ -159,7 +166,11 @@ mod tests {
     #[test]
     fn fixed_length_graph_equals_flow_forward_on_padded_flow() {
         let mut rng = StdRng::seed_from_u64(3);
-        let repr = FlowRepr { max_len: 4, max_size: 1460.0, max_delay_ms: 500.0 };
+        let repr = FlowRepr {
+            max_len: 4,
+            max_size: 1460.0,
+            max_delay_ms: 500.0,
+        };
         let model = LstmModel::new(repr, LstmConfig::default(), &mut rng);
         // A flow of exactly max_len packets: both paths see identical input.
         let flow = Flow::from_pairs(&[(100, 0.0), (-200, 1.0), (300, 2.0), (-400, 3.0)]);
@@ -182,7 +193,14 @@ mod tests {
     #[test]
     fn gradients_reach_all_params() {
         let mut rng = StdRng::seed_from_u64(5);
-        let model = LstmModel::new(FlowRepr::tcp(), LstmConfig { hidden: 8, layers: 2 }, &mut rng);
+        let model = LstmModel::new(
+            FlowRepr::tcp(),
+            LstmConfig {
+                hidden: 8,
+                layers: 2,
+            },
+            &mut rng,
+        );
         let flow = Flow::from_pairs(&[(536, 0.0), (-536, 1.0)]);
         let target = Matrix::from_vec(1, 1, vec![1.0]);
         let loss = model.forward_flow(&flow).bce_with_logits_loss(&target);
@@ -193,6 +211,9 @@ mod tests {
             .filter(|p| p.grad().norm() > 0.0)
             .count();
         // All head params and first-layer LSTM params must receive gradient.
-        assert!(with_grad >= model.params().len() - 1, "{with_grad} params with gradient");
+        assert!(
+            with_grad >= model.params().len() - 1,
+            "{with_grad} params with gradient"
+        );
     }
 }

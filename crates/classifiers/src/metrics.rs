@@ -146,9 +146,18 @@ mod tests {
     #[test]
     fn evaluate_against_constant_censor() {
         let mut ds = Dataset::new();
-        ds.push(Flow::from_pairs(&[(100, 0.0)]), amoeba_traffic::Label::Sensitive);
-        ds.push(Flow::from_pairs(&[(200, 0.0)]), amoeba_traffic::Label::Benign);
-        let censor = ConstantCensor { fixed_score: 1.0, as_kind: CensorKind::Dt };
+        ds.push(
+            Flow::from_pairs(&[(100, 0.0)]),
+            amoeba_traffic::Label::Sensitive,
+        );
+        ds.push(
+            Flow::from_pairs(&[(200, 0.0)]),
+            amoeba_traffic::Label::Benign,
+        );
+        let censor = ConstantCensor {
+            fixed_score: 1.0,
+            as_kind: CensorKind::Dt,
+        };
         let m = evaluate(&censor, &ds);
         assert_eq!(m.tp, 1);
         assert_eq!(m.fp, 1);

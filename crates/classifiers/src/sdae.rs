@@ -7,13 +7,14 @@
 
 use rand::Rng;
 
+use amoeba_nn::forward::Forward;
 use amoeba_nn::layers::{Activation, Linear, MlpSnapshot};
 use amoeba_nn::matrix::Matrix;
 use amoeba_nn::optim::{Adam, Optimizer};
 use amoeba_nn::tensor::Tensor;
 use amoeba_traffic::{Flow, FlowRepr};
 
-use crate::censor::{Censor, CensorKind};
+use crate::censor::{score_row, Censor, CensorKind};
 
 /// Architecture + pretraining knobs for [`SdaeModel`].
 #[derive(Debug, Clone)]
@@ -30,7 +31,12 @@ pub struct SdaeConfig {
 
 impl Default for SdaeConfig {
     fn default() -> Self {
-        Self { hidden: vec![64, 32], corruption: 0.2, pretrain_epochs: 3, pretrain_lr: 1e-3 }
+        Self {
+            hidden: vec![64, 32],
+            corruption: 0.2,
+            pretrain_epochs: 3,
+            pretrain_lr: 1e-3,
+        }
     }
 }
 
@@ -45,12 +51,23 @@ pub struct SdaeModel {
 impl SdaeModel {
     /// Builds an untrained SDAE for the given flow representation.
     pub fn new<R: Rng + ?Sized>(repr: FlowRepr, config: SdaeConfig, rng: &mut R) -> Self {
-        assert!(!config.hidden.is_empty(), "SdaeConfig.hidden must be nonempty");
+        assert!(
+            !config.hidden.is_empty(),
+            "SdaeConfig.hidden must be nonempty"
+        );
         let mut dims = vec![repr.width()];
         dims.extend(&config.hidden);
-        let encoder = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        let encoder = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
         let head = Linear::new(*config.hidden.last().expect("nonempty"), 1, rng);
-        Self { encoder, head, repr, config }
+        Self {
+            encoder,
+            head,
+            repr,
+            config,
+        }
     }
 
     /// Flow representation this model expects.
@@ -111,7 +128,9 @@ impl SdaeModel {
                     }
                 }
                 opt.zero_grad();
-                let hidden = self.encoder[li].forward(&Tensor::constant(corrupted)).relu();
+                let hidden = self.encoder[li]
+                    .forward(&Tensor::constant(corrupted))
+                    .relu();
                 let recon = decoder.forward(&hidden);
                 let loss = recon.mse_loss(&batch);
                 loss.backward();
@@ -164,8 +183,7 @@ pub struct SdaeCensor {
 impl SdaeCensor {
     /// P(sensitive) for a pre-encoded position-major row.
     pub fn score_encoded(&self, row: &[f32]) -> f32 {
-        let x = Matrix::from_vec(1, row.len(), row.to_vec());
-        self.net.forward(&x)[(0, 0)]
+        score_row(&self.net, row)
     }
 }
 
@@ -197,7 +215,11 @@ mod tests {
     #[test]
     fn pretraining_reduces_reconstruction_error() {
         let mut rng = StdRng::seed_from_u64(2);
-        let repr = FlowRepr { max_len: 8, max_size: 1460.0, max_delay_ms: 500.0 };
+        let repr = FlowRepr {
+            max_len: 8,
+            max_size: 1460.0,
+            max_delay_ms: 500.0,
+        };
         let cfg = SdaeConfig {
             hidden: vec![12],
             corruption: 0.1,
@@ -217,7 +239,9 @@ mod tests {
         // decoder trained for a fixed tiny budget both times.
         let err = |model: &SdaeModel, rng: &mut StdRng| -> f32 {
             let batch = to_matrix(&rows);
-            let hidden = model.encoder[0].forward(&Tensor::constant(batch.clone())).relu();
+            let hidden = model.encoder[0]
+                .forward(&Tensor::constant(batch.clone()))
+                .relu();
             let probe = Linear::new(12, 16, rng);
             let mut opt = Adam::new(probe.params(), 1e-2);
             let mut last = f32::INFINITY;
@@ -250,7 +274,11 @@ mod tests {
         let flow = Flow::from_pairs(&[(536, 0.0), (-1072, 1.0)]);
         let row = repr.to_position_major(&flow);
         let logit = model
-            .forward_graph(&Tensor::constant(Matrix::from_vec(1, row.len(), row.clone())))
+            .forward_graph(&Tensor::constant(Matrix::from_vec(
+                1,
+                row.len(),
+                row.clone(),
+            )))
             .value()[(0, 0)];
         let expect = 1.0 / (1.0 + (-logit).exp());
         assert!((censor.score(&flow) - expect).abs() < 1e-5);
@@ -261,7 +289,10 @@ mod tests {
     #[should_panic(expected = "nonempty")]
     fn rejects_empty_hidden() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = SdaeConfig { hidden: vec![], ..Default::default() };
+        let cfg = SdaeConfig {
+            hidden: vec![],
+            ..Default::default()
+        };
         let _ = SdaeModel::new(FlowRepr::tcp(), cfg, &mut rng);
     }
 }

@@ -16,9 +16,7 @@ use amoeba_ml::{
 use amoeba_nn::matrix::Matrix;
 use amoeba_nn::optim::{Adam, Optimizer};
 use amoeba_nn::tensor::Tensor;
-use amoeba_traffic::{
-    cumul_features, extract_features, Dataset, Flow, FlowRepr, Label, Layer,
-};
+use amoeba_traffic::{cumul_features, extract_features, Dataset, Flow, FlowRepr, Label, Layer};
 
 use crate::censor::{Censor, CensorKind};
 use crate::cumul::CumulCensor;
@@ -67,7 +65,10 @@ impl TrainConfig {
             sdae: SdaeConfig::default(),
             lstm: LstmConfig::default(),
             tree: TreeConfig::default(),
-            forest: ForestConfig { n_trees: 30, ..Default::default() },
+            forest: ForestConfig {
+                n_trees: 30,
+                ..Default::default()
+            },
             svm: SvmConfig::default(),
             cumul_points: 40,
         }
@@ -80,16 +81,28 @@ impl TrainConfig {
             lstm_epochs: 10,
             batch_size: 64,
             lr: 5e-4,
-            df: DfConfig { channels1: 32, channels2: 64, kernel: 8, stride: 2, head_hidden: 256 },
+            df: DfConfig {
+                channels1: 32,
+                channels2: 64,
+                kernel: 8,
+                stride: 2,
+                head_hidden: 256,
+            },
             sdae: SdaeConfig {
                 hidden: vec![512, 128, 32],
                 corruption: 0.2,
                 pretrain_epochs: 10,
                 pretrain_lr: 1e-3,
             },
-            lstm: LstmConfig { hidden: 128, layers: 2 },
+            lstm: LstmConfig {
+                hidden: 128,
+                layers: 2,
+            },
             tree: TreeConfig::default(),
-            forest: ForestConfig { n_trees: 100, ..Default::default() },
+            forest: ForestConfig {
+                n_trees: 100,
+                ..Default::default()
+            },
             svm: SvmConfig::default(),
             cumul_points: 100,
         }
@@ -103,11 +116,7 @@ impl Default for TrainConfig {
 }
 
 fn dataset_rows(ds: &Dataset, repr: FlowRepr) -> (Vec<Vec<f32>>, Vec<f32>) {
-    let rows = ds
-        .flows
-        .iter()
-        .map(|f| repr.to_position_major(f))
-        .collect();
+    let rows = ds.flows.iter().map(|f| repr.to_position_major(f)).collect();
     let labels = ds
         .labels
         .iter()
@@ -127,6 +136,7 @@ fn rows_to_matrix(rows: &[Vec<f32>], indices: &[usize]) -> Matrix {
 
 /// Minibatch BCE training loop shared by DF and SDAE. Returns the final
 /// epoch's mean loss.
+#[allow(clippy::too_many_arguments)]
 fn train_batched(
     forward: impl Fn(&Tensor) -> Tensor,
     params: Vec<Tensor>,
@@ -213,7 +223,11 @@ pub fn train_lstm(ds: &Dataset, repr: FlowRepr, cfg: &TrainConfig, seed: u64) ->
                 let y = Matrix::from_vec(
                     1,
                     1,
-                    vec![if ds.labels[i] == Label::Sensitive { 1.0 } else { 0.0 }],
+                    vec![if ds.labels[i] == Label::Sensitive {
+                        1.0
+                    } else {
+                        0.0
+                    }],
                 );
                 let loss = model.forward_flow(&ds.flows[i]).bce_with_logits_loss(&y);
                 total = Some(match total {
@@ -233,7 +247,11 @@ pub fn train_lstm(ds: &Dataset, repr: FlowRepr, cfg: &TrainConfig, seed: u64) ->
 /// Trains the DT censor over the 166-feature representation.
 pub fn train_dt(ds: &Dataset, layer: Layer, cfg: &TrainConfig, seed: u64) -> TreeCensor {
     let mut rng = StdRng::seed_from_u64(seed);
-    let x: Vec<Vec<f32>> = ds.flows.iter().map(|f| extract_features(f, layer)).collect();
+    let x: Vec<Vec<f32>> = ds
+        .flows
+        .iter()
+        .map(|f| extract_features(f, layer))
+        .collect();
     let tree = DecisionTree::fit(&x, &ds.labels_u8(), cfg.tree, &mut rng);
     TreeCensor { tree, layer }
 }
@@ -241,7 +259,11 @@ pub fn train_dt(ds: &Dataset, layer: Layer, cfg: &TrainConfig, seed: u64) -> Tre
 /// Trains the RF censor over the 166-feature representation.
 pub fn train_rf(ds: &Dataset, layer: Layer, cfg: &TrainConfig, seed: u64) -> ForestCensor {
     let mut rng = StdRng::seed_from_u64(seed);
-    let x: Vec<Vec<f32>> = ds.flows.iter().map(|f| extract_features(f, layer)).collect();
+    let x: Vec<Vec<f32>> = ds
+        .flows
+        .iter()
+        .map(|f| extract_features(f, layer))
+        .collect();
     let forest = RandomForest::fit(&x, &ds.labels_u8(), cfg.forest, &mut rng);
     ForestCensor { forest, layer }
 }
@@ -256,7 +278,11 @@ pub fn train_cumul(ds: &Dataset, cfg: &TrainConfig, seed: u64) -> CumulCensor {
         .collect();
     let (scaler, scaled) = StandardScaler::fit_transform(&feats);
     let svm = Svm::fit(&scaled, &ds.labels_u8(), cfg.svm, &mut rng);
-    CumulCensor { svm, scaler, n_points: cfg.cumul_points }
+    CumulCensor {
+        svm,
+        scaler,
+        n_points: cfg.cumul_points,
+    }
 }
 
 /// Any trained censor, boxed by family.
@@ -424,8 +450,16 @@ mod tests {
         let cfg = TrainConfig::fast();
         let dt = train_censor(CensorKind::Dt, &train, Layer::Tcp, &cfg, 3);
         let rf = train_censor(CensorKind::Rf, &train, Layer::Tcp, &cfg, 4);
-        assert!(evaluate(&dt, &test).accuracy() > 0.95, "{}", evaluate(&dt, &test));
-        assert!(evaluate(&rf, &test).accuracy() > 0.95, "{}", evaluate(&rf, &test));
+        assert!(
+            evaluate(&dt, &test).accuracy() > 0.95,
+            "{}",
+            evaluate(&dt, &test)
+        );
+        assert!(
+            evaluate(&rf, &test).accuracy() > 0.95,
+            "{}",
+            evaluate(&rf, &test)
+        );
     }
 
     #[test]
@@ -449,7 +483,10 @@ mod tests {
     #[test]
     fn nn_model_censor_agrees_with_graph() {
         let (train, _) = tor_splits();
-        let cfg = TrainConfig { epochs: 2, ..TrainConfig::fast() };
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::fast()
+        };
         let model = train_nn_model(CensorKind::Df, &train, Layer::Tcp, &cfg, 7);
         let censor = model.censor();
         let flow = &train.flows[0];

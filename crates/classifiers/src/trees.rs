@@ -2,9 +2,10 @@
 //! [Barradas et al., USENIX Security'18].
 
 use amoeba_ml::{DecisionTree, RandomForest};
+use amoeba_nn::{Forward, Matrix};
 use amoeba_traffic::{extract_features, Flow, Layer};
 
-use crate::censor::{Censor, CensorKind};
+use crate::censor::{score_row, Censor, CensorKind};
 
 /// Decision-tree censor.
 #[derive(Debug, Clone)]
@@ -15,9 +16,20 @@ pub struct TreeCensor {
     pub layer: Layer,
 }
 
+impl Forward for TreeCensor {
+    /// Each row of `x` is one 166-feature vector; returns `(B, 1)`
+    /// P(sensitive) leaf probabilities.
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let probs = (0..x.rows())
+            .map(|r| self.tree.predict_proba(x.row(r)))
+            .collect();
+        Matrix::col_vector(probs)
+    }
+}
+
 impl Censor for TreeCensor {
     fn score(&self, flow: &Flow) -> f32 {
-        self.tree.predict_proba(&extract_features(flow, self.layer))
+        score_row(self, &extract_features(flow, self.layer))
     }
 
     fn kind(&self) -> CensorKind {
@@ -34,9 +46,20 @@ pub struct ForestCensor {
     pub layer: Layer,
 }
 
+impl Forward for ForestCensor {
+    /// Each row of `x` is one 166-feature vector; returns `(B, 1)`
+    /// ensemble-averaged P(sensitive).
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let probs = (0..x.rows())
+            .map(|r| self.forest.predict_proba(x.row(r)))
+            .collect();
+        Matrix::col_vector(probs)
+    }
+}
+
 impl Censor for ForestCensor {
     fn score(&self, flow: &Flow) -> f32 {
-        self.forest.predict_proba(&extract_features(flow, self.layer))
+        score_row(self, &extract_features(flow, self.layer))
     }
 
     fn kind(&self) -> CensorKind {
@@ -63,14 +86,21 @@ mod tests {
             .collect();
         let y = ds.labels_u8();
         let tree = DecisionTree::fit(&x, &y, TreeConfig::default(), &mut rng);
-        let censor = TreeCensor { tree, layer: Layer::Tcp };
+        let censor = TreeCensor {
+            tree,
+            layer: Layer::Tcp,
+        };
         let mut correct = 0;
         for (f, &l) in ds.flows.iter().zip(&ds.labels) {
             if censor.blocks(f) == (l == Label::Sensitive) {
                 correct += 1;
             }
         }
-        assert!(correct as f32 / ds.len() as f32 > 0.95, "train acc {correct}/{}", ds.len());
+        assert!(
+            correct as f32 / ds.len() as f32 > 0.95,
+            "train acc {correct}/{}",
+            ds.len()
+        );
         assert_eq!(censor.kind(), CensorKind::Dt);
     }
 
@@ -86,10 +116,16 @@ mod tests {
         let forest = RandomForest::fit(
             &x,
             &ds.labels_u8(),
-            ForestConfig { n_trees: 10, ..Default::default() },
+            ForestConfig {
+                n_trees: 10,
+                ..Default::default()
+            },
             &mut rng,
         );
-        let censor = ForestCensor { forest, layer: Layer::Tcp };
+        let censor = ForestCensor {
+            forest,
+            layer: Layer::Tcp,
+        };
         for f in &ds.flows {
             let s = censor.score(f);
             assert!((0.0..=1.0).contains(&s));

@@ -1,0 +1,207 @@
+//! Vendored offline stand-in for the
+//! [`bytes`](https://crates.io/crates/bytes) crate, implementing the
+//! subset of the 1.x API this workspace's binary codecs use: the [`Buf`] /
+//! [`BufMut`] cursor traits over `&[u8]` / `Vec<u8>` and a minimal
+//! [`BytesMut`] growable buffer.
+//!
+//! All multi-byte accessors use network byte order (big-endian), matching
+//! upstream's un-suffixed methods.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+macro_rules! buf_get {
+    ($(#[$doc:meta] $name:ident -> $t:ty),* $(,)?) => {$(
+        #[$doc]
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut bytes = [0u8; N];
+            bytes.copy_from_slice(&self.chunk()[..N]);
+            self.advance(N);
+            <$t>::from_be_bytes(bytes)
+        }
+    )*};
+}
+
+/// Read cursor over a contiguous byte buffer.
+///
+/// # Panics
+/// The `get_*` accessors panic when fewer than `size_of::<T>()` bytes
+/// remain; check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    buf_get! {
+        /// Reads one byte.
+        get_u8 -> u8,
+        /// Reads a big-endian `u16`.
+        get_u16 -> u16,
+        /// Reads a big-endian `u32`.
+        get_u32 -> u32,
+        /// Reads a big-endian `u64`.
+        get_u64 -> u64,
+        /// Reads a big-endian `i32`.
+        get_i32 -> i32,
+    }
+
+    /// Reads a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_bits(self.get_u32())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+macro_rules! buf_put {
+    ($(#[$doc:meta] $name:ident($t:ty)),* $(,)?) => {$(
+        #[$doc]
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_be_bytes());
+        }
+    )*};
+}
+
+/// Append cursor over a growable byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    buf_put! {
+        /// Appends one byte.
+        put_u8(u8),
+        /// Appends a big-endian `u16`.
+        put_u16(u16),
+        /// Appends a big-endian `u32`.
+        put_u32(u32),
+        /// Appends a big-endian `u64`.
+        put_u64(u64),
+        /// Appends a big-endian `i32`.
+        put_i32(i32),
+    }
+
+    /// Appends a big-endian `f32`.
+    fn put_f32(&mut self, v: f32) {
+        self.put_u32(v.to_bits());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Consumes the buffer, returning the underlying `Vec`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.inner
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_all_accessors() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u16(0xBEEF);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_u64(0x0123_4567_89AB_CDEF);
+        buf.put_i32(-42);
+        buf.put_f32(1.5);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 4 + 4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_i32(), -42);
+        assert_eq!(r.get_f32(), 1.5);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn encoding_is_big_endian() {
+        let mut v: Vec<u8> = Vec::new();
+        v.put_u16(0x0102);
+        assert_eq!(v, [0x01, 0x02]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32();
+    }
+}

@@ -1,0 +1,337 @@
+//! Vendored offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness,
+//! implementing the subset of the 0.5 API this workspace's benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both forms).
+//!
+//! Timing model: after a warm-up period, each benchmark collects
+//! `sample_size` samples, each timing a batch of iterations sized so one
+//! sample takes roughly `measurement_time / sample_size`; the mean, median
+//! and minimum per-iteration times are printed. There is no statistical
+//! regression analysis or HTML report — the numbers are for quick local
+//! comparisons (the ISSUE-level speedup assertions live in regular tests).
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Controls how [`Bencher::iter_batched`] amortises setup cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: large batches per setup.
+    SmallInput,
+    /// Large inputs: a handful of iterations per setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn iters_per_setup(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 16,
+            BatchSize::LargeInput => 4,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// Collected timings for one benchmark.
+#[derive(Debug, Clone, Default)]
+struct Samples {
+    /// Per-iteration time of each sample, in nanoseconds.
+    per_iter_ns: Vec<f64>,
+}
+
+impl Samples {
+    fn report(&self, name: &str) {
+        if self.per_iter_ns.is_empty() {
+            println!("{name:<45} (no samples)");
+            return;
+        }
+        let mut sorted = self.per_iter_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mean = self.per_iter_ns.iter().sum::<f64>() / self.per_iter_ns.len() as f64;
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{name:<45} mean {:>12} median {:>12} min {:>12} ({} samples)",
+            fmt_ns(mean),
+            fmt_ns(median),
+            fmt_ns(min),
+            sorted.len()
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Drives timing loops inside [`Criterion::bench_function`].
+pub struct Bencher<'a> {
+    criterion: &'a Criterion,
+    samples: Samples,
+}
+
+impl Bencher<'_> {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let cfg = self.criterion;
+        // Warm-up while estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < cfg.warm_up_time {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+
+        let target_sample_ns =
+            cfg.measurement_time.as_nanos() as f64 / cfg.sample_size.max(1) as f64;
+        let iters_per_sample = ((target_sample_ns / est_ns) as u64).clamp(1, 1 << 24);
+
+        for _ in 0..cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples.per_iter_ns.push(ns);
+        }
+    }
+
+    /// Times `routine` on inputs produced by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let cfg = self.criterion;
+        let per_setup = size.iters_per_setup();
+
+        // Warm-up: one batch.
+        let mut inputs: Vec<I> = (0..per_setup).map(|_| setup()).collect();
+        let warm_start = Instant::now();
+        for input in inputs.drain(..) {
+            black_box(routine(input));
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / per_setup as f64).max(1.0);
+        let target_sample_ns =
+            cfg.measurement_time.as_nanos() as f64 / cfg.sample_size.max(1) as f64;
+        let batches_per_sample =
+            ((target_sample_ns / (est_ns * per_setup as f64)) as u64).clamp(1, 4096);
+
+        for _ in 0..cfg.sample_size {
+            let mut elapsed = Duration::ZERO;
+            let mut iters = 0u64;
+            for _ in 0..batches_per_sample {
+                let batch: Vec<I> = (0..per_setup).map(|_| setup()).collect();
+                let start = Instant::now();
+                for input in batch {
+                    black_box(routine(input));
+                }
+                elapsed += start.elapsed();
+                iters += per_setup;
+            }
+            self.samples
+                .per_iter_ns
+                .push(elapsed.as_nanos() as f64 / iters.max(1) as f64);
+        }
+    }
+}
+
+/// Benchmark harness configuration and runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up period before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Applies a substring filter from CLI args (set by
+    /// [`criterion_main!`]); benches whose name doesn't match are skipped.
+    pub fn with_filter(mut self, filter: Option<String>) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            criterion: self,
+            samples: Samples::default(),
+        };
+        f(&mut bencher);
+        bencher.samples.report(name);
+        self
+    }
+
+    /// Hook kept for API compatibility (upstream writes reports here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Parses the arguments cargo-bench passes to the harness, returning an
+/// optional name filter. Recognised control flags (`--bench`, `--test`,
+/// `--exact`, `--nocapture`) are ignored; the first free argument is the
+/// filter.
+pub fn parse_filter_from_args() -> Option<String> {
+    std::env::args().skip(1).find(|a| !a.starts_with('-'))
+}
+
+/// True when the harness was NOT invoked by `cargo bench` (mirroring
+/// upstream criterion: cargo passes `--bench` only in bench mode, so a
+/// plain `cargo test` run becomes a one-iteration smoke pass instead of a
+/// full timing run).
+pub fn is_test_mode() -> bool {
+    !std::env::args().any(|a| a == "--bench")
+}
+
+/// Declares a benchmark group, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(filter: ::std::option::Option<::std::string::String>) {
+            let mut criterion: $crate::Criterion = $config;
+            if $crate::is_test_mode() {
+                criterion = criterion
+                    .sample_size(1)
+                    .measurement_time(::std::time::Duration::from_millis(1))
+                    .warm_up_time(::std::time::Duration::from_millis(1));
+            }
+            let mut criterion = criterion.with_filter(filter);
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the harness `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let filter = $crate::parse_filter_from_args();
+            $($group(filter.clone());)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = fast_criterion();
+        let mut runs = 0u64;
+        c.bench_function("smoke_iter", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_and_routine() {
+        let mut c = fast_criterion();
+        let mut total = 0u64;
+        c.bench_function("smoke_batched", |b| {
+            b.iter_batched(
+                || vec![1u64, 2, 3],
+                |v| {
+                    total += v.iter().sum::<u64>();
+                    total
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert!(total > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benches() {
+        let mut c = fast_criterion().with_filter(Some("match_me".to_string()));
+        let mut ran = false;
+        c.bench_function("other_name", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran, "filtered bench must not run");
+        c.bench_function("yes_match_me", |b| b.iter(|| 1));
+    }
+
+    #[test]
+    fn formats_time_units() {
+        assert!(fmt_ns(12.0).contains("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(12_000_000_000.0).contains('s'));
+    }
+}

@@ -1,0 +1,437 @@
+//! Vendored offline stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate, implementing the subset of the 0.8 API this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` cannot be fetched; this crate keeps the exact import paths
+//! (`rand::Rng`, `rand::SeedableRng`, `rand::rngs::StdRng`,
+//! `rand::seq::SliceRandom`) working against a deterministic
+//! xoshiro256++ generator seeded through SplitMix64.
+//!
+//! Streams are **not** bit-compatible with the upstream `rand` crate; every
+//! consumer in this workspace only relies on seeded determinism *within* a
+//! build, which this implementation guarantees.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable generator.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a `u64`, expanding it with SplitMix64
+    /// (mirrors upstream `rand`'s behaviour in spirit).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// User-facing random-value methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// A value from the "standard" distribution: uniform `[0, 1)` for
+    /// floats, full range for integers, fair coin for `bool`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from the standard distribution (see [`Rng::gen`]).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u32() >> 8) as f32) * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+);
+
+/// Ranges usable with [`Rng::gen_range`].
+///
+/// Mirroring upstream, this is implemented generically for `Range<T>` /
+/// `RangeInclusive<T>` over every [`SampleUniform`] `T`, which is what
+/// lets the compiler infer unsuffixed literal types from context (e.g.
+/// `center + rng.gen_range(-0.6..0.6)` with `center: f32`).
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform-over-range sampler.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Draws a uniform integer in `[0, bound)` without modulo bias
+/// (Lemire's widening-multiply rejection method).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        // Accept unless `low` falls in the biased region `[0, 2^64 % bound)`
+        // (the `low >= bound` shortcut avoids the `%` in the common case).
+        if low >= bound || low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not bit-compatible with upstream `rand::rngs::StdRng` (ChaCha12);
+    /// all consumers rely only on seeded determinism.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        #[inline]
+        fn rotl(x: u64, k: u32) -> u64 {
+            x.rotate_left(k)
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let out = Self::rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = Self::rotl(self.s[3], 45);
+            out
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            Self { s }
+        }
+    }
+
+    /// Alias kept for API compatibility: upstream's small fast generator.
+    pub type SmallRng = StdRng;
+}
+
+/// Slice helpers mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random-order operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// A fresh generator seeded from system entropy (time + a counter).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    rngs::StdRng::seed_from_u64(
+        nanos
+            ^ COUNTER
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_mul(0x9E37_79B9),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: i32 = rng.gen_range(-5..7);
+            assert!((-5..7).contains(&x));
+            let y: usize = rng.gen_range(3..=3);
+            assert_eq!(y, 3);
+            let f: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0..8usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn gen_unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..10_000 {
+            let f: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left slice in order"
+        );
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[*v.choose(&mut rng).expect("nonempty") as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

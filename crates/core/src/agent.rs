@@ -13,7 +13,9 @@ use crate::config::AmoebaConfig;
 use crate::encoder::{EncoderSnapshot, StateEncoder};
 use crate::env::{Action, CensorEnv, EnvConfig, EpisodeStats};
 use crate::policy::{ActorSnapshot, CriticSnapshot};
-use crate::ppo::{collect_rollouts, Batch, PpoLearner, Trajectory, Worker};
+use crate::ppo::{
+    collect_rollouts_threaded, Batch, PolicySnapshots, PpoLearner, Trajectory, Worker,
+};
 
 /// Per-iteration training telemetry (backs the Figure 7/9 convergence
 /// curves).
@@ -164,7 +166,7 @@ impl AmoebaAgent {
         for p in &flow.packets {
             h = h
                 .wrapping_mul(0x100000001B3)
-                .wrapping_add(p.size as u64 as u64 ^ (p.delay_ms.to_bits() as u64));
+                .wrapping_add(p.size as u64 ^ (p.delay_ms.to_bits() as u64));
         }
         self.attack_flow_seeded(censor, flow, h)
     }
@@ -289,24 +291,33 @@ pub fn train_amoeba_with_encoder(
         })
         .collect();
     let flows = Arc::new(train_flows.to_vec());
+    // The encoder is frozen for the whole run; share one allocation with
+    // every rollout thread of every iteration.
+    let shared_encoder = Arc::new(encoder.clone());
+    let rollout_threads = cfg.rollout_threads();
 
     let steps_per_iter = cfg.n_envs.max(1) * cfg.rollout_len;
     let iterations = cfg.total_timesteps.div_ceil(steps_per_iter).max(1);
 
-    let mut report = TrainReport { encoder_loss, ..Default::default() };
+    let mut report = TrainReport {
+        encoder_loss,
+        ..Default::default()
+    };
     let mut cum_steps = 0usize;
     let mut cum_queries = 0usize;
 
     for iter in 0..iterations {
-        let actor_snap = learner.actor.snapshot();
-        let critic_snap = learner.critic.snapshot();
-        let trajs = collect_rollouts(
+        let policy = PolicySnapshots {
+            encoder: Arc::clone(&shared_encoder),
+            actor: Arc::new(learner.actor.snapshot()),
+            critic: Arc::new(learner.critic.snapshot()),
+        };
+        let trajs = collect_rollouts_threaded(
             &mut workers,
             cfg.rollout_len,
-            &encoder,
-            &actor_snap,
-            &critic_snap,
+            &policy,
             &flows,
+            rollout_threads,
         );
 
         let total_steps: usize = trajs.iter().map(Trajectory::len).sum();
@@ -400,8 +411,10 @@ mod tests {
 
     #[test]
     fn training_runs_and_reports() {
-        let censor: Arc<dyn Censor> =
-            Arc::new(ConstantCensor { fixed_score: 0.1, as_kind: CensorKind::Dt });
+        let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: 0.1,
+            as_kind: CensorKind::Dt,
+        });
         let cfg = tiny_cfg();
         let (agent, report) = train_amoeba(censor.clone(), &flows(), Layer::Tcp, &cfg, None);
         assert_eq!(report.iterations.len(), 4); // 256 / (2*32)
@@ -415,8 +428,10 @@ mod tests {
 
     #[test]
     fn attack_preserves_payload() {
-        let censor: Arc<dyn Censor> =
-            Arc::new(ConstantCensor { fixed_score: 0.1, as_kind: CensorKind::Dt });
+        let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: 0.1,
+            as_kind: CensorKind::Dt,
+        });
         let cfg = tiny_cfg();
         let (agent, _) = train_amoeba(censor.clone(), &flows(), Layer::Tcp, &cfg, None);
         for flow in flows() {
@@ -429,7 +444,10 @@ mod tests {
                 flow.total_bytes()
             );
             // Per-direction conservation too.
-            for dir in [amoeba_traffic::Direction::Outbound, amoeba_traffic::Direction::Inbound] {
+            for dir in [
+                amoeba_traffic::Direction::Outbound,
+                amoeba_traffic::Direction::Inbound,
+            ] {
                 assert!(outcome.adversarial.bytes(dir) >= flow.bytes(dir));
             }
         }
@@ -437,10 +455,14 @@ mod tests {
 
     #[test]
     fn evaluation_against_block_all_censor_fails() {
-        let allow: Arc<dyn Censor> =
-            Arc::new(ConstantCensor { fixed_score: 0.1, as_kind: CensorKind::Dt });
-        let block: Arc<dyn Censor> =
-            Arc::new(ConstantCensor { fixed_score: 0.9, as_kind: CensorKind::Dt });
+        let allow: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: 0.1,
+            as_kind: CensorKind::Dt,
+        });
+        let block: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: 0.9,
+            as_kind: CensorKind::Dt,
+        });
         let cfg = tiny_cfg();
         let (agent, _) = train_amoeba(allow, &flows(), Layer::Tcp, &cfg, None);
         let eval = agent.evaluate(&block, &flows());
@@ -452,8 +474,10 @@ mod tests {
 
     #[test]
     fn eval_callback_fires() {
-        let censor: Arc<dyn Censor> =
-            Arc::new(ConstantCensor { fixed_score: 0.1, as_kind: CensorKind::Dt });
+        let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: 0.1,
+            as_kind: CensorKind::Dt,
+        });
         let cfg = tiny_cfg();
         let fl = flows();
         let (_, report) = train_amoeba(censor, &fl, Layer::Tcp, &cfg, Some((&fl, 2)));
@@ -476,8 +500,10 @@ mod tests {
 
     #[test]
     fn masked_training_reduces_queries() {
-        let censor: Arc<dyn Censor> =
-            Arc::new(ConstantCensor { fixed_score: 0.1, as_kind: CensorKind::Dt });
+        let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: 0.1,
+            as_kind: CensorKind::Dt,
+        });
         let cfg = tiny_cfg().with_mask_rate(0.9);
         let (_, report) = train_amoeba(censor, &flows(), Layer::Tcp, &cfg, None);
         let steps = report.total_timesteps();

@@ -76,6 +76,10 @@ pub struct AmoebaConfig {
     pub lr: f32,
     /// Parallel environments `N`.
     pub n_envs: usize,
+    /// OS threads used to run rollout workers (0 = one per available
+    /// core, capped at `n_envs`). Collected trajectories are
+    /// bit-identical for a fixed seed regardless of this value.
+    pub n_rollout_threads: usize,
     /// Rollout length `T` per environment.
     pub rollout_len: usize,
     /// Minibatches `K` per update.
@@ -121,6 +125,7 @@ impl AmoebaConfig {
             entropy_coef: 1e-2,
             lr: 5e-4,
             n_envs: 8,
+            n_rollout_threads: 0,
             rollout_len: 128,
             minibatches: 4,
             update_epochs: 3,
@@ -185,6 +190,23 @@ impl AmoebaConfig {
     pub fn with_timesteps(mut self, steps: usize) -> Self {
         self.total_timesteps = steps;
         self
+    }
+
+    /// Sets the rollout thread count (0 = auto; see
+    /// [`AmoebaConfig::n_rollout_threads`]).
+    pub fn with_rollout_threads(mut self, threads: usize) -> Self {
+        self.n_rollout_threads = threads;
+        self
+    }
+
+    /// Resolved rollout thread count: the configured value, or one thread
+    /// per available core (capped at `n_envs`) when set to 0.
+    pub fn rollout_threads(&self) -> usize {
+        if self.n_rollout_threads == 0 {
+            crate::ppo::default_rollout_threads(self.n_envs.max(1))
+        } else {
+            self.n_rollout_threads
+        }
     }
 
     /// RL state dimensionality: `E(x_{1:t}) ‖ E(a_{1:t})`.

@@ -48,7 +48,11 @@ pub fn synthetic_flows(n: usize, max_len: usize, rng: &mut StdRng) -> Vec<Synthe
                 .enumerate()
                 .map(|(i, _)| {
                     let p = rng.gen_range(-1.0f32..1.0);
-                    let phi = if i == 0 { 0.0 } else { rng.gen_range(0.0f32..1.0) };
+                    let phi = if i == 0 {
+                        0.0
+                    } else {
+                        rng.gen_range(0.0f32..1.0)
+                    };
                     [p, phi]
                 })
                 .collect()
@@ -204,7 +208,10 @@ impl StateEncoder {
 
     /// Freezes the encoder into a thread-safe incremental snapshot for RL.
     pub fn snapshot(&self) -> EncoderSnapshot {
-        EncoderSnapshot { gru: self.encoder.snapshot(), hidden: self.hidden }
+        EncoderSnapshot {
+            gru: self.encoder.snapshot(),
+            hidden: self.hidden,
+        }
     }
 }
 
@@ -223,7 +230,10 @@ impl EncoderSnapshot {
 
     /// Fresh incremental encoding state (`E` of an empty sequence = 0).
     pub fn begin(&self) -> EncoderState {
-        EncoderState { state: self.gru.zero_state(1), hidden: self.hidden }
+        EncoderState {
+            state: self.gru.zero_state(1),
+            hidden: self.hidden,
+        }
     }
 
     /// Encodes a whole sequence at once (equivalent to repeated
@@ -306,7 +316,10 @@ mod tests {
             enc.pretrain(&one)
         };
         let after = enc.pretrain(&cfg);
-        assert!(after < before, "pretraining did not improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "pretraining did not improve: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -165,7 +165,14 @@ impl TransportEmulator {
         min_packet: u32,
         force_flush: bool,
     ) -> (Packet, u32, bool, usize) {
-        self.apply_mode(action, layer, max_delay_ms, min_packet, force_flush, ActionSpace::Both)
+        self.apply_mode(
+            action,
+            layer,
+            max_delay_ms,
+            min_packet,
+            force_flush,
+            ActionSpace::Both,
+        )
     }
 
     /// [`TransportEmulator::apply`] restricted to an [`ActionSpace`]
@@ -371,8 +378,7 @@ impl CensorEnv {
             original_payload: self.emulator.original_payload(),
             ..Default::default()
         };
-        self.max_adv_len =
-            flow.len() * self.cfg.max_len_factor.max(1) + self.cfg.max_len_slack;
+        self.max_adv_len = flow.len() * self.cfg.max_len_factor.max(1) + self.cfg.max_len_slack;
     }
 
     /// Current observation (`None` once the episode is done).
@@ -425,16 +431,15 @@ impl CensorEnv {
 
         // --- censor feedback ------------------------------------------------
         let blocked = self.censor.blocks(&self.adv_flow);
-        let masked = self.cfg.reward_mask_rate > 0.0
-            && self.rng.gen::<f32>() < self.cfg.reward_mask_rate;
+        let masked =
+            self.cfg.reward_mask_rate > 0.0 && self.rng.gen::<f32>() < self.cfg.reward_mask_rate;
         let (r_adv, queried) = if masked {
             (0.5, false)
         } else {
             (if blocked { 0.0 } else { 1.0 }, true)
         };
 
-        let reward =
-            r_adv - self.cfg.lambda_data * p_data - self.cfg.lambda_time * p_time;
+        let reward = r_adv - self.cfg.lambda_data * p_data - self.cfg.lambda_time * p_time;
 
         // --- bookkeeping ----------------------------------------------------
         self.stats.padding += padding as u64;
@@ -492,7 +497,10 @@ mod tests {
     }
 
     fn env_with(score: f32, cfg: EnvConfig) -> CensorEnv {
-        let censor = Arc::new(ConstantCensor { fixed_score: score, as_kind: CensorKind::Dt });
+        let censor = Arc::new(ConstantCensor {
+            fixed_score: score,
+            as_kind: CensorKind::Dt,
+        });
         CensorEnv::new(censor, Layer::Tcp, cfg, StdRng::seed_from_u64(0))
     }
 
@@ -504,7 +512,7 @@ mod tests {
     fn emulator_conserves_payload_under_truncation() {
         let flow = flow3();
         let mut em = TransportEmulator::new(&flow);
-        let mut sent_per_packet = vec![0u64; 3];
+        let mut sent_per_packet = [0u64; 3];
         let mut idx = 0;
         while !em.finished() {
             let action = Action::clamped(0.2, 0.0); // 292-byte chunks
@@ -528,7 +536,8 @@ mod tests {
         let mut em = TransportEmulator::new(&flow);
         let obs1 = em.observe().unwrap();
         assert_eq!(obs1.base_delay_ms, 7.0);
-        let (pkt1, _, truncated, _) = em.apply(Action::clamped(0.3, 0.0), Layer::Tcp, 100.0, 1, false);
+        let (pkt1, _, truncated, _) =
+            em.apply(Action::clamped(0.3, 0.0), Layer::Tcp, 100.0, 1, false);
         assert!(truncated);
         // Eq. 2: emitted delay >= φ_i.
         assert!(pkt1.delay_ms >= 7.0);
@@ -541,7 +550,8 @@ mod tests {
     fn padding_is_accounted() {
         let flow = Flow::from_pairs(&[(100, 0.0)]);
         let mut em = TransportEmulator::new(&flow);
-        let (pkt, padding, truncated, _) = em.apply(Action::clamped(0.5, 0.0), Layer::Tcp, 100.0, 1, false);
+        let (pkt, padding, truncated, _) =
+            em.apply(Action::clamped(0.5, 0.0), Layer::Tcp, 100.0, 1, false);
         assert!(!truncated);
         assert_eq!(pkt.magnitude(), 730);
         assert_eq!(padding, 630);

@@ -3,7 +3,7 @@
 //! The Amoeba adversarial-RL system (CoNEXT'23): the paper's primary
 //! contribution.
 //!
-//! * [`env`] — transport-layer emulator enforcing the §3 constraints by
+//! * [`mod@env`] — transport-layer emulator enforcing the §3 constraints by
 //!   construction, plus the censor-in-the-loop reward of §4.2 (with
 //!   reward masking for §5.5.3);
 //! * [`encoder`] — the pretrained GRU StateEncoder of §4.3/Algorithm 2;
@@ -29,9 +29,8 @@ pub mod transfer;
 pub mod validate;
 
 pub use agent::{
-    pretrain_encoder, train_amoeba_with_encoder,
-    sensitive_flows, train_amoeba, AmoebaAgent, AttackOutcome, AttackReport, IterationStats,
-    TrainReport,
+    pretrain_encoder, sensitive_flows, train_amoeba, train_amoeba_with_encoder, AmoebaAgent,
+    AttackOutcome, AttackReport, IterationStats, TrainReport,
 };
 pub use config::{AmoebaConfig, ReconLoss};
 pub use encoder::{synthetic_flows, EncoderSnapshot, EncoderState, StateEncoder};
@@ -40,7 +39,10 @@ pub use env::{
     TransportEmulator,
 };
 pub use policy::{Actor, ActorSnapshot, Critic, CriticSnapshot, ACTION_DIM};
-pub use ppo::{collect_rollouts, gae, Batch, PpoLearner, Trajectory, UpdateStats, Worker};
+pub use ppo::{
+    collect_rollouts, collect_rollouts_threaded, default_rollout_threads, gae, Batch,
+    PolicySnapshots, PpoLearner, Trajectory, UpdateStats, Worker,
+};
 pub use profile::{EmbedResult, FlowProfile, ProfileCodecError, ProfileStore};
 pub use shaper::{
     decode_frame, encode_frame, FrameError, ShapedReceiver, ShapedSender, HEADER_LEN, MIN_FRAME,

@@ -10,6 +10,7 @@
 
 use rand::Rng;
 
+use amoeba_nn::forward::Forward;
 use amoeba_nn::layers::{Activation, Mlp, MlpSnapshot};
 use amoeba_nn::matrix::Matrix;
 use amoeba_nn::tensor::Tensor;
@@ -75,7 +76,10 @@ impl Actor {
 
     /// Thread-safe sampling snapshot.
     pub fn snapshot(&self) -> ActorSnapshot {
-        ActorSnapshot { mlp: self.mlp.snapshot(), logstd_range: self.logstd_range }
+        ActorSnapshot {
+            mlp: self.mlp.snapshot(),
+            logstd_range: self.logstd_range,
+        }
     }
 }
 
@@ -132,7 +136,9 @@ impl Critic {
         let mut dims = vec![cfg.state_dim()];
         dims.extend(&cfg.actor_hidden);
         dims.push(1);
-        Self { mlp: Mlp::new(&dims, Activation::Tanh, Activation::Identity, rng) }
+        Self {
+            mlp: Mlp::new(&dims, Activation::Tanh, Activation::Identity, rng),
+        }
     }
 
     /// Trainable parameters.
@@ -147,7 +153,9 @@ impl Critic {
 
     /// Thread-safe snapshot.
     pub fn snapshot(&self) -> CriticSnapshot {
-        CriticSnapshot { mlp: self.mlp.snapshot() }
+        CriticSnapshot {
+            mlp: self.mlp.snapshot(),
+        }
     }
 }
 
@@ -192,7 +200,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let actor = Actor::new(&cfg, &mut rng);
         let snap = actor.snapshot();
-        let state: Vec<f32> = (0..cfg.state_dim()).map(|i| (i as f32 * 0.1).sin()).collect();
+        let state: Vec<f32> = (0..cfg.state_dim())
+            .map(|i| (i as f32 * 0.1).sin())
+            .collect();
         let (action, logp_sample) = snap.sample(&state, &mut rng);
 
         let states = Tensor::constant(Matrix::from_vec(1, state.len(), state.clone()));
@@ -223,7 +233,12 @@ mod tests {
             }
         }
         for d in 0..ACTION_DIM {
-            assert!((mean[d] - mode[d]).abs() < 0.1, "dim {d}: {} vs {}", mean[d], mode[d]);
+            assert!(
+                (mean[d] - mode[d]).abs() < 0.1,
+                "dim {d}: {} vs {}",
+                mean[d],
+                mode[d]
+            );
         }
     }
 

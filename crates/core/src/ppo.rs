@@ -1,6 +1,15 @@
 //! PPO optimisation (Algorithm 1, §4.4, §A.1): parallel rollout
 //! collection, generalised advantage estimation, and the clipped surrogate
 //! update with entropy bonus.
+//!
+//! Rollout collection fans the environment workers across
+//! `std::thread::scope` threads that share the frozen
+//! encoder/actor/critic snapshots (and, inside each worker's environment,
+//! the `dyn Censor`) via `Arc` — see [`PolicySnapshots`] and
+//! [`collect_rollouts_threaded`]. Each worker owns its RNG and
+//! environment state, and trajectories are merged back by worker index,
+//! so for a fixed seed the collected batch is bit-identical regardless of
+//! how many threads execute it.
 
 use std::sync::Arc;
 
@@ -96,16 +105,19 @@ impl Worker {
         s
     }
 
-    /// Collects `steps` environment steps with the given policy snapshots.
+    /// Collects `steps` environment steps with the shared policy
+    /// snapshots.
     pub fn rollout(
         &mut self,
         steps: usize,
-        encoder: &EncoderSnapshot,
-        actor: &ActorSnapshot,
-        critic: &CriticSnapshot,
+        policy: &PolicySnapshots,
         flows: &[Flow],
     ) -> Trajectory {
-        assert!(!flows.is_empty(), "rollout requires at least one training flow");
+        assert!(
+            !flows.is_empty(),
+            "rollout requires at least one training flow"
+        );
+        let (encoder, actor, critic) = (&*policy.encoder, &*policy.actor, &*policy.critic);
         let mut traj = Trajectory::default();
         for _ in 0..steps {
             if self.needs_reset {
@@ -216,14 +228,23 @@ impl Batch {
         }
         if cfg.normalize_advantage && total > 1 {
             let mean: f32 = advantages.iter().sum::<f32>() / total as f32;
-            let var: f32 =
-                advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f32>() / total as f32;
+            let var: f32 = advantages
+                .iter()
+                .map(|a| (a - mean) * (a - mean))
+                .sum::<f32>()
+                / total as f32;
             let std = var.sqrt().max(1e-6);
             for a in &mut advantages {
                 *a = (*a - mean) / std;
             }
         }
-        Batch { states, actions, logps, advantages, returns }
+        Batch {
+            states,
+            actions,
+            logps,
+            advantages,
+            returns,
+        }
     }
 
     /// Number of samples.
@@ -266,7 +287,13 @@ impl PpoLearner {
         let critic = Critic::new(cfg, rng);
         let actor_opt = Adam::new(actor.params(), cfg.lr);
         let critic_opt = Adam::new(critic.params(), cfg.lr);
-        Self { actor, critic, actor_opt, critic_opt, cfg: cfg.clone() }
+        Self {
+            actor,
+            critic,
+            actor_opt,
+            critic_opt,
+            cfg: cfg.clone(),
+        }
     }
 
     /// One full PPO update (Algorithm 1 lines 12-19) over a batch.
@@ -336,43 +363,106 @@ impl PpoLearner {
     }
 }
 
-/// Runs all workers for one rollout window, in parallel when possible.
+/// The frozen policy state shared (via `Arc`) by every rollout worker
+/// thread: encoder, actor and critic snapshots. All three are `Send +
+/// Sync` plain-matrix networks behind the `amoeba_nn::Forward` machinery,
+/// so one allocation serves any number of threads.
+#[derive(Clone)]
+pub struct PolicySnapshots {
+    /// Frozen StateEncoder.
+    pub encoder: Arc<EncoderSnapshot>,
+    /// Frozen actor.
+    pub actor: Arc<ActorSnapshot>,
+    /// Frozen critic.
+    pub critic: Arc<CriticSnapshot>,
+}
+
+impl PolicySnapshots {
+    /// Wraps snapshots for cross-thread sharing.
+    pub fn new(encoder: EncoderSnapshot, actor: ActorSnapshot, critic: CriticSnapshot) -> Self {
+        Self {
+            encoder: Arc::new(encoder),
+            actor: Arc::new(actor),
+            critic: Arc::new(critic),
+        }
+    }
+}
+
+/// Default worker-thread count for [`collect_rollouts`]: the machine's
+/// available parallelism, capped at the worker count.
+pub fn default_rollout_threads(n_workers: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(n_workers).max(1)
+}
+
+/// Runs all workers for one rollout window on up to
+/// [`default_rollout_threads`] OS threads.
 pub fn collect_rollouts(
     workers: &mut [Worker],
     steps_per_worker: usize,
-    encoder: &EncoderSnapshot,
-    actor: &ActorSnapshot,
-    critic: &CriticSnapshot,
+    policy: &PolicySnapshots,
     flows: &Arc<Vec<Flow>>,
 ) -> Vec<Trajectory> {
-    if workers.len() <= 1 {
+    let threads = default_rollout_threads(workers.len());
+    collect_rollouts_threaded(workers, steps_per_worker, policy, flows, threads)
+}
+
+/// Runs all workers for one rollout window across at most
+/// `threads.min(workers.len())` scoped OS threads (ceil-sized chunking
+/// may need fewer threads, but never a larger maximum chunk).
+///
+/// Workers are split into contiguous chunks, one chunk per thread; each
+/// thread runs its chunk's workers in index order against the
+/// `Arc`-shared [`PolicySnapshots`]. Because every [`Worker`] owns its
+/// RNG, environment and encoder states, the resulting trajectories are
+/// **bit-identical for a fixed seed regardless of `threads`** — the merge
+/// order is the worker index, never completion order.
+pub fn collect_rollouts_threaded(
+    workers: &mut [Worker],
+    steps_per_worker: usize,
+    policy: &PolicySnapshots,
+    flows: &Arc<Vec<Flow>>,
+    threads: usize,
+) -> Vec<Trajectory> {
+    let n = workers.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 || n <= 1 {
         return workers
             .iter_mut()
-            .map(|w| w.rollout(steps_per_worker, encoder, actor, critic, flows))
+            .map(|w| w.rollout(steps_per_worker, policy, flows))
             .collect();
     }
-    let mut out: Vec<Option<Trajectory>> = (0..workers.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    // Contiguous chunks keep the merge order equal to the worker order.
+    let chunk_len = n.div_ceil(threads);
+    let mut results: Vec<Vec<Trajectory>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
         let handles: Vec<_> = workers
-            .iter_mut()
-            .map(|w| {
+            .chunks_mut(chunk_len)
+            .map(|chunk| {
+                let policy = policy.clone();
                 let flows = Arc::clone(flows);
-                scope.spawn(move |_| w.rollout(steps_per_worker, encoder, actor, critic, &flows))
+                scope.spawn(move || {
+                    chunk
+                        .iter_mut()
+                        .map(|w| w.rollout(steps_per_worker, &policy, &flows))
+                        .collect::<Vec<Trajectory>>()
+                })
             })
             .collect();
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("rollout worker panicked"));
+        for h in handles {
+            results.push(h.join().expect("rollout worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
-    out.into_iter().map(|t| t.expect("trajectory collected")).collect()
+    });
+    results.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amoeba_classifiers::{CensorKind, ConstantCensor};
     use crate::encoder::StateEncoder;
+    use amoeba_classifiers::{CensorKind, ConstantCensor};
 
     fn tiny_cfg() -> AmoebaConfig {
         AmoebaConfig {
@@ -388,12 +478,21 @@ mod tests {
 
     fn setup(cfg: &AmoebaConfig, score: f32) -> (EncoderSnapshot, Vec<Worker>, Arc<Vec<Flow>>) {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let encoder = StateEncoder::new(cfg.encoder_hidden, cfg.encoder_layers, &mut rng).snapshot();
-        let censor: Arc<dyn Censor> =
-            Arc::new(ConstantCensor { fixed_score: score, as_kind: CensorKind::Dt });
+        let encoder =
+            StateEncoder::new(cfg.encoder_hidden, cfg.encoder_layers, &mut rng).snapshot();
+        let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: score,
+            as_kind: CensorKind::Dt,
+        });
         let workers: Vec<Worker> = (0..cfg.n_envs)
             .map(|i| {
-                Worker::new(Arc::clone(&censor), Layer::Tcp, EnvConfig::from(cfg), &encoder, i as u64)
+                Worker::new(
+                    Arc::clone(&censor),
+                    Layer::Tcp,
+                    EnvConfig::from(cfg),
+                    &encoder,
+                    i as u64,
+                )
             })
             .collect();
         let flows = Arc::new(vec![
@@ -403,21 +502,69 @@ mod tests {
         (encoder, workers, flows)
     }
 
+    fn snapshots(encoder: &EncoderSnapshot, learner: &PpoLearner) -> PolicySnapshots {
+        PolicySnapshots::new(
+            encoder.clone(),
+            learner.actor.snapshot(),
+            learner.critic.snapshot(),
+        )
+    }
+
     #[test]
     fn rollout_produces_full_window() {
         let cfg = tiny_cfg();
         let (encoder, mut workers, flows) = setup(&cfg, 0.1);
         let mut rng = StdRng::seed_from_u64(1);
         let learner = PpoLearner::new(&cfg, &mut rng);
-        let actor = learner.actor.snapshot();
-        let critic = learner.critic.snapshot();
-        let trajs = collect_rollouts(&mut workers, 16, &encoder, &actor, &critic, &flows);
+        let policy = snapshots(&encoder, &learner);
+        let trajs = collect_rollouts(&mut workers, 16, &policy, &flows);
         assert_eq!(trajs.len(), 2);
         for t in &trajs {
             assert_eq!(t.len(), 16);
             assert_eq!(t.states[0].len(), cfg.state_dim());
             assert!(!t.episodes.is_empty(), "16 steps should complete episodes");
             assert!(t.queries > 0);
+        }
+    }
+
+    /// The tentpole determinism guarantee: for a fixed seed the merged
+    /// trajectories are bit-identical whatever the thread count.
+    #[test]
+    fn rollouts_are_bit_identical_across_thread_counts() {
+        let mut cfg = tiny_cfg();
+        cfg.n_envs = 8;
+        let mut rng = StdRng::seed_from_u64(9);
+        let learner = PpoLearner::new(&cfg, &mut rng);
+
+        let collect = |threads: usize| {
+            let (encoder, mut workers, flows) = setup(&cfg, 0.4);
+            let policy = snapshots(&encoder, &learner);
+            collect_rollouts_threaded(&mut workers, 12, &policy, &flows, threads)
+        };
+
+        let reference = collect(1);
+        assert_eq!(reference.len(), 8);
+        for threads in [2, 4, 8, 64] {
+            let trajs = collect(threads);
+            assert_eq!(trajs.len(), reference.len(), "{threads} threads");
+            for (a, b) in trajs.iter().zip(&reference) {
+                // Bit-level equality: compare the raw f32 bit patterns so
+                // -0.0 vs 0.0 or NaN payload drift would be caught too.
+                assert_eq!(a.len(), b.len());
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+                for (sa, sb) in a.states.iter().zip(&b.states) {
+                    assert_eq!(bits(sa), bits(sb));
+                }
+                for (aa, ab) in a.actions.iter().zip(&b.actions) {
+                    assert_eq!(bits(aa), bits(ab));
+                }
+                assert_eq!(bits(&a.logps), bits(&b.logps));
+                assert_eq!(bits(&a.rewards), bits(&b.rewards));
+                assert_eq!(bits(&a.values), bits(&b.values));
+                assert_eq!(a.dones, b.dones);
+                assert_eq!(a.bootstrap.to_bits(), b.bootstrap.to_bits());
+                assert_eq!(a.queries, b.queries);
+            }
         }
     }
 
@@ -469,18 +616,14 @@ mod tests {
         let (encoder, mut workers, flows) = setup(&cfg, 0.1);
         let mut rng = StdRng::seed_from_u64(2);
         let learner = PpoLearner::new(&cfg, &mut rng);
-        let trajs = collect_rollouts(
-            &mut workers,
-            8,
-            &encoder,
-            &learner.actor.snapshot(),
-            &learner.critic.snapshot(),
-            &flows,
-        );
+        let trajs = collect_rollouts(&mut workers, 8, &snapshots(&encoder, &learner), &flows);
         let batch = Batch::from_trajectories(&trajs, &cfg);
         assert_eq!(batch.len(), 16);
         let mean: f32 = batch.advantages.iter().sum::<f32>() / batch.len() as f32;
-        assert!(mean.abs() < 1e-4, "advantages should be normalised, mean {mean}");
+        assert!(
+            mean.abs() < 1e-4,
+            "advantages should be normalised, mean {mean}"
+        );
     }
 
     #[test]
@@ -499,9 +642,7 @@ mod tests {
             let trajs = collect_rollouts(
                 &mut workers,
                 cfg.rollout_len,
-                &encoder,
-                &learner.actor.snapshot(),
-                &learner.critic.snapshot(),
+                &snapshots(&encoder, &learner),
                 &flows,
             );
             let total_reward: f32 = trajs.iter().flat_map(|t| t.rewards.iter()).sum();

@@ -26,7 +26,9 @@ pub struct FlowProfile {
 impl FlowProfile {
     /// Captures the shape of an adversarial flow.
     pub fn from_flow(flow: &Flow) -> Self {
-        Self { packets: flow.packets.clone() }
+        Self {
+            packets: flow.packets.clone(),
+        }
     }
 
     /// Capacity in bytes for the given direction.
@@ -280,7 +282,10 @@ mod tests {
 
     #[test]
     fn codec_rejects_garbage() {
-        assert_eq!(ProfileStore::deserialize(&[]), Err(ProfileCodecError::Truncated));
+        assert_eq!(
+            ProfileStore::deserialize(&[]),
+            Err(ProfileCodecError::Truncated)
+        );
         assert_eq!(
             ProfileStore::deserialize(&[0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0]),
             Err(ProfileCodecError::BadMagic)

@@ -49,7 +49,10 @@ impl std::error::Error for FrameError {}
 /// Panics if `wire_size < HEADER_LEN + payload.len()` or the payload
 /// exceeds `u16::MAX`.
 pub fn encode_frame(payload: &[u8], wire_size: usize) -> Vec<u8> {
-    assert!(payload.len() <= u16::MAX as usize, "frame payload too large");
+    assert!(
+        payload.len() <= u16::MAX as usize,
+        "frame payload too large"
+    );
     assert!(
         wire_size >= HEADER_LEN + payload.len(),
         "wire size {wire_size} cannot carry {} payload bytes",

@@ -89,7 +89,10 @@ mod tests {
     use amoeba_classifiers::ConstantCensor;
 
     fn arc(score: f32) -> Arc<dyn Censor> {
-        Arc::new(ConstantCensor { fixed_score: score, as_kind: CensorKind::Dt })
+        Arc::new(ConstantCensor {
+            fixed_score: score,
+            as_kind: CensorKind::Dt,
+        })
     }
 
     #[test]

@@ -53,14 +53,24 @@ pub enum ConstraintViolation {
 impl std::fmt::Display for ConstraintViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ConstraintViolation::PayloadLost { direction, original, adversarial } => write!(
+            ConstraintViolation::PayloadLost {
+                direction,
+                original,
+                adversarial,
+            } => write!(
                 f,
                 "Eq.1 violated: {direction:?} carries {adversarial} B < original {original} B"
             ),
             ConstraintViolation::NegativeDelay { index, delay_ms } => {
-                write!(f, "Eq.2 violated: packet {index} has negative delay {delay_ms} ms")
+                write!(
+                    f,
+                    "Eq.2 violated: packet {index} has negative delay {delay_ms} ms"
+                )
             }
-            ConstraintViolation::DurationShrunk { original_ms, adversarial_ms } => write!(
+            ConstraintViolation::DurationShrunk {
+                original_ms,
+                adversarial_ms,
+            } => write!(
                 f,
                 "Eq.2 violated: duration {adversarial_ms} ms < original {original_ms} ms"
             ),
@@ -72,10 +82,7 @@ impl std::fmt::Display for ConstraintViolation {
 impl std::error::Error for ConstraintViolation {}
 
 /// Verifies the §3 constraints for an `(original, adversarial)` pair.
-pub fn verify_constraints(
-    original: &Flow,
-    adversarial: &Flow,
-) -> Result<(), ConstraintViolation> {
+pub fn verify_constraints(original: &Flow, adversarial: &Flow) -> Result<(), ConstraintViolation> {
     if adversarial.is_empty() && !original.is_empty() {
         return Err(ConstraintViolation::Empty);
     }
@@ -92,7 +99,10 @@ pub fn verify_constraints(
     }
     for (index, p) in adversarial.packets.iter().enumerate() {
         if p.delay_ms < 0.0 {
-            return Err(ConstraintViolation::NegativeDelay { index, delay_ms: p.delay_ms });
+            return Err(ConstraintViolation::NegativeDelay {
+                index,
+                delay_ms: p.delay_ms,
+            });
         }
     }
     let orig_ms = original.duration_ms();
@@ -125,7 +135,10 @@ mod tests {
         let adv = Flow::from_pairs(&[(500, 0.0), (-600, 5.0)]);
         assert!(matches!(
             verify_constraints(&orig(), &adv),
-            Err(ConstraintViolation::PayloadLost { direction: Direction::Outbound, .. })
+            Err(ConstraintViolation::PayloadLost {
+                direction: Direction::Outbound,
+                ..
+            })
         ));
     }
 
@@ -133,8 +146,14 @@ mod tests {
     fn rejects_negative_delay() {
         let adv = Flow {
             packets: vec![
-                amoeba_traffic::Packet { size: 1200, delay_ms: 0.0 },
-                amoeba_traffic::Packet { size: -700, delay_ms: -1.0 },
+                amoeba_traffic::Packet {
+                    size: 1200,
+                    delay_ms: 0.0,
+                },
+                amoeba_traffic::Packet {
+                    size: -700,
+                    delay_ms: -1.0,
+                },
             ],
         };
         assert!(matches!(
@@ -154,7 +173,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_adversarial() {
-        assert_eq!(verify_constraints(&orig(), &Flow::new()), Err(ConstraintViolation::Empty));
+        assert_eq!(
+            verify_constraints(&orig(), &Flow::new()),
+            Err(ConstraintViolation::Empty)
+        );
         // but an empty pair is fine
         assert_eq!(verify_constraints(&Flow::new(), &Flow::new()), Ok(()));
     }

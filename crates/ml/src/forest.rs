@@ -11,7 +11,7 @@ pub struct ForestConfig {
     pub n_trees: usize,
     /// Per-tree configuration. If `max_features` is `None`, the forest
     /// substitutes `sqrt(n_features)` (the scikit-learn default the paper
-    /// inherits from [2]).
+    /// inherits from \[2\]).
     pub tree: TreeConfig,
     /// Bootstrap sample fraction (1.0 = classic bagging with replacement).
     pub bootstrap_fraction: f32,
@@ -46,7 +46,10 @@ impl RandomForest {
         rng: &mut R,
     ) -> Self {
         assert!(!x.is_empty(), "RandomForest::fit: empty dataset");
-        assert!(config.n_trees > 0, "RandomForest::fit: need at least one tree");
+        assert!(
+            config.n_trees > 0,
+            "RandomForest::fit: need at least one tree"
+        );
         let n_features = x[0].len();
         let mut tree_cfg = config.tree;
         if tree_cfg.max_features.is_none() {
@@ -146,7 +149,10 @@ mod tests {
         let forest = RandomForest::fit(
             &x,
             &y,
-            ForestConfig { n_trees: 10, ..Default::default() },
+            ForestConfig {
+                n_trees: 10,
+                ..Default::default()
+            },
             &mut rng,
         );
         let p = forest.predict_proba(&x[0]);
@@ -167,7 +173,10 @@ mod tests {
     #[should_panic(expected = "at least one tree")]
     fn rejects_zero_trees() {
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = ForestConfig { n_trees: 0, ..Default::default() };
+        let cfg = ForestConfig {
+            n_trees: 0,
+            ..Default::default()
+        };
         let _ = RandomForest::fit(&[vec![0.0]], &[0], cfg, &mut rng);
     }
 }

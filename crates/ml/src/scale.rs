@@ -17,7 +17,10 @@ impl StandardScaler {
     pub fn fit(x: &[Vec<f32>]) -> Self {
         assert!(!x.is_empty(), "StandardScaler::fit: empty dataset");
         let d = x[0].len();
-        assert!(x.iter().all(|r| r.len() == d), "StandardScaler::fit: ragged rows");
+        assert!(
+            x.iter().all(|r| r.len() == d),
+            "StandardScaler::fit: ragged rows"
+        );
         let n = x.len() as f32;
         let mut mean = vec![0.0f32; d];
         for row in x {

@@ -149,10 +149,12 @@ impl Svm {
                 alpha[i] = ai;
                 alpha[j] = aj;
 
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - ys[i] * (ai - ai_old) * k[i * n + i]
                     - ys[j] * (aj - aj_old) * k[i * n + j];
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - ys[i] * (ai - ai_old) * k[i * n + j]
                     - ys[j] * (aj - aj_old) * k[j * n + j];
                 b = if ai > 0.0 && ai < config.c {
@@ -179,7 +181,12 @@ impl Svm {
                 coef.push(alpha[i] * ys[i]);
             }
         }
-        Self { support_vectors, coef, bias: b, kernel: config.kernel }
+        Self {
+            support_vectors,
+            coef,
+            bias: b,
+            kernel: config.kernel,
+        }
     }
 
     /// Signed decision value (`> 0` ⇒ class 1).
@@ -221,7 +228,11 @@ mod tests {
         let mut y = Vec::new();
         for _ in 0..n {
             let inner = rng.gen_bool(0.5);
-            let r = if inner { rng.gen_range(0.0..0.8) } else { rng.gen_range(1.4..2.2) };
+            let r = if inner {
+                rng.gen_range(0.0..0.8)
+            } else {
+                rng.gen_range(1.4..2.2)
+            };
             let theta = rng.gen_range(0.0..std::f32::consts::TAU);
             x.push(vec![r * theta.cos(), r * theta.sin()]);
             y.push(u8::from(inner));
@@ -253,7 +264,11 @@ mod tests {
             x.push(vec![a, b]);
             y.push(u8::from(a + b > 0.3));
         }
-        let cfg = SvmConfig { kernel: Kernel::Linear, c: 5.0, ..Default::default() };
+        let cfg = SvmConfig {
+            kernel: Kernel::Linear,
+            c: 5.0,
+            ..Default::default()
+        };
         let svm = Svm::fit(&x, &y, cfg, &mut rng);
         let correct = x
             .iter()

@@ -2,7 +2,7 @@
 //!
 //! Used directly as the paper's DT censoring classifier and as the base
 //! learner of the random forest (Barradas et al., USENIX Security'18 — the
-//! paper's reference [2] for tree-based censors). Exposes Gini-based
+//! paper's reference \[2\] for tree-based censors). Exposes Gini-based
 //! feature importances, which back the Figure 4 experiment.
 
 use rand::seq::SliceRandom;
@@ -70,7 +70,10 @@ impl DecisionTree {
             x.iter().all(|row| row.len() == n_features),
             "DecisionTree::fit: ragged feature rows"
         );
-        assert!(y.iter().all(|&l| l <= 1), "DecisionTree::fit: labels must be 0/1");
+        assert!(
+            y.iter().all(|&l| l <= 1),
+            "DecisionTree::fit: labels must be 0/1"
+        );
 
         let mut tree = Self {
             nodes: Vec::new(),
@@ -128,7 +131,12 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { prob }); // placeholder, patched below
         let left = self.build(x, y, left_idx, depth + 1, rng);
         let right = self.build(x, y, right_idx, depth + 1, rng);
-        self.nodes[node_id] = Node::Split { feature, threshold, left, right };
+        self.nodes[node_id] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         node_id
     }
 
@@ -155,7 +163,9 @@ impl DecisionTree {
         let mut sorted = indices.to_vec();
         for &f in &features {
             sorted.sort_by(|&a, &b| {
-                x[a][f].partial_cmp(&x[b][f]).unwrap_or(std::cmp::Ordering::Equal)
+                x[a][f]
+                    .partial_cmp(&x[b][f])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             let mut left_pos = 0.0f32;
             for (k, win) in sorted.windows(2).enumerate() {
@@ -183,13 +193,26 @@ impl DecisionTree {
 
     /// P(class 1) for one sample.
     pub fn predict_proba(&self, features: &[f32]) -> f32 {
-        assert_eq!(features.len(), self.n_features, "predict: feature count mismatch");
+        assert_eq!(
+            features.len(),
+            self.n_features,
+            "predict: feature count mismatch"
+        );
         let mut node = 0usize;
         loop {
             match &self.nodes[node] {
                 Node::Leaf { prob } => return *prob,
-                Node::Split { feature, threshold, left, right } => {
-                    node = if features[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -264,7 +287,10 @@ mod tests {
     fn respects_max_depth() {
         let mut rng = StdRng::seed_from_u64(2);
         let (x, y) = axis_separable(100, &mut rng);
-        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, cfg, &mut rng);
         // depth-1 tree: 1 split node + 2 leaves
         assert!(tree.node_count() <= 3);
@@ -296,7 +322,10 @@ mod tests {
         // One feature; left side 25% positive, right side 100% positive.
         let x: Vec<Vec<f32>> = (0..8).map(|i| vec![i as f32]).collect();
         let y = vec![0, 0, 0, 1, 1, 1, 1, 1];
-        let cfg = TreeConfig { max_depth: 1, ..Default::default() };
+        let cfg = TreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&x, &y, cfg, &mut rng);
         let p_left = tree.predict_proba(&[0.0]);
         let p_right = tree.predict_proba(&[7.0]);

@@ -7,6 +7,7 @@
 
 use rand::Rng;
 
+use crate::forward::Forward;
 use crate::init::he_uniform;
 use crate::matrix::Matrix;
 use crate::tensor::Tensor;
@@ -32,7 +33,10 @@ impl Conv1d {
         stride: usize,
         rng: &mut R,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "Conv1d: kernel/stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "Conv1d: kernel/stride must be positive"
+        );
         Self {
             w: Tensor::parameter(he_uniform(kernel * in_channels, out_channels, rng)),
             b: Tensor::parameter(Matrix::zeros(1, out_channels)),
@@ -89,7 +93,8 @@ impl Conv1d {
     }
 }
 
-/// Plain-weight copy of a [`Conv1d`]; `Send + Sync`.
+/// Plain-weight copy of a [`Conv1d`]; `Send + Sync`, inference via
+/// [`Forward`].
 #[derive(Clone, Debug)]
 pub struct Conv1dSnapshot {
     w: Matrix,
@@ -100,9 +105,8 @@ pub struct Conv1dSnapshot {
     stride: usize,
 }
 
-impl Conv1dSnapshot {
-    /// Inference forward on raw matrices.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
+impl Forward for Conv1dSnapshot {
+    fn forward(&self, x: &Matrix) -> Matrix {
         let (batch, width) = x.shape();
         let length = width / self.in_channels;
         let out_len = (length - self.kernel) / self.stride + 1;
@@ -136,12 +140,19 @@ impl MaxPool1d {
     /// Pooling over windows of `kernel` positions with the given stride.
     pub fn new(channels: usize, kernel: usize, stride: usize) -> Self {
         assert!(channels > 0 && kernel > 0 && stride > 0);
-        Self { channels, kernel, stride }
+        Self {
+            channels,
+            kernel,
+            stride,
+        }
     }
 
     /// Output length for `length` input positions.
     pub fn out_len(&self, length: usize) -> usize {
-        assert!(length >= self.kernel, "MaxPool1d: input shorter than kernel");
+        assert!(
+            length >= self.kernel,
+            "MaxPool1d: input shorter than kernel"
+        );
         (length - self.kernel) / self.stride + 1
     }
 
@@ -149,9 +160,10 @@ impl MaxPool1d {
     pub fn forward(&self, x: &Tensor) -> Tensor {
         x.maxpool1d(self.channels, self.kernel, self.stride)
     }
+}
 
-    /// Inference forward on raw matrices.
-    pub fn forward_matrix(&self, x: &Matrix) -> Matrix {
+impl Forward for MaxPool1d {
+    fn forward(&self, x: &Matrix) -> Matrix {
         let (batch, width) = x.shape();
         let length = width / self.channels;
         let out_len = self.out_len(length);
@@ -251,7 +263,9 @@ mod tests {
         let pool = MaxPool1d::new(3, 2, 2);
         let x = Matrix::randn(2, 18, 1.0, &mut rng);
         let graph = pool.forward(&Tensor::constant(x.clone())).value();
-        let mat = pool.forward_matrix(&x);
+        // The inherent `forward` takes a Tensor; route the matrix path
+        // through the Forward trait explicitly.
+        let mat = Forward::forward(&pool, &x);
         assert_eq!(graph.as_slice(), mat.as_slice());
     }
 }

@@ -97,7 +97,7 @@ mod tests {
     #[test]
     fn catches_correct_gradient() {
         let x = Tensor::parameter(Matrix::from_vec(1, 2, vec![0.3, -0.8]));
-        check_gradients(&[x.clone()], || x.square().sum(), 1e-3, 1e-2);
+        check_gradients(std::slice::from_ref(&x), || x.square().sum(), 1e-3, 1e-2);
     }
 
     #[test]
@@ -105,13 +105,18 @@ mod tests {
     fn catches_wrong_gradient() {
         // detach() deliberately breaks the gradient of x*x.
         let x = Tensor::parameter(Matrix::from_vec(1, 1, vec![2.0]));
-        check_gradients(&[x.clone()], || x.detach().mul(&x).sum(), 1e-3, 1e-3);
+        check_gradients(
+            std::slice::from_ref(&x),
+            || x.detach().mul(&x).sum(),
+            1e-3,
+            1e-3,
+        );
     }
 
     #[test]
     fn max_error_is_small_for_smooth_fn() {
         let x = Tensor::parameter(Matrix::from_vec(2, 2, vec![0.1, 0.7, -0.3, 0.5]));
-        let err = max_gradient_error(&[x.clone()], || x.tanh().sum(), 1e-3);
+        let err = max_gradient_error(std::slice::from_ref(&x), || x.tanh().sum(), 1e-3);
         assert!(err < 1e-2, "err={err}");
     }
 }

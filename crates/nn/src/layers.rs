@@ -2,12 +2,14 @@
 //!
 //! Every layer exposes two paths:
 //! * `forward(&Tensor) -> Tensor` builds the autograd graph (training);
-//! * `snapshot() -> …Snapshot` captures plain-`Matrix` weights whose
-//!   `forward(&Matrix) -> Matrix` is `Send + Sync` and allocation-light,
-//!   used by multi-threaded rollout workers and latency benchmarks.
+//! * `snapshot() -> …Snapshot` captures plain-`Matrix` weights that
+//!   implement the shared [`Forward`] inference trait (`Send + Sync`,
+//!   allocation-light), used by multi-threaded rollout workers and
+//!   latency benchmarks.
 
 use rand::Rng;
 
+use crate::forward::Forward;
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
 use crate::tensor::Tensor;
@@ -47,6 +49,12 @@ impl Activation {
     }
 }
 
+impl Forward for Activation {
+    fn forward(&self, x: &Matrix) -> Matrix {
+        self.apply_matrix(x)
+    }
+}
+
 /// Fully connected layer `y = x W + b` with `W: (in, out)`, `b: (1, out)`.
 pub struct Linear {
     /// Weight matrix, shape `(in_dim, out_dim)`.
@@ -68,7 +76,10 @@ impl Linear {
     pub fn from_weights(w: Matrix, b: Matrix) -> Self {
         assert_eq!(b.rows(), 1, "Linear bias must be a row vector");
         assert_eq!(w.cols(), b.cols(), "Linear weight/bias width mismatch");
-        Self { w: Tensor::parameter(w), b: Tensor::parameter(b) }
+        Self {
+            w: Tensor::parameter(w),
+            b: Tensor::parameter(b),
+        }
     }
 
     /// Input dimensionality.
@@ -93,7 +104,10 @@ impl Linear {
 
     /// Thread-safe plain-weight copy for inference.
     pub fn snapshot(&self) -> LinearSnapshot {
-        LinearSnapshot { w: self.w.value(), b: self.b.value() }
+        LinearSnapshot {
+            w: self.w.value(),
+            b: self.b.value(),
+        }
     }
 
     /// Loads weights from a snapshot (e.g. after parallel search).
@@ -103,7 +117,8 @@ impl Linear {
     }
 }
 
-/// Plain-weight copy of a [`Linear`] layer; `Send + Sync`.
+/// Plain-weight copy of a [`Linear`] layer; `Send + Sync`, inference via
+/// [`Forward`].
 #[derive(Clone, Debug)]
 pub struct LinearSnapshot {
     /// Weight matrix `(in, out)`.
@@ -112,9 +127,8 @@ pub struct LinearSnapshot {
     pub b: Matrix,
 }
 
-impl LinearSnapshot {
-    /// Inference forward on raw matrices.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
+impl Forward for LinearSnapshot {
+    fn forward(&self, x: &Matrix) -> Matrix {
         x.matmul(&self.w).add_row_broadcast(&self.b)
     }
 }
@@ -146,7 +160,11 @@ impl Mlp {
             .windows(2)
             .map(|w| Linear::new(w[0], w[1], rng))
             .collect();
-        Self { layers, hidden_activation, output_activation }
+        Self {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
     }
 
     /// Number of linear layers.
@@ -195,14 +213,19 @@ impl Mlp {
 
     /// Loads weights from a snapshot.
     pub fn load_snapshot(&self, s: &MlpSnapshot) {
-        assert_eq!(self.layers.len(), s.layers.len(), "Mlp snapshot depth mismatch");
+        assert_eq!(
+            self.layers.len(),
+            s.layers.len(),
+            "Mlp snapshot depth mismatch"
+        );
         for (l, ls) in self.layers.iter().zip(&s.layers) {
             l.load_snapshot(ls);
         }
     }
 }
 
-/// Plain-weight copy of an [`Mlp`]; `Send + Sync`.
+/// Plain-weight copy of an [`Mlp`]; `Send + Sync`, inference via
+/// [`Forward`].
 #[derive(Clone, Debug)]
 pub struct MlpSnapshot {
     /// Per-layer weights.
@@ -213,9 +236,8 @@ pub struct MlpSnapshot {
     pub output_activation: Activation,
 }
 
-impl MlpSnapshot {
-    /// Inference forward on raw matrices.
-    pub fn forward(&self, x: &Matrix) -> Matrix {
+impl Forward for MlpSnapshot {
+    fn forward(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
@@ -320,10 +342,7 @@ mod tests {
             opt.step();
         }
         assert!(final_loss < 0.1, "XOR loss {final_loss}");
-        let probs = mlp
-            .forward(&Tensor::constant(x))
-            .sigmoid()
-            .value();
+        let probs = mlp.forward(&Tensor::constant(x)).sigmoid().value();
         assert!(probs[(0, 0)] < 0.5);
         assert!(probs[(1, 0)] > 0.5);
         assert!(probs[(2, 0)] > 0.5);

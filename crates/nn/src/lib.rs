@@ -16,9 +16,11 @@
 //! * **Training** builds autograd graphs of [`tensor::Tensor`] nodes
 //!   (thread-local, `Rc`-based).
 //! * **Inference** uses `*Snapshot` types holding plain [`matrix::Matrix`]
-//!   weights; snapshots are `Send + Sync` and power the multi-threaded
-//!   rollout workers in `amoeba-core` as well as the latency benchmarks
-//!   behind Figure 11.
+//!   weights. Every snapshot implements the object-safe, `Send + Sync`
+//!   [`forward::Forward`] trait, so the multi-threaded rollout workers in
+//!   `amoeba-core`, the censors in `amoeba-classifiers`, and the latency
+//!   benchmarks behind Figure 11 all share one inference interface
+//!   (compose stages with [`forward::Pipeline`]).
 //!
 //! ```
 //! use amoeba_nn::layers::{Activation, Mlp};
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod conv;
+pub mod forward;
 pub mod gradcheck;
 pub mod init;
 pub mod layers;
@@ -52,6 +55,7 @@ pub mod rnn;
 pub mod tensor;
 
 pub use conv::{Conv1d, Conv1dSnapshot, MaxPool1d};
+pub use forward::{Forward, Pipeline};
 pub use layers::{Activation, Linear, LinearSnapshot, Mlp, MlpSnapshot};
 pub use matrix::Matrix;
 pub use optim::{clip_grad_norm, Adam, Optimizer, RmsProp, Sgd};

@@ -44,7 +44,11 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with ones.
@@ -54,7 +58,11 @@ impl Matrix {
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major `Vec`.
@@ -76,17 +84,31 @@ impl Matrix {
     /// Creates a 1 x n row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { rows: 1, cols, data }
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// Creates an n x 1 column vector.
     pub fn col_vector(data: Vec<f32>) -> Self {
         let rows = data.len();
-        Self { rows, cols: 1, data }
+        Self {
+            rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Creates a matrix with entries drawn i.i.d. from `U(lo, hi)`.
-    pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Self {
+    pub fn uniform<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
         let data = (0..rows * cols).map(|_| rng.gen_range(lo..hi)).collect();
         Self { rows, cols, data }
     }
@@ -329,7 +351,11 @@ impl Matrix {
 
     /// `self += scale * rhs` in place (axpy).
     pub fn add_scaled_assign(&mut self, rhs: &Matrix, scale: f32) {
-        assert_eq!(self.shape(), rhs.shape(), "add_scaled_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "add_scaled_assign: shape mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += scale * b;
         }
@@ -368,10 +394,12 @@ impl Matrix {
 
     /// Row-wise sum, producing a rows x 1 column vector.
     pub fn sum_cols(&self) -> Matrix {
-        let data = (0..self.rows)
-            .map(|r| self.row(r).iter().sum())
-            .collect();
-        Matrix { rows: self.rows, cols: 1, data }
+        let data = (0..self.rows).map(|r| self.row(r).iter().sum()).collect();
+        Matrix {
+            rows: self.rows,
+            cols: 1,
+            data,
+        }
     }
 
     /// Sum of every element.
@@ -417,7 +445,11 @@ impl Matrix {
             rows,
             cols
         );
-        Matrix { rows, cols, data: self.data.clone() }
+        Matrix {
+            rows,
+            cols,
+            data: self.data.clone(),
+        }
     }
 
     /// Horizontal concatenation `[self | rhs]`.
@@ -436,12 +468,19 @@ impl Matrix {
         assert_eq!(self.cols, rhs.cols, "concat_rows: col mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&rhs.data);
-        Matrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Copies the column range `[start, end)` out into a new matrix.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "slice_cols: range out of bounds");
+        assert!(
+            start <= end && end <= self.cols,
+            "slice_cols: range out of bounds"
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for r in 0..self.rows {
             out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
@@ -451,7 +490,10 @@ impl Matrix {
 
     /// Copies the row range `[start, end)` out into a new matrix.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "slice_rows: range out of bounds");
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: range out of bounds"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,

@@ -56,7 +56,12 @@ impl Sgd {
                 Matrix::zeros(r, c)
             })
             .collect();
-        Self { params, lr, momentum, velocity }
+        Self {
+            params,
+            lr,
+            momentum,
+            velocity,
+        }
     }
 }
 
@@ -128,7 +133,16 @@ impl Adam {
                 Matrix::zeros(r, c)
             })
             .collect();
-        Self { params, lr, beta1, beta2, eps, t: 0, m: zeros.clone(), v: zeros }
+        Self {
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            t: 0,
+            m: zeros.clone(),
+            v: zeros,
+        }
     }
 }
 
@@ -137,7 +151,12 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+        for ((p, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
             let g = p.grad();
             *m = m.scale(self.beta1);
             m.add_scaled_assign(&g, 1.0 - self.beta1);
@@ -195,7 +214,13 @@ impl RmsProp {
                 Matrix::zeros(r, c)
             })
             .collect();
-        Self { params, lr, alpha, eps: 1e-8, sq }
+        Self {
+            params,
+            lr,
+            alpha,
+            eps: 1e-8,
+            sq,
+        }
     }
 }
 
@@ -284,7 +309,7 @@ mod tests {
         let p = Tensor::parameter(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
         let loss = p.scale(100.0).sum();
         loss.backward();
-        let before = clip_grad_norm(&[p.clone()], 1.0);
+        let before = clip_grad_norm(std::slice::from_ref(&p), 1.0);
         assert!(before > 100.0);
         let g = p.grad();
         assert!((g.norm() - 1.0).abs() < 1e-4, "norm={}", g.norm());

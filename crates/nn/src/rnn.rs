@@ -8,6 +8,7 @@
 
 use rand::Rng;
 
+use crate::forward::Forward;
 use crate::init::xavier_uniform_shaped;
 use crate::matrix::Matrix;
 use crate::tensor::Tensor;
@@ -38,7 +39,13 @@ impl GruCell {
     pub fn new<R: Rng + ?Sized>(input: usize, hidden: usize, rng: &mut R) -> Self {
         Self {
             wx: Tensor::parameter(xavier_uniform_shaped(input, 3 * hidden, input, hidden, rng)),
-            wh: Tensor::parameter(xavier_uniform_shaped(hidden, 3 * hidden, hidden, hidden, rng)),
+            wh: Tensor::parameter(xavier_uniform_shaped(
+                hidden,
+                3 * hidden,
+                hidden,
+                hidden,
+                rng,
+            )),
             bx: Tensor::parameter(Matrix::zeros(1, 3 * hidden)),
             bh: Tensor::parameter(Matrix::zeros(1, 3 * hidden)),
             hidden,
@@ -70,7 +77,12 @@ impl GruCell {
 
     /// Trainable parameters.
     pub fn params(&self) -> Vec<Tensor> {
-        vec![self.wx.clone(), self.wh.clone(), self.bx.clone(), self.bh.clone()]
+        vec![
+            self.wx.clone(),
+            self.wh.clone(),
+            self.bx.clone(),
+            self.bh.clone(),
+        ]
     }
 
     /// Thread-safe plain-weight copy.
@@ -204,12 +216,18 @@ impl Gru {
 
     /// Thread-safe plain-weight copy.
     pub fn snapshot(&self) -> GruSnapshot {
-        GruSnapshot { cells: self.cells.iter().map(GruCell::snapshot).collect() }
+        GruSnapshot {
+            cells: self.cells.iter().map(GruCell::snapshot).collect(),
+        }
     }
 
     /// Loads weights from a snapshot.
     pub fn load_snapshot(&self, s: &GruSnapshot) {
-        assert_eq!(self.cells.len(), s.cells.len(), "Gru snapshot depth mismatch");
+        assert_eq!(
+            self.cells.len(),
+            s.cells.len(),
+            "Gru snapshot depth mismatch"
+        );
         for (c, cs) in self.cells.iter().zip(&s.cells) {
             c.load_snapshot(cs);
         }
@@ -243,7 +261,7 @@ impl GruSnapshot {
 
     /// One inference step; `state` is updated in place, the top-layer hidden
     /// is returned by reference.
-    pub fn step<'s>(&self, x: &Matrix, state: &'s mut Vec<Matrix>) -> &'s Matrix {
+    pub fn step<'s>(&self, x: &Matrix, state: &'s mut [Matrix]) -> &'s Matrix {
         assert_eq!(state.len(), self.cells.len(), "Gru state depth mismatch");
         let mut input = x.clone();
         for (cell, h) in self.cells.iter().zip(state.iter_mut()) {
@@ -253,13 +271,17 @@ impl GruSnapshot {
         }
         state.last().expect("nonempty state")
     }
+}
 
-    /// Encodes a full sequence and returns the final top-layer hidden state.
-    pub fn encode_sequence(&self, xs: &[Matrix]) -> Matrix {
-        let b = xs.first().map(Matrix::rows).unwrap_or(1);
-        let mut state = self.zero_state(b);
-        for x in xs {
-            self.step(x, &mut state);
+impl Forward for GruSnapshot {
+    /// Encodes a batch-1 sequence: `x` is `(T, in)` with one timestep per
+    /// row; returns the final top-layer hidden state `(1, hidden)`. An
+    /// empty sequence (0 rows) yields the zero state.
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let mut state = self.zero_state(1);
+        for t in 0..x.rows() {
+            let step = Matrix::from_vec(1, x.cols(), x.row(t).to_vec());
+            self.step(&step, &mut state);
         }
         state.pop().expect("nonempty state")
     }
@@ -285,7 +307,13 @@ impl LstmCell {
         }
         Self {
             wx: Tensor::parameter(xavier_uniform_shaped(input, 4 * hidden, input, hidden, rng)),
-            wh: Tensor::parameter(xavier_uniform_shaped(hidden, 4 * hidden, hidden, hidden, rng)),
+            wh: Tensor::parameter(xavier_uniform_shaped(
+                hidden,
+                4 * hidden,
+                hidden,
+                hidden,
+                rng,
+            )),
             b: Tensor::parameter(b),
             hidden,
         }
@@ -299,7 +327,10 @@ impl LstmCell {
     /// One autograd step: returns `(h', c')`.
     pub fn step(&self, x: &Tensor, h: &Tensor, c: &Tensor) -> (Tensor, Tensor) {
         let hs = self.hidden;
-        let gates = x.matmul(&self.wx).add(&h.matmul(&self.wh)).add_bias(&self.b);
+        let gates = x
+            .matmul(&self.wx)
+            .add(&h.matmul(&self.wh))
+            .add_bias(&self.b);
         let i = gates.slice_cols(0, hs).sigmoid();
         let f = gates.slice_cols(hs, 2 * hs).sigmoid();
         let g = gates.slice_cols(2 * hs, 3 * hs).tanh();
@@ -404,28 +435,32 @@ impl Lstm {
 
     /// Thread-safe plain-weight copy.
     pub fn snapshot(&self) -> LstmSnapshot {
-        LstmSnapshot { cells: self.cells.iter().map(LstmCell::snapshot).collect() }
+        LstmSnapshot {
+            cells: self.cells.iter().map(LstmCell::snapshot).collect(),
+        }
     }
 }
 
-/// Plain-weight copy of an [`Lstm`]; `Send + Sync`.
+/// Plain-weight copy of an [`Lstm`]; `Send + Sync`, inference via
+/// [`Forward`].
 #[derive(Clone, Debug)]
 pub struct LstmSnapshot {
     cells: Vec<LstmCellSnapshot>,
 }
 
-impl LstmSnapshot {
-    /// Encodes a full sequence; returns the final top-layer hidden state.
-    pub fn forward_sequence(&self, xs: &[Matrix]) -> Matrix {
-        let b = xs.first().map(Matrix::rows).unwrap_or(1);
+impl Forward for LstmSnapshot {
+    /// Encodes a batch-1 sequence: `x` is `(T, in)` with one timestep per
+    /// row; returns the final top-layer hidden state `(1, hidden)`. An
+    /// empty sequence (0 rows) yields the zero state.
+    fn forward(&self, x: &Matrix) -> Matrix {
         let mut hs: Vec<Matrix> = self
             .cells
             .iter()
-            .map(|c| Matrix::zeros(b, c.hidden))
+            .map(|c| Matrix::zeros(1, c.hidden))
             .collect();
         let mut cs = hs.clone();
-        for x in xs {
-            let mut input = x.clone();
+        for t in 0..x.rows() {
+            let mut input = Matrix::from_vec(1, x.cols(), x.row(t).to_vec());
             for (l, cell) in self.cells.iter().enumerate() {
                 let (h_new, c_new) = cell.step(&input, &hs[l], &cs[l]);
                 input = h_new.clone();
@@ -497,6 +532,21 @@ mod tests {
         );
     }
 
+    /// Splits a batch of per-timestep `(B, in)` matrices into per-sample
+    /// `(T, in)` sequence matrices for the Forward path.
+    fn per_sample_sequences(xs: &[Matrix]) -> Vec<Matrix> {
+        let b = xs.first().map(Matrix::rows).unwrap_or(0);
+        (0..b)
+            .map(|s| {
+                let mut seq = Matrix::zeros(xs.len(), xs[0].cols());
+                for (t, x) in xs.iter().enumerate() {
+                    seq.row_mut(t).copy_from_slice(x.row(s));
+                }
+                seq
+            })
+            .collect()
+    }
+
     #[test]
     fn gru_snapshot_matches_graph() {
         let mut rng = StdRng::seed_from_u64(4);
@@ -505,9 +555,12 @@ mod tests {
         let graph_xs: Vec<Tensor> = xs.iter().map(|m| Tensor::constant(m.clone())).collect();
         let (outs, _) = gru.forward_sequence(&graph_xs);
         let graph_final = outs.last().unwrap().value();
-        let snap_final = gru.snapshot().encode_sequence(&xs);
-        for (a, b) in graph_final.as_slice().iter().zip(snap_final.as_slice()) {
-            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        let snap = gru.snapshot();
+        let finals = snap.forward_batch(&per_sample_sequences(&xs));
+        for (sample, snap_final) in finals.iter().enumerate() {
+            for (a, b) in graph_final.row(sample).iter().zip(snap_final.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
         }
     }
 
@@ -518,9 +571,12 @@ mod tests {
         let xs: Vec<Matrix> = (0..3).map(|_| Matrix::randn(2, 3, 1.0, &mut rng)).collect();
         let graph_xs: Vec<Tensor> = xs.iter().map(|m| Tensor::constant(m.clone())).collect();
         let graph_final = lstm.forward_sequence(&graph_xs).value();
-        let snap_final = lstm.snapshot().forward_sequence(&xs);
-        for (a, b) in graph_final.as_slice().iter().zip(snap_final.as_slice()) {
-            assert!((a - b).abs() < 1e-5);
+        let snap = lstm.snapshot();
+        let finals = snap.forward_batch(&per_sample_sequences(&xs));
+        for (sample, snap_final) in finals.iter().enumerate() {
+            for (a, b) in graph_final.row(sample).iter().zip(snap_final.as_slice()) {
+                assert!((a - b).abs() < 1e-5);
+            }
         }
     }
 
@@ -529,12 +585,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let gru = Gru::new(2, 4, 2, &mut rng);
         let snap = gru.snapshot();
-        let xs: Vec<Matrix> = (0..5).map(|_| Matrix::randn(1, 2, 1.0, &mut rng)).collect();
-        let full = snap.encode_sequence(&xs);
+        let seq = Matrix::randn(5, 2, 1.0, &mut rng);
+        let full = snap.forward(&seq);
         let mut state = snap.zero_state(1);
         let mut last = Matrix::zeros(1, 4);
-        for x in &xs {
-            last = snap.step(x, &mut state).clone();
+        for t in 0..seq.rows() {
+            let x = Matrix::from_vec(1, 2, seq.row(t).to_vec());
+            last = snap.step(&x, &mut state).clone();
         }
         for (a, b) in full.as_slice().iter().zip(last.as_slice()) {
             assert!((a - b).abs() < 1e-6);
@@ -574,7 +631,9 @@ mod tests {
             let labels = Matrix::from_vec(
                 batch,
                 1,
-                sums.iter().map(|&s| if s > 0.0 { 1.0 } else { 0.0 }).collect(),
+                sums.iter()
+                    .map(|&s| if s > 0.0 { 1.0 } else { 0.0 })
+                    .collect(),
             );
             opt.zero_grad();
             let (outs, _) = gru.forward_sequence(&xs);
@@ -584,7 +643,10 @@ mod tests {
             loss.backward();
             opt.step();
         }
-        assert!(final_loss < 0.45, "GRU failed to learn integration: {final_loss}");
+        assert!(
+            final_loss < 0.45,
+            "GRU failed to learn integration: {final_loss}"
+        );
     }
 
     #[test]

@@ -140,7 +140,11 @@ impl Tensor {
     /// Overwrites the value in place (used by optimisers). Shape-checked.
     pub fn set_value(&self, new: Matrix) {
         let mut inner = self.inner.borrow_mut();
-        assert_eq!(inner.value.shape(), new.shape(), "set_value: shape mismatch");
+        assert_eq!(
+            inner.value.shape(),
+            new.shape(),
+            "set_value: shape mismatch"
+        );
         inner.value = new;
     }
 
@@ -148,7 +152,11 @@ impl Tensor {
     pub fn update_value(&self, f: impl FnOnce(&Matrix, &Matrix) -> Matrix) {
         let mut inner = self.inner.borrow_mut();
         let new = f(&inner.value, &inner.grad);
-        assert_eq!(inner.value.shape(), new.shape(), "update_value: shape mismatch");
+        assert_eq!(
+            inner.value.shape(),
+            new.shape(),
+            "update_value: shape mismatch"
+        );
         inner.value = new;
     }
 
@@ -193,7 +201,11 @@ impl Tensor {
     pub fn backward_with(&self, seed: &Matrix) {
         {
             let mut inner = self.inner.borrow_mut();
-            assert_eq!(inner.value.shape(), seed.shape(), "backward seed shape mismatch");
+            assert_eq!(
+                inner.value.shape(),
+                seed.shape(),
+                "backward seed shape mismatch"
+            );
             if !inner.requires_grad {
                 return;
             }
@@ -339,8 +351,14 @@ impl Tensor {
             out,
             vec![self.clone(), rhs.clone()],
             Box::new(move |g| {
-                let ga = g.zip(&a.zip(&b, |x, y| if x <= y { 1.0 } else { 0.0 }), |gi, m| gi * m);
-                let gb = g.zip(&a.zip(&b, |x, y| if x <= y { 0.0 } else { 1.0 }), |gi, m| gi * m);
+                let ga = g.zip(
+                    &a.zip(&b, |x, y| if x <= y { 1.0 } else { 0.0 }),
+                    |gi, m| gi * m,
+                );
+                let gb = g.zip(
+                    &a.zip(&b, |x, y| if x <= y { 0.0 } else { 1.0 }),
+                    |gi, m| gi * m,
+                );
                 pa.accumulate_grad(&ga);
                 pb.accumulate_grad(&gb);
             }),
@@ -349,11 +367,7 @@ impl Tensor {
 
     // ----- unary ops -------------------------------------------------------
 
-    fn unary(
-        &self,
-        value: Matrix,
-        dydx: impl Fn(&Matrix) -> Matrix + 'static,
-    ) -> Tensor {
+    fn unary(&self, value: Matrix, dydx: impl Fn(&Matrix) -> Matrix + 'static) -> Tensor {
         let p = self.clone();
         Tensor::from_op(
             value,
@@ -400,7 +414,9 @@ impl Tensor {
     pub fn relu(&self) -> Tensor {
         let x = self.value();
         let y = x.map(|v| v.max(0.0));
-        self.unary(y, move |g| g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 }))
+        self.unary(y, move |g| {
+            g.zip(&x, |gi, xi| if xi > 0.0 { gi } else { 0.0 })
+        })
     }
 
     /// Elementwise exponential.
@@ -550,7 +566,11 @@ impl Tensor {
     pub fn unfold1d(&self, channels: usize, kernel: usize, stride: usize) -> Tensor {
         let (batch, width) = self.shape();
         assert!(channels > 0 && kernel > 0 && stride > 0);
-        assert_eq!(width % channels, 0, "unfold1d: width not divisible by channels");
+        assert_eq!(
+            width % channels,
+            0,
+            "unfold1d: width not divisible by channels"
+        );
         let length = width / channels;
         assert!(length >= kernel, "unfold1d: sequence shorter than kernel");
         let out_len = (length - kernel) / stride + 1;
@@ -585,7 +605,11 @@ impl Tensor {
     /// 1-D max pooling over position-major sequences (`cols = L * channels`).
     pub fn maxpool1d(&self, channels: usize, kernel: usize, stride: usize) -> Tensor {
         let (batch, width) = self.shape();
-        assert_eq!(width % channels, 0, "maxpool1d: width not divisible by channels");
+        assert_eq!(
+            width % channels,
+            0,
+            "maxpool1d: width not divisible by channels"
+        );
         let length = width / channels;
         assert!(length >= kernel, "maxpool1d: sequence shorter than kernel");
         let out_len = (length - kernel) / stride + 1;
@@ -658,14 +682,18 @@ impl Tensor {
         let n = (z.rows() * z.cols()) as f32;
         // loss = max(z,0) - z*y + ln(1 + exp(-|z|))
         let loss = z
-            .zip(labels, |zi, yi| zi.max(0.0) - zi * yi + (1.0 + (-zi.abs()).exp()).ln())
+            .zip(labels, |zi, yi| {
+                zi.max(0.0) - zi * yi + (1.0 + (-zi.abs()).exp()).ln()
+            })
             .sum()
             / n;
         let out = Matrix::from_vec(1, 1, vec![loss]);
         let labels = labels.clone();
         self.unary(out, move |g| {
             // d/dz = sigmoid(z) - y
-            z.zip(&labels, |zi, yi| (1.0 / (1.0 + (-zi).exp()) - yi) / n * g[(0, 0)])
+            z.zip(&labels, |zi, yi| {
+                (1.0 / (1.0 + (-zi).exp()) - yi) / n * g[(0, 0)]
+            })
         })
     }
 }
@@ -737,13 +765,13 @@ mod tests {
     fn activation_gradchecks() {
         let mut rng = StdRng::seed_from_u64(3);
         let a = randt(&mut rng, 2, 4);
-        check_gradients(&[a.clone()], || a.sigmoid().sum(), 1e-2, 2e-2);
-        check_gradients(&[a.clone()], || a.tanh().sum(), 1e-2, 2e-2);
-        check_gradients(&[a.clone()], || a.exp().mean(), 1e-2, 2e-2);
-        check_gradients(&[a.clone()], || a.square().sum(), 1e-2, 2e-2);
+        check_gradients(std::slice::from_ref(&a), || a.sigmoid().sum(), 1e-2, 2e-2);
+        check_gradients(std::slice::from_ref(&a), || a.tanh().sum(), 1e-2, 2e-2);
+        check_gradients(std::slice::from_ref(&a), || a.exp().mean(), 1e-2, 2e-2);
+        check_gradients(std::slice::from_ref(&a), || a.square().sum(), 1e-2, 2e-2);
         let pos = Tensor::parameter(Matrix::from_vec(1, 3, vec![0.5, 1.5, 2.5]));
-        check_gradients(&[pos.clone()], || pos.ln().sum(), 1e-3, 2e-2);
-        check_gradients(&[pos.clone()], || pos.sqrt().sum(), 1e-3, 2e-2);
+        check_gradients(std::slice::from_ref(&pos), || pos.ln().sum(), 1e-3, 2e-2);
+        check_gradients(std::slice::from_ref(&pos), || pos.sqrt().sum(), 1e-3, 2e-2);
     }
 
     #[test]
@@ -769,9 +797,19 @@ mod tests {
     fn reduction_gradchecks() {
         let mut rng = StdRng::seed_from_u64(4);
         let a = randt(&mut rng, 3, 3);
-        check_gradients(&[a.clone()], || a.sum_rows().mul(&a.sum_rows()).sum(), 1e-2, 2e-2);
-        check_gradients(&[a.clone()], || a.sum_cols().square().sum(), 1e-2, 2e-2);
-        check_gradients(&[a.clone()], || a.mean(), 1e-2, 2e-2);
+        check_gradients(
+            std::slice::from_ref(&a),
+            || a.sum_rows().mul(&a.sum_rows()).sum(),
+            1e-2,
+            2e-2,
+        );
+        check_gradients(
+            std::slice::from_ref(&a),
+            || a.sum_cols().square().sum(),
+            1e-2,
+            2e-2,
+        );
+        check_gradients(std::slice::from_ref(&a), || a.mean(), 1e-2, 2e-2);
     }
 
     #[test]
@@ -785,7 +823,12 @@ mod tests {
             1e-2,
             2e-2,
         );
-        check_gradients(&[a.clone()], || a.slice_cols(1, 3).square().sum(), 1e-2, 2e-2);
+        check_gradients(
+            std::slice::from_ref(&a),
+            || a.slice_cols(1, 3).square().sum(),
+            1e-2,
+            2e-2,
+        );
         let c = randt(&mut rng, 1, 3);
         check_gradients(
             &[a.clone(), c.clone()],
@@ -800,7 +843,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let x = randt(&mut rng, 4, 3);
         let b = randt(&mut rng, 1, 3);
-        check_gradients(&[x.clone(), b.clone()], || x.add_bias(&b).square().sum(), 1e-2, 2e-2);
+        check_gradients(
+            &[x.clone(), b.clone()],
+            || x.add_bias(&b).square().sum(),
+            1e-2,
+            2e-2,
+        );
     }
 
     #[test]
@@ -808,8 +856,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         // 2 sequences of length 6 with 2 channels
         let x = randt(&mut rng, 2, 12);
-        check_gradients(&[x.clone()], || x.unfold1d(2, 3, 1).square().sum(), 1e-2, 2e-2);
-        check_gradients(&[x.clone()], || x.maxpool1d(2, 2, 2).sum(), 1e-2, 2e-2);
+        check_gradients(
+            std::slice::from_ref(&x),
+            || x.unfold1d(2, 3, 1).square().sum(),
+            1e-2,
+            2e-2,
+        );
+        check_gradients(
+            std::slice::from_ref(&x),
+            || x.maxpool1d(2, 2, 2).sum(),
+            1e-2,
+            2e-2,
+        );
     }
 
     #[test]
@@ -827,9 +885,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let z = randt(&mut rng, 4, 1);
         let target = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
-        check_gradients(&[z.clone()], || z.bce_with_logits_loss(&target), 1e-3, 2e-2);
-        check_gradients(&[z.clone()], || z.mse_loss(&target), 1e-3, 2e-2);
-        check_gradients(&[z.clone()], || z.mae_loss(&target), 1e-3, 5e-2);
+        check_gradients(
+            std::slice::from_ref(&z),
+            || z.bce_with_logits_loss(&target),
+            1e-3,
+            2e-2,
+        );
+        check_gradients(std::slice::from_ref(&z), || z.mse_loss(&target), 1e-3, 2e-2);
+        check_gradients(std::slice::from_ref(&z), || z.mae_loss(&target), 1e-3, 5e-2);
     }
 
     #[test]

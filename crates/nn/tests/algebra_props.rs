@@ -14,7 +14,10 @@ fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
 fn assert_close(a: &Matrix, b: &Matrix, tol: f32) -> Result<(), TestCaseError> {
     prop_assert_eq!(a.shape(), b.shape());
     for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-        prop_assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        prop_assert!(
+            (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+            "{x} vs {y}"
+        );
     }
     Ok(())
 }
@@ -60,7 +63,7 @@ proptest! {
     fn fused_transpose_products(a in arb_matrix(4, 3), b in arb_matrix(4, 2)) {
         assert_close(&a.t_matmul(&b), &a.transpose().matmul(&b), 1e-5)?;
         let c = Matrix::from_vec(2, 3, a.as_slice()[..6].to_vec());
-        let d = Matrix::from_vec(5, 3, b.as_slice().iter().chain(b.as_slice().iter()).chain(b.as_slice()[..7].iter().map(|v| v)).copied().take(15).collect());
+        let d = Matrix::from_vec(5, 3, b.as_slice().iter().chain(b.as_slice().iter()).chain(b.as_slice()[..7].iter()).copied().take(15).collect());
         assert_close(&c.matmul_t(&d), &c.matmul(&d.transpose()), 1e-5)?;
     }
 

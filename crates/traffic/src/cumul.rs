@@ -16,7 +16,10 @@ pub const DEFAULT_POINTS: usize = 100;
 ///
 /// Length is always `n_points + 4`; empty flows produce all-zero vectors.
 pub fn cumul_features(flow: &Flow, n_points: usize) -> Vec<f32> {
-    assert!(n_points >= 2, "cumul_features: need at least 2 interpolation points");
+    assert!(
+        n_points >= 2,
+        "cumul_features: need at least 2 interpolation points"
+    );
     let mut out = Vec::with_capacity(n_points + 4);
     out.push(flow.count(Direction::Inbound) as f32);
     out.push(flow.count(Direction::Outbound) as f32);
@@ -24,7 +27,7 @@ pub fn cumul_features(flow: &Flow, n_points: usize) -> Vec<f32> {
     out.push(flow.bytes(Direction::Outbound) as f32);
 
     if flow.is_empty() {
-        out.extend(std::iter::repeat(0.0).take(n_points));
+        out.extend(std::iter::repeat_n(0.0, n_points));
         return out;
     }
 

@@ -1,6 +1,6 @@
 //! The 166-dimensional flow feature vector used by the tree-based censors.
 //!
-//! The paper follows Barradas et al. [2] and "extract[s] 166 features from
+//! The paper follows Barradas et al. \[2\] and "extract\[s\] 166 features from
 //! each network flow, covering bi-directional packet/timing statistics,
 //! burst behaviors, percentile features and flow-level information"
 //! (§5.1). The exact list is not published; this module reconstructs a
@@ -76,7 +76,11 @@ fn emit_all(flow: &Flow, layer: Layer, emit: &mut impl FnMut(String, FeatureKind
     // --- 3. burst behaviour (2 x (7 Packet + 2 Timing) = 18) --------------
     let bursts = flow.bursts();
     for dir in [Direction::Outbound, Direction::Inbound] {
-        let tag = if dir == Direction::Outbound { "out" } else { "in" };
+        let tag = if dir == Direction::Outbound {
+            "out"
+        } else {
+            "in"
+        };
         let lens: Vec<f32> = bursts
             .iter()
             .filter(|b| b.0 == dir)
@@ -87,11 +91,7 @@ fn emit_all(flow: &Flow, layer: Layer, emit: &mut impl FnMut(String, FeatureKind
             .filter(|b| b.0 == dir)
             .map(|b| b.2 as f32)
             .collect();
-        let durations: Vec<f32> = bursts
-            .iter()
-            .filter(|b| b.0 == dir)
-            .map(|b| b.3)
-            .collect();
+        let durations: Vec<f32> = bursts.iter().filter(|b| b.0 == dir).map(|b| b.3).collect();
         let ls = Summary::of(&lens);
         let bs = Summary::of(&bytes);
         let ds = Summary::of(&durations);
@@ -158,36 +158,60 @@ fn emit_all(flow: &Flow, layer: Layer, emit: &mut impl FnMut(String, FeatureKind
     emit("pkt_count".into(), Packet, n);
     emit("pkt_count_out".into(), Packet, n_out);
     emit("pkt_count_in".into(), Packet, n_in);
-    emit("pkt_ratio_out".into(), Packet, if n > 0.0 { n_out / n } else { 0.0 });
+    emit(
+        "pkt_ratio_out".into(),
+        Packet,
+        if n > 0.0 { n_out / n } else { 0.0 },
+    );
     emit("bytes_total".into(), Packet, bytes_out + bytes_in);
     emit("bytes_out".into(), Packet, bytes_out);
     emit("bytes_in".into(), Packet, bytes_in);
     emit(
         "bytes_ratio_out".into(),
         Packet,
-        if bytes_out + bytes_in > 0.0 { bytes_out / (bytes_out + bytes_in) } else { 0.0 },
+        if bytes_out + bytes_in > 0.0 {
+            bytes_out / (bytes_out + bytes_in)
+        } else {
+            0.0
+        },
     );
     let flips = flow
         .packets
         .windows(2)
         .filter(|w| w[0].direction() != w[1].direction())
         .count() as f32;
-    emit("dir_flip_rate".into(), Packet, if n > 1.0 { flips / (n - 1.0) } else { 0.0 });
+    emit(
+        "dir_flip_rate".into(),
+        Packet,
+        if n > 1.0 { flips / (n - 1.0) } else { 0.0 },
+    );
     let at_max = bi_sizes.iter().filter(|&&s| s >= max_unit).count() as f32;
-    emit("frac_max_unit".into(), Packet, if n > 0.0 { at_max / n } else { 0.0 });
+    emit(
+        "frac_max_unit".into(),
+        Packet,
+        if n > 0.0 { at_max / n } else { 0.0 },
+    );
     let mut unique = bi_sizes.clone();
     unique.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     unique.dedup();
     emit(
         "size_diversity".into(),
         Packet,
-        if n > 0.0 { unique.len() as f32 / n } else { 0.0 },
+        if n > 0.0 {
+            unique.len() as f32 / n
+        } else {
+            0.0
+        },
     );
 
     emit("duration_ms".into(), Timing, duration);
     let secs = (duration / 1000.0).max(1e-6);
     emit("pkts_per_sec".into(), Timing, n / secs);
-    emit("bytes_per_sec".into(), Timing, (bytes_out + bytes_in) / secs);
+    emit(
+        "bytes_per_sec".into(),
+        Timing,
+        (bytes_out + bytes_in) / secs,
+    );
     let first_response = flow
         .packets
         .iter()
@@ -212,7 +236,11 @@ fn emit_all(flow: &Flow, layer: Layer, emit: &mut impl FnMut(String, FeatureKind
     emit(
         "gap_ratio_out_in".into(),
         Timing,
-        if mean_in_gap > 1e-9 { mean_out_gap / mean_in_gap } else { 0.0 },
+        if mean_in_gap > 1e-9 {
+            mean_out_gap / mean_in_gap
+        } else {
+            0.0
+        },
     );
     emit("burst_count_total".into(), Packet, bursts.len() as f32);
     let longest_run = bursts.iter().map(|b| b.1).max().unwrap_or(0) as f32;
@@ -222,19 +250,33 @@ fn emit_all(flow: &Flow, layer: Layer, emit: &mut impl FnMut(String, FeatureKind
         if n > 0.0 { longest_run / n } else { 0.0 },
     );
     let idle: f32 = bi_gaps.iter().filter(|&&g| g > 100.0).sum();
-    emit("idle_frac".into(), Timing, if duration > 1e-9 { idle / duration } else { 0.0 });
+    emit(
+        "idle_frac".into(),
+        Timing,
+        if duration > 1e-9 {
+            idle / duration
+        } else {
+            0.0
+        },
+    );
     let first5: Vec<f32> = bi_gaps.iter().take(5).copied().collect();
     emit(
         "mean_gap_first5".into(),
         Timing,
-        if first5.is_empty() { 0.0 } else { first5.iter().sum::<f32>() / first5.len() as f32 },
+        if first5.is_empty() {
+            0.0
+        } else {
+            first5.iter().sum::<f32>() / first5.len() as f32
+        },
     );
 }
 
 /// Extracts the 166-feature vector for a flow on the given layer.
 pub fn extract_features(flow: &Flow, layer: Layer) -> Vec<f32> {
     let mut values = Vec::with_capacity(NUM_FEATURES);
-    emit_all(flow, layer, &mut |_, _, v| values.push(if v.is_finite() { v } else { 0.0 }));
+    emit_all(flow, layer, &mut |_, _, v| {
+        values.push(if v.is_finite() { v } else { 0.0 })
+    });
     debug_assert_eq!(values.len(), NUM_FEATURES);
     values
 }
@@ -250,7 +292,11 @@ pub fn feature_schema() -> &'static FeatureSchema {
             names.push(n);
             kinds.push(k);
         });
-        assert_eq!(names.len(), NUM_FEATURES, "feature schema drifted from NUM_FEATURES");
+        assert_eq!(
+            names.len(),
+            NUM_FEATURES,
+            "feature schema drifted from NUM_FEATURES"
+        );
         FeatureSchema { names, kinds }
     })
 }
@@ -291,8 +337,16 @@ mod tests {
     #[test]
     fn kind_split_covers_both_categories() {
         let schema = feature_schema();
-        let packet = schema.kinds.iter().filter(|k| **k == FeatureKind::Packet).count();
-        let timing = schema.kinds.iter().filter(|k| **k == FeatureKind::Timing).count();
+        let packet = schema
+            .kinds
+            .iter()
+            .filter(|k| **k == FeatureKind::Packet)
+            .count();
+        let timing = schema
+            .kinds
+            .iter()
+            .filter(|k| **k == FeatureKind::Timing)
+            .count();
         assert_eq!(packet + timing, NUM_FEATURES);
         assert!(packet > 40, "packet features: {packet}");
         assert!(timing > 40, "timing features: {timing}");

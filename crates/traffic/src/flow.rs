@@ -47,7 +47,10 @@ impl Packet {
     /// Builds a packet from direction + unsigned size.
     pub fn new(direction: Direction, size: u32, delay_ms: f32) -> Self {
         assert!(size > 0, "Packet size must be positive");
-        Self { size: direction.sign() * size as i32, delay_ms }
+        Self {
+            size: direction.sign() * size as i32,
+            delay_ms,
+        }
     }
 
     /// Outbound helper.
@@ -98,7 +101,11 @@ impl Label {
 
     /// Decodes a 0/1 label.
     pub fn from_u8(v: u8) -> Label {
-        if v == 0 { Label::Benign } else { Label::Sensitive }
+        if v == 0 {
+            Label::Benign
+        } else {
+            Label::Sensitive
+        }
     }
 }
 
@@ -112,7 +119,9 @@ pub struct Flow {
 impl Flow {
     /// Empty flow.
     pub fn new() -> Self {
-        Self { packets: Vec::new() }
+        Self {
+            packets: Vec::new(),
+        }
     }
 
     /// Builds a flow from `(signed size, delay)` pairs.
@@ -181,7 +190,9 @@ impl Flow {
     /// Truncates to the first `n` packets (prefix view used by censors that
     /// decide mid-flow).
     pub fn prefix(&self, n: usize) -> Flow {
-        Flow { packets: self.packets[..n.min(self.packets.len())].to_vec() }
+        Flow {
+            packets: self.packets[..n.min(self.packets.len())].to_vec(),
+        }
     }
 
     /// Iterator over maximal same-direction runs ("bursts"), yielding

@@ -109,7 +109,10 @@ impl TrafficGenerator for TorGenerator {
         let mut flow = Flow::new();
         // Circuit setup: CREATE/CREATED-style cell exchange.
         flow.push(Packet::outbound(self.cell_size, 0.0));
-        flow.push(Packet::inbound(self.cell_size, lognormal(self.inter_gap_ms, 0.4, rng)));
+        flow.push(Packet::inbound(
+            self.cell_size,
+            lognormal(self.inter_gap_ms, 0.4, rng),
+        ));
 
         let exchanges = rng.gen_range(self.exchanges.0..=self.exchanges.1);
         let mut downstream_since_sendme = 0usize;
@@ -487,7 +490,10 @@ mod tests {
                     .count()
             })
             .sum();
-        assert!(tor_cellish > https_cellish * 5, "tor {tor_cellish} https {https_cellish}");
+        assert!(
+            tor_cellish > https_cellish * 5,
+            "tor {tor_cellish} https {https_cellish}"
+        );
     }
 
     #[test]

@@ -26,20 +26,34 @@ pub struct NetEm {
 
 impl Default for NetEm {
     fn default() -> Self {
-        Self { drop_rate: 0.0, retransmit_timeout_ms: 200.0, jitter_std: 0.05 }
+        Self {
+            drop_rate: 0.0,
+            retransmit_timeout_ms: 200.0,
+            jitter_std: 0.05,
+        }
     }
 }
 
 impl NetEm {
     /// A lossy environment with the given drop rate and default RTO/jitter.
     pub fn with_drop_rate(drop_rate: f32) -> Self {
-        assert!((0.0..=1.0).contains(&drop_rate), "drop rate must be in [0,1]");
-        Self { drop_rate, ..Default::default() }
+        assert!(
+            (0.0..=1.0).contains(&drop_rate),
+            "drop rate must be in [0,1]"
+        );
+        Self {
+            drop_rate,
+            ..Default::default()
+        }
     }
 
     /// An ideal environment (no loss, no jitter).
     pub fn ideal() -> Self {
-        Self { drop_rate: 0.0, retransmit_timeout_ms: 0.0, jitter_std: 0.0 }
+        Self {
+            drop_rate: 0.0,
+            retransmit_timeout_ms: 0.0,
+            jitter_std: 0.0,
+        }
     }
 
     /// Applies loss/retransmission/jitter to a flow, returning what an
@@ -59,8 +73,8 @@ impl NetEm {
                 // The original copy crossed the observation point and was
                 // lost downstream; the retransmission appears after an RTO.
                 let mut retx = pkt;
-                retx.delay_ms = self.retransmit_timeout_ms
-                    * (1.0 + rng.gen_range(-0.2..0.2f32)).max(0.1);
+                retx.delay_ms =
+                    self.retransmit_timeout_ms * (1.0 + rng.gen_range(-0.2..0.2f32)).max(0.1);
                 out.push(retx);
             }
         }
@@ -96,9 +110,18 @@ mod tests {
     fn drop_rate_inserts_retransmissions() {
         let mut rng = StdRng::seed_from_u64(2);
         let f = base_flow();
-        let netem = NetEm { drop_rate: 0.2, retransmit_timeout_ms: 100.0, jitter_std: 0.0 };
+        let netem = NetEm {
+            drop_rate: 0.2,
+            retransmit_timeout_ms: 100.0,
+            jitter_std: 0.0,
+        };
         let g = netem.apply(&f, &mut rng);
-        assert!(g.len() > f.len(), "expected duplicates: {} vs {}", g.len(), f.len());
+        assert!(
+            g.len() > f.len(),
+            "expected duplicates: {} vs {}",
+            g.len(),
+            f.len()
+        );
         // Retransmitted copies carry the RTO-scale delay.
         assert!(g.packets.iter().any(|p| p.delay_ms > 50.0));
     }
@@ -107,7 +130,11 @@ mod tests {
     fn zero_drop_preserves_length() {
         let mut rng = StdRng::seed_from_u64(3);
         let f = base_flow();
-        let netem = NetEm { drop_rate: 0.0, retransmit_timeout_ms: 100.0, jitter_std: 0.1 };
+        let netem = NetEm {
+            drop_rate: 0.0,
+            retransmit_timeout_ms: 100.0,
+            jitter_std: 0.1,
+        };
         let g = netem.apply(&f, &mut rng);
         assert_eq!(g.len(), f.len());
         // Jitter perturbs delays but keeps them non-negative.

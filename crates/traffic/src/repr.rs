@@ -30,12 +30,20 @@ impl FlowRepr {
 
     /// TCP-layer preset (paper: sizes discretised against 1460 B).
     pub fn tcp() -> Self {
-        Self { max_len: 64, max_size: 1460.0, max_delay_ms: 500.0 }
+        Self {
+            max_len: 64,
+            max_size: 1460.0,
+            max_delay_ms: 500.0,
+        }
     }
 
     /// TLS-record-layer preset (paper: 16 KB records).
     pub fn tls() -> Self {
-        Self { max_len: 64, max_size: 16384.0, max_delay_ms: 500.0 }
+        Self {
+            max_len: 64,
+            max_size: 16384.0,
+            max_delay_ms: 500.0,
+        }
     }
 
     /// Preset for a [`Layer`].
@@ -107,7 +115,11 @@ mod tests {
 
     #[test]
     fn position_major_layout_and_padding() {
-        let r = FlowRepr { max_len: 4, max_size: 1460.0, max_delay_ms: 500.0 };
+        let r = FlowRepr {
+            max_len: 4,
+            max_size: 1460.0,
+            max_delay_ms: 500.0,
+        };
         let v = r.to_position_major(&flow());
         assert_eq!(v.len(), 8);
         assert!((v[0] - 0.5).abs() < 1e-6);
@@ -120,7 +132,11 @@ mod tests {
 
     #[test]
     fn position_major_truncates_long_flows() {
-        let r = FlowRepr { max_len: 1, max_size: 1460.0, max_delay_ms: 500.0 };
+        let r = FlowRepr {
+            max_len: 1,
+            max_size: 1460.0,
+            max_delay_ms: 500.0,
+        };
         let v = r.to_position_major(&flow());
         assert_eq!(v.len(), 2);
         assert!((v[0] - 0.5).abs() < 1e-6);

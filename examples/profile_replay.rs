@@ -49,7 +49,11 @@ fn main() {
     // 2. Ship the database to the peer proxy (binary codec round-trip).
     let wire = store.serialize();
     let synced = ProfileStore::deserialize(&wire).expect("database round-trip");
-    println!("profile database: {} bytes for {} profiles", wire.len(), synced.len());
+    println!(
+        "profile database: {} bytes for {} profiles",
+        wire.len(),
+        synced.len()
+    );
 
     // 3. Embed live flows into profiles; measure Table 2-style overheads.
     let test_flows = sensitive_flows(&splits.test);
@@ -88,7 +92,8 @@ fn main() {
                 continue; // the peer fills inbound slots
             }
             let wire_size = (pkt.magnitude() as usize).max(HEADER_LEN);
-            rx.push_frame(&tx.next_frame(wire_size)).expect("valid frame");
+            rx.push_frame(&tx.next_frame(wire_size))
+                .expect("valid frame");
             frames += 1;
             if tx.finished() {
                 break 'outer;
@@ -96,5 +101,8 @@ fn main() {
         }
     }
     assert_eq!(rx.into_payload(), payload);
-    println!("shaper: {} B payload reassembled exactly from {frames} outbound frames", payload.len());
+    println!(
+        "shaper: {} B payload reassembled exactly from {frames} outbound frames",
+        payload.len()
+    );
 }

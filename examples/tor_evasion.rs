@@ -45,7 +45,12 @@ fn main() {
     println!("convergence (queries -> test ASR):");
     for it in &report.iterations {
         if let Some(asr) = it.eval_asr {
-            println!("  {:>8} queries  ASR {:>5.1}%  reward {:+.3}", it.queries, asr * 100.0, it.mean_reward);
+            println!(
+                "  {:>8} queries  ASR {:>5.1}%  reward {:+.3}",
+                it.queries,
+                asr * 100.0,
+                it.mean_reward
+            );
         }
     }
 

@@ -28,17 +28,23 @@ fn end_to_end_tor_vs_dt() {
     let m = evaluate(censor.as_ref(), &splits.test);
     assert!(m.f1() > 0.9, "DT censor too weak: {m}");
 
+    // The high-ASR assertion needs a slightly larger PPO budget than the
+    // other (structural) tests: rollout ASR crosses ~0.9 around 20k steps.
     let (agent, report) = train_amoeba(
         Arc::clone(&censor),
         &sensitive_flows(&splits.attack_train),
         Layer::Tcp,
-        &small_amoeba_cfg(),
+        &small_amoeba_cfg().with_timesteps(20_000),
         None,
     );
     assert!(report.total_queries() > 0);
 
     let eval = agent.evaluate(&censor, &sensitive_flows(&splits.test));
-    assert!(eval.asr() > 0.7, "Amoeba failed to evade DT: ASR {}", eval.asr());
+    assert!(
+        eval.asr() > 0.7,
+        "Amoeba failed to evade DT: ASR {}",
+        eval.asr()
+    );
     assert!(eval.data_overhead() < 0.95);
 }
 
@@ -156,5 +162,8 @@ fn agents_attack_deterministically_per_flow() {
     let flow = &sensitive_flows(&splits.test)[0];
     let a = agent.attack_flow(&censor, flow);
     let b = agent.attack_flow(&censor, flow);
-    assert_eq!(a.adversarial, b.adversarial, "seeded attack must be reproducible");
+    assert_eq!(
+        a.adversarial, b.adversarial,
+        "seeded attack must be reproducible"
+    );
 }

@@ -11,16 +11,11 @@ use proptest::prelude::*;
 use amoeba::core::{
     Action, ProfileStore, ShapedReceiver, ShapedSender, TransportEmulator, MIN_FRAME,
 };
-use amoeba::traffic::{
-    extract_features, feature_schema, Flow, Layer, NUM_FEATURES,
-};
+use amoeba::traffic::{extract_features, feature_schema, Flow, Layer, NUM_FEATURES};
 
 fn arb_flow(max_packets: usize) -> impl Strategy<Value = Flow> {
     prop::collection::vec(
-        (
-            prop_oneof![1i32..=16384, -16384i32..=-1],
-            0.0f32..500.0,
-        ),
+        (prop_oneof![1i32..=16384, -16384i32..=-1], 0.0f32..500.0),
         1..max_packets,
     )
     .prop_map(|pairs| Flow::from_pairs(&pairs))
