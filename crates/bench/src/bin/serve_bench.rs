@@ -1,0 +1,16 @@
+//! Dataplane throughput sweep across inference batch sizes.
+//! Scale via `AMOEBA_SCALE=paper`; flow count via `AMOEBA_SERVE_FLOWS`
+//! (default 1000).
+use amoeba_bench::{serve, Context, Scale};
+
+fn main() {
+    let n_flows = std::env::var("AMOEBA_SERVE_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let mut ctx = Context::new(Scale::from_env());
+    print!(
+        "{}",
+        serve::serve_throughput(&mut ctx, n_flows, &[1, 16, 64, 256])
+    );
+}

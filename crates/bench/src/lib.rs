@@ -22,6 +22,7 @@ use amoeba_core::{
 use amoeba_traffic::{build_dataset, DatasetKind, Flow, Label, NetEm, Splits};
 
 pub mod experiments;
+pub mod serve;
 
 /// Experiment budget knobs.
 #[derive(Debug, Clone)]

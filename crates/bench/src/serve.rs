@@ -1,0 +1,62 @@
+//! Dataplane throughput harness: drives the `amoeba-serve` event loop over
+//! a trained policy + censor at several inference batch sizes and reports
+//! `flows/sec`, `MB/s` and p50/p99 per-frame latency — the numbers the
+//! ROADMAP's "serve heavy traffic" scaling work steers by.
+
+use std::sync::Arc;
+
+use amoeba_classifiers::CensorKind;
+use amoeba_serve::{Dataplane, FrozenPolicy, ServeConfig, ServeReport, VerdictPolicy};
+use amoeba_traffic::{DatasetKind, Flow};
+
+use crate::Context;
+
+/// Offered-flow prefix cap: bounds per-session frame counts and payload
+/// memory so 1k+ concurrent sessions stay cheap on CI hardware.
+pub const PREFIX_CAP: usize = 20;
+
+/// Runs one dataplane pass at the given batch size; the workload is
+/// `n_flows` sessions cycling the Tor test split's sensitive flows
+/// (≤ [`PREFIX_CAP`]-packet prefixes) against an inline DT censor.
+pub fn run_serve(ctx: &mut Context, n_flows: usize, batch: usize) -> ServeReport {
+    let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
+    let censor = ctx.censor(DatasetKind::Tor, CensorKind::Dt);
+    let base = ctx.eval_flows(DatasetKind::Tor);
+    let offered: Vec<Flow> = (0..n_flows)
+        .map(|i| base[i % base.len()].prefix(PREFIX_CAP))
+        .collect();
+    let cfg = ServeConfig::from_amoeba(agent.config(), DatasetKind::Tor.layer())
+        .with_batch(batch)
+        .with_verdicts(VerdictPolicy::Every(8))
+        .with_seed(ctx.scale.seed);
+    let mut dp = Dataplane::new(FrozenPolicy::from_agent(&agent), Arc::clone(&censor), cfg);
+    dp.add_flows(offered.iter());
+    dp.run()
+}
+
+/// The throughput table across batch sizes, as a markdown block.
+pub fn serve_throughput(ctx: &mut Context, n_flows: usize, batches: &[usize]) -> String {
+    let mut md = String::from("## amoeba-serve dataplane throughput\n\n");
+    md += &format!(
+        "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
+         DT censor inline every 8 frames, deterministic policy.\n\n"
+    );
+    md += "| batch | flows/s | frames/s | payload MB/s | wire MB/s | p50 µs | p99 µs \
+           | evasion | streams ok |\n";
+    md += "|---|---|---|---|---|---|---|---|---|\n";
+    for &batch in batches {
+        let r = run_serve(ctx, n_flows, batch);
+        md += &format!(
+            "| {batch} | {:.0} | {:.0} | {:.2} | {:.2} | {:.1} | {:.1} | {:.1}% | {:.1}% |\n",
+            r.flows_per_sec(),
+            r.frames_per_sec(),
+            r.payload_mb_per_sec(),
+            r.wire_mb_per_sec(),
+            r.p50_latency_us(),
+            r.p99_latency_us(),
+            r.evasion_rate() * 100.0,
+            r.stream_ok_rate() * 100.0,
+        );
+    }
+    md
+}

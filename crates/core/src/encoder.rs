@@ -245,6 +245,61 @@ impl EncoderSnapshot {
         }
         s.representation().to_vec()
     }
+
+    /// Advances many *independent* per-flow states by one step each in a
+    /// single fused GRU evaluation — the `amoeba-serve` scheduler's fast
+    /// path. Row `r` of `steps` (shape `(B, 2)`) is fed to
+    /// `states[indices[r]]`; the per-layer hidden rows are gathered into
+    /// one batch matrix, stepped once, and scattered back.
+    ///
+    /// Every GRU-step matrix op is row-independent, so each selected state
+    /// ends up bit-identical to an individual [`EncoderState::push`] of
+    /// its row — regardless of how the flows are grouped into batches.
+    ///
+    /// # Panics
+    /// Panics if `steps.rows() != indices.len()`, if an index is out of
+    /// bounds or repeated, or if a state does not belong to this encoder.
+    pub fn push_batch(&self, states: &mut [EncoderState], indices: &[usize], steps: &Matrix) {
+        assert_eq!(steps.rows(), indices.len(), "push_batch shape mismatch");
+        assert_eq!(steps.cols(), STEP_DIM, "push_batch expects (B, 2) steps");
+        if indices.is_empty() {
+            return;
+        }
+        // A repeated index would silently lose one of its pushes (the
+        // scatter's last write wins), so enforce uniqueness uncondition-
+        // ally — indices are small (one inference batch) and the check is
+        // dwarfed by the GRU step itself.
+        {
+            let mut seen = indices.to_vec();
+            seen.sort_unstable();
+            assert!(
+                seen.windows(2).all(|w| w[0] != w[1]),
+                "push_batch indices must be unique"
+            );
+        }
+        let layers = self.gru.num_layers();
+        let b = indices.len();
+        // Gather: per GRU layer, one (B, H) matrix of the selected rows.
+        let mut batch: Vec<Matrix> = (0..layers)
+            .map(|l| {
+                let mut m = Matrix::zeros(b, self.hidden);
+                for (r, &i) in indices.iter().enumerate() {
+                    let s = &states[i];
+                    assert_eq!(s.state.len(), layers, "state depth mismatch");
+                    assert_eq!(s.hidden, self.hidden, "state width mismatch");
+                    m.row_mut(r).copy_from_slice(s.state[l].as_slice());
+                }
+                m
+            })
+            .collect();
+        self.gru.step(steps, &mut batch);
+        // Scatter back.
+        for (l, m) in batch.iter().enumerate() {
+            for (r, &i) in indices.iter().enumerate() {
+                states[i].state[l].as_mut_slice().copy_from_slice(m.row(r));
+            }
+        }
+    }
 }
 
 /// Incremental GRU state over one growing sequence.
@@ -358,6 +413,45 @@ mod tests {
         let nmae = enc.evaluate_nmae(&[1, 5, 10], 8, 99);
         assert_eq!(nmae.len(), 3);
         assert!(nmae.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    /// The batched dataplane path: fused multi-flow steps must be
+    /// bit-identical to per-flow pushes, for any batch grouping.
+    #[test]
+    fn push_batch_matches_individual_pushes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let enc = StateEncoder::new(10, 2, &mut rng);
+        let snap = enc.snapshot();
+        let n = 7;
+        let mut batched: Vec<EncoderState> = (0..n).map(|_| snap.begin()).collect();
+        let mut single: Vec<EncoderState> = (0..n).map(|_| snap.begin()).collect();
+        // Three rounds over changing, non-contiguous subsets.
+        let rounds: [&[usize]; 3] = [&[0, 2, 4, 6], &[1, 3, 5], &[6, 0, 3]];
+        for (round, indices) in rounds.iter().enumerate() {
+            let mut steps = Matrix::zeros(indices.len(), STEP_DIM);
+            for (r, &i) in indices.iter().enumerate() {
+                let step = [
+                    ((round * 7 + i) as f32 * 0.37).sin(),
+                    ((round + i) as f32 * 0.21).cos().abs(),
+                ];
+                steps.row_mut(r).copy_from_slice(&step);
+                single[i].push(&snap, step);
+            }
+            snap.push_batch(&mut batched, indices, &steps);
+        }
+        for i in 0..n {
+            let a: Vec<u32> = batched[i]
+                .representation()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            let b: Vec<u32> = single[i]
+                .representation()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect();
+            assert_eq!(a, b, "state {i} diverged");
+        }
     }
 
     #[test]

@@ -1,21 +1,11 @@
-//! The network environment (§4.2): a transport-layer emulator that
-//! enforces the payload-conservation and timing constraints of §3 *by
-//! construction*, plus the censor-in-the-loop reward function.
+//! The network environment (§4.2): the censor-in-the-loop RL gym built on
+//! the shared [`crate::kernel`] shaping logic, plus the reward function.
 //!
-//! ## Constraint handling
-//!
-//! * **Eq. 1** (`Σ_j p̃_{i,j} ≥ p_i`): the emulator keeps feeding the agent
-//!   the remaining bytes of the current original packet until they are
-//!   fully transmitted; truncation never loses payload, padding only adds.
-//! * **Eq. 2** (`φ̃_{i,1} ≥ φ_i`, `φ̃_{i,j} ≥ 0`): the first chunk of
-//!   packet *i* inherits the mandatory delay `φ_i`; follow-up chunks are
-//!   already buffered and carry delay ≥ 0. The actor only ever *adds*
-//!   `Δφ ∈ [0, max_delay]` (§4.3: `φ̃ = φ + Δφ`).
-//!
-//! (The paper's observation list advances the delay subscript across
-//! truncations; physically the remaining chunk is already in the buffer,
-//! so this implementation gives follow-up chunks a zero base delay —
-//! noted in DESIGN.md §5.)
+//! The §3 constraint handling (payload conservation, delay clamping) lives
+//! in [`crate::kernel::ShapingKernel`] / [`crate::kernel::TransportEmulator`],
+//! which this gym shares with the `amoeba-serve` online dataplane; this
+//! module adds what only training needs — the censor oracle, reward
+//! shaping, reward masking (§5.5.3), and episode accounting.
 //!
 //! ## Reward polarity
 //!
@@ -30,204 +20,11 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use amoeba_classifiers::Censor;
-use amoeba_traffic::{Direction, Flow, Layer, Packet};
+use amoeba_traffic::{Flow, Layer, Packet};
 
 use crate::config::AmoebaConfig;
 
-/// What the agent observes at each timestep: the head of the transport
-/// buffer (§4.1: `x_t = (p, φ)`).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Observation {
-    /// Remaining payload bytes of the current original packet.
-    pub payload: u32,
-    /// Direction of that payload.
-    pub direction: Direction,
-    /// Mandatory base delay in ms (`φ_i` for the first chunk, 0 after).
-    pub base_delay_ms: f32,
-}
-
-impl Observation {
-    /// Normalised `(signed size, delay)` pair for the StateEncoder.
-    pub fn normalized(&self, layer: Layer, max_delay_ms: f32) -> [f32; 2] {
-        let signed = self.direction.sign() as f32 * self.payload as f32;
-        [
-            (signed / layer.action_scale()).clamp(-1.0, 1.0),
-            (self.base_delay_ms / max_delay_ms).clamp(0.0, 1.0),
-        ]
-    }
-}
-
-/// Which morphing operations the agent may use (§4.2 ablation).
-///
-/// The paper argues both are required: "an attack by only padding cannot
-/// circumvent censoring models that leverage directional features …
-/// attacks by only truncating may hardly protect protocols with fixed
-/// payload unit size such as Tor cells". [`ActionSpace::Both`] is the
-/// Amoeba design; the restricted variants exist for the ablation bench.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ActionSpace {
-    /// Truncation and padding (the paper's design).
-    #[default]
-    Both,
-    /// Every packet is sent whole (possibly enlarged); no splitting.
-    PaddingOnly,
-    /// Packets may be split but never enlarged.
-    TruncationOnly,
-}
-
-/// The agent's action: raw continuous outputs before discretisation
-/// (§4.3: `p ∈ [-1, 1]`, `Δφ ∈ [0, 1]`).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Action {
-    /// Packet-size fraction; the magnitude selects the size, the sign is
-    /// coerced to the payload's direction (DESIGN.md §5.2).
-    pub size_frac: f32,
-    /// Extra-delay fraction of `max_delay_ms`.
-    pub delay_frac: f32,
-}
-
-impl Action {
-    /// Clamps raw policy outputs into the legal box.
-    pub fn clamped(size_frac: f32, delay_frac: f32) -> Self {
-        Self {
-            size_frac: size_frac.clamp(-1.0, 1.0),
-            delay_frac: delay_frac.clamp(0.0, 1.0),
-        }
-    }
-}
-
-/// Transport-layer emulator: reads original packets from a queue and
-/// tracks the remaining payload of the packet being morphed.
-#[derive(Debug, Clone)]
-pub struct TransportEmulator {
-    original: Vec<Packet>,
-    /// Index of the packet currently being transmitted.
-    cursor: usize,
-    /// Bytes of the current packet still to send.
-    remaining: u32,
-    /// Whether the current packet has emitted at least one chunk.
-    chunk_sent: bool,
-    /// Truncation count for the current packet (`n` in the data penalty).
-    truncations_current: usize,
-}
-
-impl TransportEmulator {
-    /// Starts emulating the given original flow.
-    pub fn new(flow: &Flow) -> Self {
-        let remaining = flow.packets.first().map(|p| p.magnitude()).unwrap_or(0);
-        Self {
-            original: flow.packets.clone(),
-            cursor: 0,
-            remaining,
-            chunk_sent: false,
-            truncations_current: 0,
-        }
-    }
-
-    /// Total original payload bytes.
-    pub fn original_payload(&self) -> u64 {
-        self.original.iter().map(|p| p.magnitude() as u64).sum()
-    }
-
-    /// Number of original packets.
-    pub fn original_len(&self) -> usize {
-        self.original.len()
-    }
-
-    /// Current observation, or `None` when the flow is fully transmitted.
-    pub fn observe(&self) -> Option<Observation> {
-        let p = self.original.get(self.cursor)?;
-        Some(Observation {
-            payload: self.remaining,
-            direction: p.direction(),
-            base_delay_ms: if self.chunk_sent { 0.0 } else { p.delay_ms },
-        })
-    }
-
-    /// True when every original byte has been transmitted.
-    pub fn finished(&self) -> bool {
-        self.cursor >= self.original.len()
-    }
-
-    /// Emits one adversarial packet for the current observation, with the
-    /// full [`ActionSpace::Both`] semantics.
-    ///
-    /// Returns `(packet, padding bytes, was truncation, truncation count
-    /// for this original packet so far)`.
-    ///
-    /// # Panics
-    /// Panics if called after the flow finished.
-    pub fn apply(
-        &mut self,
-        action: Action,
-        layer: Layer,
-        max_delay_ms: f32,
-        min_packet: u32,
-        force_flush: bool,
-    ) -> (Packet, u32, bool, usize) {
-        self.apply_mode(
-            action,
-            layer,
-            max_delay_ms,
-            min_packet,
-            force_flush,
-            ActionSpace::Both,
-        )
-    }
-
-    /// [`TransportEmulator::apply`] restricted to an [`ActionSpace`]
-    /// (§4.2 ablation).
-    pub fn apply_mode(
-        &mut self,
-        action: Action,
-        layer: Layer,
-        max_delay_ms: f32,
-        min_packet: u32,
-        force_flush: bool,
-        mode: ActionSpace,
-    ) -> (Packet, u32, bool, usize) {
-        let obs = self.observe().expect("apply called on finished emulator");
-        let scale = layer.action_scale();
-        let mut size = (action.size_frac.abs() * scale) as u32;
-        size = size.clamp(min_packet.max(1), layer.max_unit());
-        match mode {
-            ActionSpace::Both => {}
-            // No splitting: the whole remaining payload goes out, enlarged
-            // to the chosen size when that is bigger.
-            ActionSpace::PaddingOnly => size = size.max(obs.payload),
-            // No enlargement: cap at the remaining payload (the final
-            // chunk then finishes the packet exactly, with zero padding).
-            ActionSpace::TruncationOnly => size = size.min(obs.payload.max(1)),
-        }
-        if force_flush {
-            // Length cap reached: transmit everything left of this packet.
-            size = size.max(obs.payload);
-        }
-
-        let extra_delay = action.delay_frac.clamp(0.0, 1.0) * max_delay_ms;
-        let delay = obs.base_delay_ms + extra_delay;
-
-        let truncation = size < obs.payload;
-        let padding = size.saturating_sub(obs.payload);
-        let packet = Packet::new(obs.direction, size, delay);
-
-        if truncation {
-            self.remaining -= size;
-            self.chunk_sent = true;
-            self.truncations_current += 1;
-        } else {
-            self.cursor += 1;
-            self.remaining = self
-                .original
-                .get(self.cursor)
-                .map(|p| p.magnitude())
-                .unwrap_or(0);
-            self.chunk_sent = false;
-            self.truncations_current = 0;
-        }
-        (packet, padding, truncation, self.truncations_current)
-    }
-}
+pub use crate::kernel::{Action, ActionSpace, Observation, ShapingKernel, TransportEmulator};
 
 /// Per-step result handed to the agent.
 #[derive(Debug, Clone, Copy)]
@@ -302,7 +99,7 @@ impl EpisodeStats {
 /// The full RL environment: emulator + censor + reward shaping.
 pub struct CensorEnv {
     censor: Arc<dyn Censor>,
-    layer: Layer,
+    kernel: ShapingKernel,
     cfg: EnvConfig,
     emulator: TransportEmulator,
     adv_flow: Flow,
@@ -350,12 +147,19 @@ impl From<&AmoebaConfig> for EnvConfig {
     }
 }
 
+impl EnvConfig {
+    /// The shaping kernel this configuration induces at a given layer.
+    pub fn kernel(&self, layer: Layer) -> ShapingKernel {
+        ShapingKernel::new(layer, self.max_delay_ms, self.min_packet, self.action_space)
+    }
+}
+
 impl CensorEnv {
     /// Builds an environment around a frozen censor.
     pub fn new(censor: Arc<dyn Censor>, layer: Layer, cfg: EnvConfig, rng: StdRng) -> Self {
         Self {
             censor,
-            layer,
+            kernel: cfg.kernel(layer),
             cfg,
             emulator: TransportEmulator::new(&Flow::new()),
             adv_flow: Flow::new(),
@@ -367,7 +171,7 @@ impl CensorEnv {
 
     /// Observation layer.
     pub fn layer(&self) -> Layer {
-        self.layer
+        self.kernel.layer()
     }
 
     /// Starts a new episode on the given original flow.
@@ -389,7 +193,7 @@ impl CensorEnv {
     /// Normalised observation for the StateEncoder.
     pub fn observe_normalized(&self) -> Option<[f32; 2]> {
         self.observe()
-            .map(|o| o.normalized(self.layer, self.cfg.max_delay_ms))
+            .map(|o| o.normalized(self.kernel.layer(), self.cfg.max_delay_ms))
     }
 
     /// The adversarial flow emitted so far.
@@ -408,26 +212,20 @@ impl CensorEnv {
     /// Panics if the episode already finished.
     pub fn step(&mut self, action: Action) -> StepOutcome {
         let force_flush = self.adv_flow.len() + 1 >= self.max_adv_len;
-        let (packet, padding, truncated, trunc_count) = self.emulator.apply_mode(
-            action,
-            self.layer,
-            self.cfg.max_delay_ms,
-            self.cfg.min_packet,
-            force_flush,
-            self.cfg.action_space,
-        );
-        self.adv_flow.push(packet);
+        let frame = self
+            .emulator
+            .apply_kernel(&self.kernel, action, force_flush);
+        self.adv_flow.push(frame.packet);
 
         // --- penalties (normalised units, §4.2) ---------------------------
-        let scale = self.layer.action_scale();
-        let p_data = if truncated {
+        let scale = self.kernel.layer().action_scale();
+        let p_data = if frame.truncated {
             let remaining = self.emulator.observe().map(|o| o.payload).unwrap_or(0);
-            remaining as f32 / scale + self.cfg.lambda_split * trunc_count as f32
+            remaining as f32 / scale + self.cfg.lambda_split * frame.truncation_count as f32
         } else {
-            padding as f32 / scale
+            frame.padding as f32 / scale
         };
-        let extra_delay = action.delay_frac.clamp(0.0, 1.0) * self.cfg.max_delay_ms;
-        let p_time = extra_delay / self.cfg.max_delay_ms.max(1e-6);
+        let p_time = frame.extra_delay_ms / self.cfg.max_delay_ms.max(1e-6);
 
         // --- censor feedback ------------------------------------------------
         let blocked = self.censor.blocks(&self.adv_flow);
@@ -442,15 +240,15 @@ impl CensorEnv {
         let reward = r_adv - self.cfg.lambda_data * p_data - self.cfg.lambda_time * p_time;
 
         // --- bookkeeping ----------------------------------------------------
-        self.stats.padding += padding as u64;
-        self.stats.added_delay_ms += extra_delay;
-        if truncated {
+        self.stats.padding += frame.padding as u64;
+        self.stats.added_delay_ms += frame.extra_delay_ms;
+        if frame.truncated {
             self.stats.truncations += 1;
         }
-        if padding > 0 {
+        if frame.padding > 0 {
             self.stats.paddings += 1;
         }
-        if extra_delay >= 1.0 {
+        if frame.extra_delay_ms >= 1.0 {
             self.stats.delays += 1;
         }
         if queried {
@@ -465,13 +263,13 @@ impl CensorEnv {
         }
 
         StepOutcome {
-            emitted: packet,
+            emitted: frame.packet,
             reward,
             r_adv,
             blocked,
             queried,
-            truncated,
-            padding,
+            truncated: frame.truncated,
+            padding: frame.padding,
             done,
         }
     }
@@ -479,10 +277,7 @@ impl CensorEnv {
     /// Normalised encoding of an emitted packet for the action-history
     /// encoder `E(a_{1:t})`.
     pub fn normalize_packet(&self, p: &Packet) -> [f32; 2] {
-        [
-            (p.size as f32 / self.layer.action_scale()).clamp(-1.0, 1.0),
-            (p.delay_ms / self.cfg.max_delay_ms).clamp(0.0, 1.0),
-        ]
+        self.kernel.normalize_packet(p)
     }
 }
 
@@ -490,6 +285,7 @@ impl CensorEnv {
 mod tests {
     use super::*;
     use amoeba_classifiers::{CensorKind, ConstantCensor};
+    use amoeba_traffic::Direction;
     use rand::SeedableRng;
 
     fn flow3() -> Flow {

@@ -3,9 +3,11 @@
 //! The Amoeba adversarial-RL system (CoNEXT'23): the paper's primary
 //! contribution.
 //!
-//! * [`mod@env`] — transport-layer emulator enforcing the §3 constraints by
-//!   construction, plus the censor-in-the-loop reward of §4.2 (with
-//!   reward masking for §5.5.3);
+//! * [`kernel`] — the env-independent shaping kernel enforcing the §3
+//!   constraints by construction (shared with the `amoeba-serve`
+//!   dataplane);
+//! * [`mod@env`] — the censor-in-the-loop RL gym and reward of §4.2 (with
+//!   reward masking for §5.5.3), built on the kernel;
 //! * [`encoder`] — the pretrained GRU StateEncoder of §4.3/Algorithm 2;
 //! * [`policy`] — Gaussian actor & critic MLPs (§4.3, reparameterisation);
 //! * [`ppo`] — Algorithm 1: parallel rollouts, GAE, clipped surrogate;
@@ -21,6 +23,7 @@ pub mod agent;
 pub mod config;
 pub mod encoder;
 pub mod env;
+pub mod kernel;
 pub mod policy;
 pub mod ppo;
 pub mod profile;
@@ -34,9 +37,9 @@ pub use agent::{
 };
 pub use config::{AmoebaConfig, ReconLoss};
 pub use encoder::{synthetic_flows, EncoderSnapshot, EncoderState, StateEncoder};
-pub use env::{
-    Action, ActionSpace, CensorEnv, EnvConfig, EpisodeStats, Observation, StepOutcome,
-    TransportEmulator,
+pub use env::{CensorEnv, EnvConfig, EpisodeStats, StepOutcome};
+pub use kernel::{
+    Action, ActionSpace, Observation, ShapeDecision, ShapedFrame, ShapingKernel, TransportEmulator,
 };
 pub use policy::{Actor, ActorSnapshot, Critic, CriticSnapshot, ACTION_DIM};
 pub use ppo::{

@@ -103,10 +103,35 @@ impl ActorSnapshot {
         (mean, logstd)
     }
 
-    /// Samples a raw action via reparameterisation; returns
-    /// `(action, log_prob)`.
-    pub fn sample(&self, state: &[f32], rng: &mut impl Rng) -> ([f32; ACTION_DIM], f32) {
-        let (mean, logstd) = self.head(state);
+    /// Batched policy head: one fused MLP pass over `(B, state_dim)`
+    /// states, returning `(means, log_stds)` as `(B, ACTION_DIM)`
+    /// matrices. Every matrix op is row-independent, so row `r` is
+    /// bit-identical to the single-state head of `states.row(r)` — the
+    /// property the `amoeba-serve` batched scheduler relies on.
+    pub fn head_batch(&self, states: &Matrix) -> (Matrix, Matrix) {
+        let out = self.mlp.forward(states);
+        let b = out.rows();
+        let mut mean = Matrix::zeros(b, ACTION_DIM);
+        let mut logstd = Matrix::zeros(b, ACTION_DIM);
+        for r in 0..b {
+            for d in 0..ACTION_DIM {
+                mean[(r, d)] = out[(r, d)];
+                logstd[(r, d)] =
+                    out[(r, ACTION_DIM + d)].clamp(self.logstd_range.0, self.logstd_range.1);
+            }
+        }
+        (mean, logstd)
+    }
+
+    /// Samples one action from an already-computed Gaussian head — the
+    /// shared tail of [`ActorSnapshot::sample`] and the batched serving
+    /// path (which computes heads for many flows at once but draws from
+    /// each flow's own RNG). Returns `(action, log_prob)`.
+    pub fn sample_from_head(
+        mean: &[f32],
+        logstd: &[f32],
+        rng: &mut impl Rng,
+    ) -> ([f32; ACTION_DIM], f32) {
         let mut action = [0.0; ACTION_DIM];
         let mut logp = 0.0;
         for d in 0..ACTION_DIM {
@@ -117,6 +142,13 @@ impl ActorSnapshot {
             logp += -0.5 * z * z - logstd[d] - 0.5 * LOG_2PI;
         }
         (action, logp)
+    }
+
+    /// Samples a raw action via reparameterisation; returns
+    /// `(action, log_prob)`.
+    pub fn sample(&self, state: &[f32], rng: &mut impl Rng) -> ([f32; ACTION_DIM], f32) {
+        let (mean, logstd) = self.head(state);
+        Self::sample_from_head(&mean, &logstd, rng)
     }
 
     /// Deterministic (mean) action for evaluation.
@@ -170,6 +202,13 @@ impl CriticSnapshot {
     pub fn value(&self, state: &[f32]) -> f32 {
         let x = Matrix::from_vec(1, state.len(), state.to_vec());
         self.mlp.forward(&x)[(0, 0)]
+    }
+
+    /// Fused `V(s)` over `(B, state_dim)` states; entry `r` is
+    /// bit-identical to [`CriticSnapshot::value`] on `states.row(r)`.
+    pub fn value_batch(&self, states: &Matrix) -> Vec<f32> {
+        let out = self.mlp.forward(states);
+        (0..out.rows()).map(|r| out[(r, 0)]).collect()
     }
 }
 
@@ -268,6 +307,44 @@ mod tests {
             .values(&Tensor::constant(Matrix::from_vec(1, state.len(), state)))
             .value()[(0, 0)];
         assert!((v1 - graph).abs() < 1e-5);
+    }
+
+    /// The serving scheduler's core assumption: batched heads/values are
+    /// bit-identical to the per-state paths, row by row.
+    #[test]
+    fn batched_heads_and_values_match_per_state_paths() {
+        let cfg = tiny_cfg();
+        let mut rng = StdRng::seed_from_u64(7);
+        let actor = Actor::new(&cfg, &mut rng).snapshot();
+        let critic = Critic::new(&cfg, &mut rng).snapshot();
+        let b = 9;
+        let states = Matrix::randn(b, cfg.state_dim(), 0.7, &mut rng);
+        let (means, logstds) = actor.head_batch(&states);
+        let values = critic.value_batch(&states);
+        assert_eq!(means.shape(), (b, ACTION_DIM));
+        assert_eq!(logstds.shape(), (b, ACTION_DIM));
+        assert_eq!(values.len(), b);
+        for r in 0..b {
+            let row = states.row(r);
+            let mode = actor.mode(row);
+            let (single_mean, single_logstd) = actor.head(row);
+            for d in 0..ACTION_DIM {
+                assert_eq!(means[(r, d)].to_bits(), mode[d].to_bits());
+                assert_eq!(means[(r, d)].to_bits(), single_mean[d].to_bits());
+                assert_eq!(logstds[(r, d)].to_bits(), single_logstd[d].to_bits());
+            }
+            assert_eq!(values[r].to_bits(), critic.value(row).to_bits());
+        }
+        // Sampling from a batched head with the same RNG stream matches
+        // the single-state sample exactly.
+        let row = states.row(0);
+        let (a1, lp1) = actor.sample(row, &mut StdRng::seed_from_u64(11));
+        let mean0: Vec<f32> = (0..ACTION_DIM).map(|d| means[(0, d)]).collect();
+        let logstd0: Vec<f32> = (0..ACTION_DIM).map(|d| logstds[(0, d)]).collect();
+        let (a2, lp2) =
+            ActorSnapshot::sample_from_head(&mean0, &logstd0, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a1, a2);
+        assert_eq!(lp1.to_bits(), lp2.to_bits());
     }
 
     #[test]

@@ -145,6 +145,32 @@ impl ShapedReceiver {
         Ok(())
     }
 
+    /// Consumes a wire buffer holding several concatenated frames, split
+    /// at the given frame boundaries (`frame_sizes[i]` = wire size of the
+    /// `i`-th frame). This is the receive path of a dataplane that drains
+    /// a socket in arbitrary bursts: however the sender's frames were
+    /// re-chunked into reads, reassembly only needs the per-frame sizes
+    /// the transport layer already delimits.
+    ///
+    /// Returns the number of frames consumed. On error, frames before the
+    /// bad one are already applied; the bad frame is not.
+    pub fn push_stream(
+        &mut self,
+        bytes: &[u8],
+        frame_sizes: &[usize],
+    ) -> Result<usize, FrameError> {
+        let mut cursor = 0usize;
+        for &size in frame_sizes {
+            let end = cursor.checked_add(size).ok_or(FrameError::TooShort)?;
+            if end > bytes.len() {
+                return Err(FrameError::TooShort);
+            }
+            self.push_frame(&bytes[cursor..end])?;
+            cursor = end;
+        }
+        Ok(frame_sizes.len())
+    }
+
     /// Bytes reassembled so far.
     pub fn payload(&self) -> &[u8] {
         &self.payload
@@ -221,5 +247,32 @@ mod tests {
     fn rejects_tiny_wire_size() {
         let mut tx = ShapedSender::new(vec![1]);
         let _ = tx.next_frame(2);
+    }
+
+    #[test]
+    fn push_stream_splits_concatenated_frames() {
+        let payload: Vec<u8> = (0..500u32).map(|i| (i % 249) as u8).collect();
+        let mut tx = ShapedSender::new(payload.clone());
+        let sizes = [64usize, MIN_FRAME, 300, 40, 200, 128];
+        let mut wire = Vec::new();
+        let mut emitted = Vec::new();
+        for &s in &sizes {
+            if tx.finished() && emitted.len() > 1 {
+                break;
+            }
+            wire.extend_from_slice(&tx.next_frame(s));
+            emitted.push(s);
+        }
+        assert!(tx.finished());
+        let mut rx = ShapedReceiver::new();
+        assert_eq!(rx.push_stream(&wire, &emitted), Ok(emitted.len()));
+        assert_eq!(rx.into_payload(), payload);
+
+        // Boundary mismatch: declaring more bytes than the buffer holds.
+        let mut rx = ShapedReceiver::new();
+        assert_eq!(
+            rx.push_stream(&wire, &[wire.len() + 1]),
+            Err(FrameError::TooShort)
+        );
     }
 }

@@ -1,0 +1,139 @@
+//! Property tests for the transport framing (§5.6.1): arbitrary byte
+//! streams sliced by arbitrary (agent-dictated) wire sizes must reassemble
+//! exactly — including pure-dummy frames, trailing dummies, arbitrary
+//! re-chunking of the wire stream at frame boundaries, and corruption
+//! surfacing as the right [`FrameError`] without damaging prior payload.
+
+use amoeba_core::shaper::{
+    decode_frame, encode_frame, FrameError, ShapedReceiver, ShapedSender, HEADER_LEN, MIN_FRAME,
+};
+use proptest::prelude::*;
+
+/// Drives `tx` to completion with the given size schedule (cycled), then
+/// appends `trailing` pure-capacity frames; returns the wire frames.
+fn emit_all(tx: &mut ShapedSender, sizes: &[usize], trailing: usize) -> Vec<Vec<u8>> {
+    let mut frames = Vec::new();
+    let mut i = 0;
+    while !tx.finished() {
+        let size = sizes[i % sizes.len()].max(MIN_FRAME);
+        i += 1;
+        frames.push(tx.next_frame(size));
+    }
+    for t in 0..trailing {
+        frames.push(tx.next_frame(MIN_FRAME + (t % 32)));
+    }
+    frames
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Eq. 1 made concrete: whatever sizes the agent dictates, the
+    /// receiver recovers the exact byte stream; dummy frames are inert.
+    #[test]
+    fn round_trip_recovers_exact_stream(
+        payload in prop::collection::vec(any::<u8>(), 0..4096),
+        sizes in prop::collection::vec(MIN_FRAME..2048usize, 1..32),
+        trailing in 0usize..4,
+    ) {
+        let mut tx = ShapedSender::new(payload.clone());
+        let mut rx = ShapedReceiver::new();
+        for frame in emit_all(&mut tx, &sizes, trailing) {
+            prop_assert_eq!(rx.push_frame(&frame), Ok(()));
+        }
+        prop_assert_eq!(rx.into_payload(), payload);
+    }
+
+    /// The same stream re-chunked at frame boundaries into arbitrary
+    /// bursts (as a socket would deliver it) reassembles identically.
+    #[test]
+    fn re_chunked_stream_reassembles(
+        payload in prop::collection::vec(any::<u8>(), 1..2048),
+        sizes in prop::collection::vec(MIN_FRAME..1024usize, 1..16),
+        burst in 1usize..6,
+    ) {
+        let mut tx = ShapedSender::new(payload.clone());
+        let frames = emit_all(&mut tx, &sizes, 1);
+        let mut rx = ShapedReceiver::new();
+        for group in frames.chunks(burst) {
+            let wire: Vec<u8> = group.concat();
+            let frame_sizes: Vec<usize> = group.iter().map(Vec::len).collect();
+            prop_assert_eq!(rx.push_stream(&wire, &frame_sizes), Ok(group.len()));
+        }
+        prop_assert_eq!(rx.into_payload(), payload);
+    }
+
+    /// Frame capacity accounting: each frame carries exactly
+    /// `min(remaining, wire − header)` payload bytes and is padded to the
+    /// dictated wire size.
+    #[test]
+    fn frames_have_exact_wire_size_and_capacity(
+        payload in prop::collection::vec(any::<u8>(), 0..512),
+        size in MIN_FRAME..1500usize,
+    ) {
+        let mut tx = ShapedSender::new(payload.clone());
+        let before = tx.remaining();
+        let frame = tx.next_frame(size);
+        prop_assert_eq!(frame.len(), size);
+        let carried = before - tx.remaining();
+        prop_assert_eq!(carried, (size - HEADER_LEN).min(before));
+        prop_assert_eq!(decode_frame(&frame).unwrap(), &payload[..carried]);
+    }
+
+    /// Corruption is detected and attributed, and never corrupts payload
+    /// already reassembled from good frames.
+    #[test]
+    fn corruption_yields_frame_error_and_preserves_prefix(
+        payload in prop::collection::vec(any::<u8>(), 64..1024),
+        good_size in 32usize..256,
+        kind in 0u8..3,
+    ) {
+        let mut tx = ShapedSender::new(payload.clone());
+        let good = tx.next_frame(good_size);
+        let mut rx = ShapedReceiver::new();
+        rx.push_frame(&good).unwrap();
+        let recovered_before = rx.payload().to_vec();
+
+        let mut bad = tx.next_frame(good_size);
+        let expected = match kind {
+            0 => {
+                bad[0] ^= 0xFF; // magic
+                FrameError::BadMagic
+            }
+            1 => {
+                bad.truncate(HEADER_LEN - 1);
+                FrameError::TooShort
+            }
+            _ => {
+                bad[2] = 0xFF; // declared length > body
+                bad[3] = 0xFF;
+                FrameError::LengthMismatch
+            }
+        };
+        prop_assert_eq!(rx.push_frame(&bad), Err(expected.clone()));
+        prop_assert_eq!(
+            rx.push_stream(&bad, &[bad.len()]),
+            Err(expected)
+        );
+        prop_assert_eq!(rx.payload(), &recovered_before[..]);
+    }
+
+    /// Pure-dummy frames (header only) are legal everywhere in a stream
+    /// and contribute no payload.
+    #[test]
+    fn dummy_frames_are_transparent(
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        dummies in 1usize..8,
+    ) {
+        let mut rx = ShapedReceiver::new();
+        for _ in 0..dummies {
+            rx.push_frame(&encode_frame(b"", MIN_FRAME)).unwrap();
+        }
+        let mut tx = ShapedSender::new(payload.clone());
+        while !tx.finished() {
+            rx.push_frame(&tx.next_frame(128)).unwrap();
+            rx.push_frame(&encode_frame(b"", MIN_FRAME)).unwrap();
+        }
+        prop_assert_eq!(rx.into_payload(), payload);
+    }
+}

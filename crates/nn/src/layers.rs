@@ -250,6 +250,29 @@ impl Forward for MlpSnapshot {
         }
         h
     }
+
+    /// Fused fast path: equal-width single-row inputs are stacked into one
+    /// `(B, in)` matrix, pushed through a single forward pass, and split
+    /// back into rows. Because every matrix op involved is row-independent,
+    /// each output row is bit-identical to the per-input [`Forward::forward`]
+    /// result; the win is one allocation + weight traversal per layer per
+    /// *batch* instead of per *sample* (the `amoeba-serve` scheduler's hot
+    /// path). Mixed shapes fall back to the default per-input mapping.
+    fn forward_batch(&self, xs: &[Matrix]) -> Vec<Matrix> {
+        let stackable =
+            xs.len() > 1 && xs.iter().all(|x| x.rows() == 1 && x.cols() == xs[0].cols());
+        if !stackable {
+            return xs.iter().map(|x| self.forward(x)).collect();
+        }
+        let mut stacked = Matrix::zeros(xs.len(), xs[0].cols());
+        for (r, x) in xs.iter().enumerate() {
+            stacked.row_mut(r).copy_from_slice(x.as_slice());
+        }
+        let out = self.forward(&stacked);
+        (0..out.rows())
+            .map(|r| Matrix::from_vec(1, out.cols(), out.row(r).to_vec()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -354,5 +377,35 @@ mod tests {
     fn mlp_rejects_single_dim() {
         let mut rng = StdRng::seed_from_u64(7);
         let _ = Mlp::new(&[3], Activation::Tanh, Activation::Identity, &mut rng);
+    }
+
+    /// The serve-path guarantee: the fused `forward_batch` fast path must
+    /// be bit-identical to mapping `forward` over the inputs.
+    #[test]
+    fn mlp_forward_batch_fused_is_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let snap = Mlp::new(
+            &[6, 16, 4],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        )
+        .snapshot();
+        let xs: Vec<Matrix> = (0..37)
+            .map(|_| Matrix::randn(1, 6, 1.0, &mut rng))
+            .collect();
+        let fused = snap.forward_batch(&xs);
+        assert_eq!(fused.len(), xs.len());
+        for (x, y) in xs.iter().zip(&fused) {
+            let single = snap.forward(x);
+            assert_eq!(y.shape(), single.shape());
+            let bits = |m: &Matrix| m.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(y), bits(&single));
+        }
+        // Mixed shapes fall back to the per-input path.
+        let mixed = vec![Matrix::ones(1, 6), Matrix::ones(2, 6)];
+        let out = snap.forward_batch(&mixed);
+        assert_eq!(out[0].shape(), (1, 4));
+        assert_eq!(out[1].shape(), (2, 4));
     }
 }

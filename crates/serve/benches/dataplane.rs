@@ -1,0 +1,111 @@
+//! Serving benches: the batched inference fast path against the per-flow
+//! path, at both the raw-network level (fused `forward_batch` vs mapped
+//! `forward`) and the end-to-end dataplane level (batch 64 vs batch 1 on
+//! the same workload).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use amoeba_classifiers::{Censor, CensorKind, ConstantCensor};
+use amoeba_core::encoder::StateEncoder;
+use amoeba_core::policy::Actor;
+use amoeba_core::AmoebaConfig;
+use amoeba_nn::layers::{Activation, Mlp};
+use amoeba_nn::matrix::Matrix;
+use amoeba_nn::Forward;
+use amoeba_serve::{Dataplane, FrozenPolicy, ServeConfig};
+use amoeba_traffic::{Flow, Layer};
+
+fn policy() -> FrozenPolicy {
+    let mut rng = StdRng::seed_from_u64(7);
+    let encoder = StateEncoder::new(32, 2, &mut rng);
+    let cfg = AmoebaConfig {
+        encoder_hidden: 32,
+        actor_hidden: vec![64, 32],
+        ..AmoebaConfig::fast()
+    };
+    let actor = Actor::new(&cfg, &mut rng);
+    FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
+}
+
+fn workload(n: usize) -> Vec<Flow> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(3..7usize);
+            Flow::from_pairs(
+                &(0..len)
+                    .map(|i| {
+                        let size = rng.gen_range(80..1400i32);
+                        let sign = if rng.gen_bool(0.5) { 1 } else { -1 };
+                        (
+                            sign * size,
+                            if i == 0 { 0.0 } else { rng.gen_range(0.0..4.0) },
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}
+
+/// The `amoeba-nn` fast path in isolation: one fused pass over 256
+/// single-row states vs 256 individual forwards of the same MLP.
+fn bench_forward_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mlp = Mlp::new(
+        &[64, 128, 64, 4],
+        Activation::Tanh,
+        Activation::Identity,
+        &mut rng,
+    )
+    .snapshot();
+    let states: Vec<Matrix> = (0..256)
+        .map(|_| Matrix::randn(1, 64, 1.0, &mut rng))
+        .collect();
+    c.bench_function("serve_mlp_forward_per_flow_256", |b| {
+        b.iter(|| {
+            states
+                .iter()
+                .map(|x| mlp.forward(x))
+                .collect::<Vec<Matrix>>()
+        })
+    });
+    c.bench_function("serve_mlp_forward_batch_fused_256", |b| {
+        b.iter(|| mlp.forward_batch(&states))
+    });
+}
+
+/// End-to-end dataplane throughput on the same 200-flow workload:
+/// per-flow inference (batch 1) vs the batched scheduler (batch 64).
+fn bench_dataplane_batching(c: &mut Criterion) {
+    let flows = workload(200);
+    let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+        fixed_score: 0.1,
+        as_kind: CensorKind::Dt,
+    });
+    for batch in [1usize, 64] {
+        let name = format!("dataplane_200flows_batch{batch}");
+        c.bench_function(&name, |b| {
+            b.iter_batched(
+                || {
+                    let mut dp = Dataplane::new(
+                        policy(),
+                        Arc::clone(&censor),
+                        ServeConfig::new(Layer::Tcp).with_seed(5).with_batch(batch),
+                    );
+                    dp.add_flows(flows.iter());
+                    dp
+                },
+                |dp| dp.run(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+criterion_group!(benches, bench_forward_batch, bench_dataplane_batching);
+criterion_main!(benches);

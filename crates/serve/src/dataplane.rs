@@ -1,0 +1,409 @@
+//! The discrete-event dataplane: a virtual clock over thousands of
+//! concurrent sessions, with a batched inference scheduler that fuses all
+//! due flows' observations into single encoder/actor passes per tick.
+//!
+//! ## Scheduling model
+//!
+//! Each session's next decision becomes *ready* the moment its previous
+//! frame is emitted (`ready_at`); the frame itself leaves `delay_ms`
+//! later, which is when the following decision is taken — inference cost
+//! hides inside the frame delay, exactly the §5.6.1 deployment argument.
+//! The loop repeatedly takes the earliest ready time `t`, collects every
+//! session ready within the scheduler quantum `[t, t + tick_ms]` in
+//! session-id order, and processes them in inference batches of at most
+//! `max_batch` flows.
+//!
+//! ## Grouping invariance
+//!
+//! Sessions are fully independent (stateless censor, per-session RNGs,
+//! row-independent matrix kernels), so *any* grouping of ready sessions
+//! into batches produces bit-identical per-session output — `max_batch`
+//! and `tick_ms` are pure throughput knobs. The regression tests pin this
+//! for batch sizes 1, 64 and 256.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use amoeba_classifiers::Censor;
+use amoeba_core::encoder::EncoderState;
+use amoeba_core::policy::ActorSnapshot;
+use amoeba_core::{Action, ShapingKernel};
+use amoeba_nn::matrix::Matrix;
+use amoeba_traffic::Flow;
+
+use crate::metrics::{ServeReport, SessionOutcome};
+use crate::session::Session;
+use crate::{ActionMode, FrozenPolicy, ServeConfig, VerdictPolicy};
+
+/// The serving engine: frozen policy + censor + concurrent sessions.
+pub struct Dataplane {
+    policy: FrozenPolicy,
+    censor: Arc<dyn Censor>,
+    cfg: ServeConfig,
+    kernel: ShapingKernel,
+    sessions: Vec<Session>,
+    /// Per-session incremental `E(x_{1:t})` states (indexed by session id).
+    x_states: Vec<EncoderState>,
+    /// Per-session incremental `E(a_{1:t})` states.
+    a_states: Vec<EncoderState>,
+}
+
+impl Dataplane {
+    /// Builds an empty dataplane around a frozen policy and an inline
+    /// censor.
+    pub fn new(policy: FrozenPolicy, censor: Arc<dyn Censor>, cfg: ServeConfig) -> Self {
+        let kernel = cfg.kernel();
+        Self {
+            policy,
+            censor,
+            cfg,
+            kernel,
+            sessions: Vec::new(),
+            x_states: Vec::new(),
+            a_states: Vec::new(),
+        }
+    }
+
+    /// Number of admitted sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// True when no sessions were admitted.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Admits one session carrying a deterministic pseudo-random payload
+    /// sized to the offered flow; returns its session id.
+    pub fn add_flow(&mut self, offered: &Flow) -> usize {
+        let id = self.sessions.len();
+        self.sessions.push(Session::new(id, offered, &self.cfg));
+        self.x_states.push(self.policy.encoder.begin());
+        self.a_states.push(self.policy.encoder.begin());
+        id
+    }
+
+    /// Admits one session carrying caller-supplied byte streams.
+    pub fn add_flow_with_payload(
+        &mut self,
+        offered: &Flow,
+        outbound: Vec<u8>,
+        inbound: Vec<u8>,
+    ) -> usize {
+        let id = self.sessions.len();
+        self.sessions.push(Session::with_payload(
+            id, offered, &self.cfg, outbound, inbound,
+        ));
+        self.x_states.push(self.policy.encoder.begin());
+        self.a_states.push(self.policy.encoder.begin());
+        id
+    }
+
+    /// Admits many flows at once.
+    pub fn add_flows<'a>(&mut self, offered: impl IntoIterator<Item = &'a Flow>) {
+        for f in offered {
+            self.add_flow(f);
+        }
+    }
+
+    /// Drives every session to completion and returns the run report.
+    pub fn run(mut self) -> ServeReport {
+        let start = Instant::now();
+        let mut active: Vec<usize> = (0..self.sessions.len())
+            .filter(|&i| !self.sessions[i].is_done())
+            .collect();
+        let mut latencies: Vec<f32> = Vec::new();
+        let mut batches = 0usize;
+        let mut frames = 0usize;
+        let quantum = self.cfg.tick_ms.max(0.0) as f64;
+
+        while !active.is_empty() {
+            // Earliest ready session defines the tick; everything ready
+            // within the quantum joins it, in session-id order.
+            let t = active
+                .iter()
+                .map(|&i| self.sessions[i].ready_at())
+                .fold(f64::INFINITY, f64::min);
+            let due: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| self.sessions[i].ready_at() <= t + quantum)
+                .collect();
+            for chunk in due.chunks(self.cfg.max_batch.max(1)) {
+                let t0 = Instant::now();
+                self.process_chunk(chunk);
+                let us = (t0.elapsed().as_nanos() as f64 / 1e3) as f32;
+                latencies.extend(std::iter::repeat_n(us, chunk.len()));
+                batches += 1;
+                frames += chunk.len();
+            }
+            active.retain(|&i| !self.sessions[i].is_done());
+        }
+
+        ServeReport {
+            outcomes: self
+                .sessions
+                .into_iter()
+                .map(Session::into_outcome)
+                .collect::<Vec<SessionOutcome>>(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            frames,
+            inference_batches: batches,
+            frame_latency_us: latencies,
+        }
+    }
+
+    /// One inference batch: gather observations, fused encoder/actor
+    /// passes, then per-session framing + impairment + verdicts.
+    fn process_chunk(&mut self, chunk: &[usize]) {
+        let b = chunk.len();
+        let hidden = self.policy.encoder.hidden_size();
+        let kernel = self.kernel;
+
+        // Gather the pending observations into one (B, 2) matrix.
+        let mut obs = Matrix::zeros(b, 2);
+        for (r, &i) in chunk.iter().enumerate() {
+            let o = self.sessions[i]
+                .observe()
+                .expect("ready session has an observation");
+            obs.row_mut(r)
+                .copy_from_slice(&o.normalized(self.cfg.layer, self.cfg.max_delay_ms));
+        }
+        // One fused GRU step advances every due flow's E(x_{1:t}).
+        self.policy
+            .encoder
+            .push_batch(&mut self.x_states, chunk, &obs);
+
+        // One fused actor pass over the concatenated states.
+        let mut states = Matrix::zeros(b, 2 * hidden);
+        for (r, &i) in chunk.iter().enumerate() {
+            let row = states.row_mut(r);
+            row[..hidden].copy_from_slice(self.x_states[i].representation());
+            row[hidden..].copy_from_slice(self.a_states[i].representation());
+        }
+        let (means, logstds) = self.policy.actor.head_batch(&states);
+
+        // Per-session: act, frame, impair, verdict.
+        let mut emitted = Matrix::zeros(b, 2);
+        for (r, &i) in chunk.iter().enumerate() {
+            let action = match self.cfg.mode {
+                ActionMode::Deterministic => Action::clamped(means[(r, 0)], means[(r, 1)]),
+                ActionMode::Sample => {
+                    let (a, _) = ActorSnapshot::sample_from_head(
+                        means.row(r),
+                        logstds.row(r),
+                        self.sessions[i].rng(),
+                    );
+                    Action::clamped(a[0], a[1])
+                }
+            };
+            let netem = self.cfg.netem;
+            let event = self.sessions[i].advance(&kernel, action, netem.as_ref());
+            emitted
+                .row_mut(r)
+                .copy_from_slice(&kernel.normalize_packet(&event.emitted));
+
+            let inline = match self.cfg.verdicts {
+                VerdictPolicy::Final => false,
+                VerdictPolicy::EveryFrame => true,
+                VerdictPolicy::Every(n) => n > 0 && self.sessions[i].frames().is_multiple_of(n),
+            };
+            if inline
+                && !event.done
+                && !self.sessions[i].blocked_midstream()
+                && self.censor.blocks(self.sessions[i].wire())
+            {
+                self.sessions[i].set_blocked_midstream();
+            }
+            if event.done {
+                let score = self.censor.score(self.sessions[i].wire());
+                self.sessions[i].set_final_score(score);
+                self.sessions[i].finish_streams(self.cfg.verify_streams);
+            }
+        }
+        // One fused GRU step records what went on the wire in E(a_{1:t}).
+        self.policy
+            .encoder
+            .push_batch(&mut self.a_states, chunk, &emitted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoeba_classifiers::{CensorKind, ConstantCensor};
+    use amoeba_core::encoder::StateEncoder;
+    use amoeba_core::policy::Actor;
+    use amoeba_core::AmoebaConfig;
+    use amoeba_traffic::{Layer, NetEm};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_policy(seed: u64) -> FrozenPolicy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = StateEncoder::new(16, 2, &mut rng);
+        let cfg = AmoebaConfig {
+            encoder_hidden: 16,
+            actor_hidden: vec![32],
+            ..AmoebaConfig::fast()
+        };
+        let actor = Actor::new(&cfg, &mut rng);
+        FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
+    }
+
+    fn allow_censor() -> Arc<dyn Censor> {
+        Arc::new(ConstantCensor {
+            fixed_score: 0.1,
+            as_kind: CensorKind::Dt,
+        })
+    }
+
+    fn offered_flows(n: usize, seed: u64) -> Vec<Flow> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let len = rng.gen_range(2..6usize);
+                Flow::from_pairs(
+                    &(0..len)
+                        .map(|i| {
+                            let size = rng.gen_range(40..1400i32);
+                            let sign = if rng.gen_bool(0.5) { 1 } else { -1 };
+                            let delay = if i == 0 {
+                                0.0
+                            } else {
+                                rng.gen_range(0.0..8.0f32)
+                            };
+                            (sign * size, delay)
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    fn run_with_batch(
+        flows: &[Flow],
+        batch: usize,
+        mode: ActionMode,
+        netem: Option<NetEm>,
+    ) -> ServeReport {
+        let policy = tiny_policy(7);
+        let mut cfg = ServeConfig::new(Layer::Tcp)
+            .with_seed(11)
+            .with_batch(batch)
+            .with_mode(mode);
+        cfg.netem = netem;
+        let mut dp = Dataplane::new(policy, allow_censor(), cfg);
+        dp.add_flows(flows.iter());
+        dp.run()
+    }
+
+    fn wire_bits(report: &ServeReport) -> Vec<Vec<(i32, u32)>> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| {
+                o.wire
+                    .packets
+                    .iter()
+                    .map(|p| (p.size, p.delay_ms.to_bits()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The acceptance criterion: ≥ 1k concurrent flows in one process,
+    /// bit-identical output for a fixed seed regardless of batch size.
+    #[test]
+    fn thousand_flows_bit_identical_across_batch_sizes() {
+        let flows = offered_flows(1000, 3);
+        let reference = run_with_batch(&flows, 1, ActionMode::Deterministic, None);
+        assert_eq!(reference.outcomes.len(), 1000);
+        assert!(reference.frames >= 1000);
+        assert_eq!(
+            reference.stream_ok_rate(),
+            1.0,
+            "every stream must reassemble bit-exact"
+        );
+        let ref_bits = wire_bits(&reference);
+        for batch in [64, 256] {
+            let report = run_with_batch(&flows, batch, ActionMode::Deterministic, None);
+            assert_eq!(report.frames, reference.frames, "batch {batch}");
+            assert_eq!(report.stream_ok_rate(), 1.0, "batch {batch}");
+            assert_eq!(wire_bits(&report), ref_bits, "batch {batch} diverged");
+        }
+    }
+
+    /// Stochastic serving and path impairment draw from per-session RNGs,
+    /// so they are batch-size invariant too.
+    #[test]
+    fn sampled_and_impaired_serving_is_batch_invariant() {
+        let flows = offered_flows(64, 5);
+        let netem = Some(NetEm {
+            drop_rate: 0.1,
+            retransmit_timeout_ms: 60.0,
+            jitter_std: 0.1,
+        });
+        let a = run_with_batch(&flows, 1, ActionMode::Sample, netem);
+        let b = run_with_batch(&flows, 64, ActionMode::Sample, netem);
+        assert_eq!(wire_bits(&a), wire_bits(&b));
+        assert_eq!(a.stream_ok_rate(), 1.0);
+        // Duplicated packets appear on the wire.
+        let wire_packets: usize = a.outcomes.iter().map(|o| o.wire.len()).sum();
+        let frames: usize = a.outcomes.iter().map(|o| o.frames).sum();
+        assert!(wire_packets > frames, "netem should duplicate some frames");
+    }
+
+    #[test]
+    fn inline_verdicts_catch_blocking_censors() {
+        let flows = offered_flows(24, 9);
+        let policy = tiny_policy(7);
+        let block: Arc<dyn Censor> = Arc::new(ConstantCensor {
+            fixed_score: 0.9,
+            as_kind: CensorKind::Dt,
+        });
+        let cfg = ServeConfig::new(Layer::Tcp)
+            .with_seed(1)
+            .with_verdicts(VerdictPolicy::EveryFrame);
+        let mut dp = Dataplane::new(policy, block, cfg);
+        dp.add_flows(flows.iter());
+        let report = dp.run();
+        assert_eq!(report.evasion_rate(), 0.0);
+        assert!(report.outcomes.iter().all(|o| o.blocked_midstream));
+        // Blocked or not, payload delivery still verifies.
+        assert_eq!(report.stream_ok_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_accounts_frames_latency_and_throughput() {
+        let flows = offered_flows(32, 13);
+        let report = run_with_batch(&flows, 16, ActionMode::Deterministic, None);
+        assert_eq!(
+            report.frames,
+            report.outcomes.iter().map(|o| o.frames).sum::<usize>()
+        );
+        assert_eq!(report.frame_latency_us.len(), report.frames);
+        assert!(report.inference_batches > 0);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.flows_per_sec() > 0.0);
+        assert!(report.p99_latency_us() >= report.p50_latency_us());
+        assert!(report.evasion_rate() == 1.0, "allow-all censor");
+        for o in &report.outcomes {
+            assert!(o.wire_bytes >= o.payload_bytes + o.header_bytes);
+            assert!(o.duration_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_offered_flows_complete_without_frames() {
+        let policy = tiny_policy(7);
+        let mut dp = Dataplane::new(policy, allow_censor(), ServeConfig::new(Layer::Tcp));
+        dp.add_flow(&Flow::new());
+        assert_eq!(dp.len(), 1);
+        let report = dp.run();
+        assert_eq!(report.frames, 0);
+        assert_eq!(report.outcomes[0].frames, 0);
+        assert!(report.outcomes[0].stream_ok);
+    }
+}

@@ -1,0 +1,244 @@
+//! # amoeba-serve
+//!
+//! The online flow-shaping dataplane (§5.6.1): where `amoeba-core` *trains*
+//! policies inside the offline gym, this crate *serves* them — a
+//! deterministic, discrete-event dataplane that drives thousands of
+//! concurrent framed sessions from frozen policy snapshots, the
+//! "transport-layer extension inside obfuscators" deployment the paper
+//! argues for.
+//!
+//! ## Architecture
+//!
+//! * [`session::Session`] — the per-flow state machine: an application
+//!   byte stream per direction enters a `ShapedSender`, the shared
+//!   [`amoeba_core::ShapingKernel`] (the same §4.2 constraint logic the
+//!   gym uses) turns policy actions into legal frame shapes, frames go on
+//!   the wire with the §5.6.1 header, and a `ShapedReceiver` at the far
+//!   end reassembles the exact original stream.
+//! * [`dataplane::Dataplane`] — the event loop: a virtual clock honouring
+//!   per-frame delays, optional [`amoeba_traffic::NetEm`] impairment of
+//!   what the on-path censor observes, an inline streaming censor verdict
+//!   per flow, and the **batched inference scheduler**: at every virtual
+//!   tick, all due flows' observations are gathered into single matrices
+//!   and pushed through one fused GRU/MLP pass (`push_batch` /
+//!   `head_batch`) instead of per-flow calls.
+//! * [`metrics::ServeReport`] — throughput (`flows/sec`, `MB/s`),
+//!   per-frame latency percentiles, evasion rate, overhead accounting.
+//!
+//! ## Determinism
+//!
+//! Every matrix op on the batched path is row-independent and every
+//! source of randomness (action sampling, NetEm) draws from a per-session
+//! RNG, so for a fixed seed the dataplane's output is **bit-identical
+//! regardless of the inference batch size** — batch 1, 64 and 256 produce
+//! the same wire flows. This is the property that makes batching a pure
+//! throughput knob rather than a semantics knob, and it is what every
+//! future scaling axis (sharding, async backends, multi-censor serving)
+//! plugs into.
+//!
+//! ## Framing note
+//!
+//! Each emitted frame carries the 4-byte `amoeba_core::shaper` header *on
+//! top of* the policy-chosen size, so wire sizes observed by the censor
+//! are `decision + HEADER_LEN`. Keeping the header outside the decision
+//! preserves the gym's payload-conservation guarantee end-to-end: the
+//! frame capacity always covers the payload the kernel promised to move.
+//! The action-history encoder `E(a_{1:t})`, by contrast, is fed the
+//! *kernel* packet (header-exclusive), exactly as during training, so the
+//! frozen policy runs on the input distribution it was optimised for; the
+//! header shift is visible only to the on-path censor (a real deployment
+//! gap the gym could close by training with header-inclusive rewards).
+
+#![warn(missing_docs)]
+
+pub mod dataplane;
+pub mod metrics;
+pub mod session;
+
+use std::sync::Arc;
+
+use amoeba_core::encoder::EncoderSnapshot;
+use amoeba_core::policy::ActorSnapshot;
+use amoeba_core::ppo::PolicySnapshots;
+use amoeba_core::{ActionSpace, AmoebaAgent, AmoebaConfig, ShapingKernel};
+use amoeba_traffic::{Layer, NetEm};
+
+pub use dataplane::Dataplane;
+pub use metrics::{ServeReport, SessionOutcome};
+pub use session::Session;
+
+/// The slice of a trained agent the dataplane needs: the frozen
+/// StateEncoder and actor. (Serving never needs the critic.)
+#[derive(Clone)]
+pub struct FrozenPolicy {
+    /// Frozen StateEncoder driving `E(x_{1:t})` and `E(a_{1:t})`.
+    pub encoder: Arc<EncoderSnapshot>,
+    /// Frozen Gaussian actor.
+    pub actor: Arc<ActorSnapshot>,
+}
+
+impl FrozenPolicy {
+    /// Wraps snapshots for serving.
+    pub fn new(encoder: EncoderSnapshot, actor: ActorSnapshot) -> Self {
+        Self {
+            encoder: Arc::new(encoder),
+            actor: Arc::new(actor),
+        }
+    }
+
+    /// Freezes a trained agent's encoder + actor.
+    pub fn from_agent(agent: &AmoebaAgent) -> Self {
+        Self::new(agent.encoder().clone(), agent.actor().clone())
+    }
+}
+
+impl From<&PolicySnapshots> for FrozenPolicy {
+    fn from(p: &PolicySnapshots) -> Self {
+        Self {
+            encoder: Arc::clone(&p.encoder),
+            actor: Arc::clone(&p.actor),
+        }
+    }
+}
+
+/// How the dataplane turns policy heads into actions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ActionMode {
+    /// Deterministic mean action (lowest variance, fully RNG-free).
+    #[default]
+    Deterministic,
+    /// Sample from the Gaussian policy with a per-session RNG (the
+    /// paper's generation mode, §4.1).
+    Sample,
+}
+
+/// When the inline censor renders verdicts on a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VerdictPolicy {
+    /// Score only the complete flow (cheapest).
+    #[default]
+    Final,
+    /// Score every prefix, like the training gym (a censor "on the wire").
+    EveryFrame,
+    /// Score every `n`-th frame plus the complete flow.
+    Every(usize),
+}
+
+/// Dataplane configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Observation layer (TCP segments or TLS records).
+    pub layer: Layer,
+    /// Maximum agent-added delay per frame (ms).
+    pub max_delay_ms: f32,
+    /// Minimum policy-chosen frame size (bytes, before the header).
+    pub min_packet: u32,
+    /// Morphing operations available to the policy.
+    pub action_space: ActionSpace,
+    /// Per-session frame cap as a multiple of the offered flow length.
+    pub max_len_factor: usize,
+    /// Additive slack on top of the frame cap.
+    pub max_len_slack: usize,
+    /// Maximum flows fused into one inference batch (≥ 1).
+    pub max_batch: usize,
+    /// Scheduler quantum (virtual ms): all sessions ready within
+    /// `[t, t + tick_ms]` of the earliest ready time join one tick. A
+    /// pure throughput knob — per-session output is grouping-invariant.
+    pub tick_ms: f32,
+    /// Deterministic vs sampled actions.
+    pub mode: ActionMode,
+    /// Optional path impairment applied to what the censor observes.
+    pub netem: Option<NetEm>,
+    /// Inline verdict cadence.
+    pub verdicts: VerdictPolicy,
+    /// Verify end-to-end stream reassembly per session (cleared from
+    /// memory as sessions finish either way).
+    pub verify_streams: bool,
+    /// Master seed for per-session payload generation, sampling and NetEm.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// Sensible serving defaults at a layer (mirrors
+    /// [`AmoebaConfig::fast`]'s environment limits).
+    pub fn new(layer: Layer) -> Self {
+        Self {
+            layer,
+            max_delay_ms: 100.0,
+            min_packet: 1,
+            action_space: ActionSpace::Both,
+            max_len_factor: 3,
+            max_len_slack: 16,
+            max_batch: 64,
+            tick_ms: 5.0,
+            mode: ActionMode::Deterministic,
+            netem: None,
+            verdicts: VerdictPolicy::Final,
+            verify_streams: true,
+            seed: 0,
+        }
+    }
+
+    /// Derives serving limits from a training config, so a policy serves
+    /// under exactly the constraints it was trained with.
+    pub fn from_amoeba(cfg: &AmoebaConfig, layer: Layer) -> Self {
+        Self {
+            max_delay_ms: cfg.max_delay_ms,
+            min_packet: cfg.min_packet,
+            action_space: cfg.action_space,
+            max_len_factor: cfg.max_len_factor,
+            max_len_slack: cfg.max_len_slack,
+            seed: cfg.seed,
+            ..Self::new(layer)
+        }
+    }
+
+    /// Sets the inference batch cap.
+    pub fn with_batch(mut self, max_batch: usize) -> Self {
+        assert!(max_batch >= 1, "max_batch must be at least 1");
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the scheduler quantum (virtual ms).
+    pub fn with_tick(mut self, tick_ms: f32) -> Self {
+        assert!(tick_ms >= 0.0, "tick_ms must be non-negative");
+        self.tick_ms = tick_ms;
+        self
+    }
+
+    /// Sets the action mode.
+    pub fn with_mode(mut self, mode: ActionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Enables path impairment.
+    pub fn with_netem(mut self, netem: NetEm) -> Self {
+        self.netem = Some(netem);
+        self
+    }
+
+    /// Sets the inline verdict cadence.
+    pub fn with_verdicts(mut self, verdicts: VerdictPolicy) -> Self {
+        self.verdicts = verdicts;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The shaping kernel this configuration induces — shared §4.2
+    /// constraint logic with the training gym.
+    pub fn kernel(&self) -> ShapingKernel {
+        ShapingKernel::new(
+            self.layer,
+            self.max_delay_ms,
+            self.min_packet,
+            self.action_space,
+        )
+    }
+}

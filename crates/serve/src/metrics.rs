@@ -1,0 +1,224 @@
+//! Serving telemetry: per-session outcomes and the aggregate throughput /
+//! latency / evasion report the ROADMAP's scaling work steers by.
+
+use amoeba_traffic::Flow;
+
+/// One completed session's accounting.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Session identifier.
+    pub id: usize,
+    /// The flow was never blocked mid-stream and its final score allowed.
+    /// A session whose offered flow was empty emits nothing, is never
+    /// scored (`final_score` stays 0.0), and trivially counts as evaded —
+    /// there was nothing on the wire to block.
+    pub evaded: bool,
+    /// An inline verdict blocked a prefix of the flow.
+    pub blocked_midstream: bool,
+    /// Censor score on the complete wire flow.
+    pub final_score: f32,
+    /// Frames emitted (pre-impairment).
+    pub frames: usize,
+    /// Application payload bytes carried (both directions).
+    pub payload_bytes: u64,
+    /// Bytes on the wire as observed on-path (headers + padding +
+    /// impairment duplicates included).
+    pub wire_bytes: u64,
+    /// Dummy padding bytes inside frames.
+    pub padding_bytes: u64,
+    /// Framing header bytes.
+    pub header_bytes: u64,
+    /// Agent-added delay total (ms).
+    pub extra_delay_ms: f32,
+    /// Virtual transmission time of the session (ms).
+    pub duration_ms: f64,
+    /// End-to-end reassembly verified bit-exact.
+    pub stream_ok: bool,
+    /// The on-path wire flow (feeds censors / feature extractors via
+    /// `Flow::from_frames`-shaped packets).
+    pub wire: Flow,
+}
+
+impl SessionOutcome {
+    /// `(padding + headers) / wire bytes` — serving data overhead.
+    pub fn data_overhead(&self) -> f32 {
+        if self.wire_bytes == 0 {
+            0.0
+        } else {
+            (self.padding_bytes + self.header_bytes) as f32 / self.wire_bytes as f32
+        }
+    }
+}
+
+/// Aggregate dataplane run report.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Per-session outcomes, in session-id order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Wall-clock time of the whole run (seconds).
+    pub wall_seconds: f64,
+    /// Total frames processed.
+    pub frames: usize,
+    /// Inference batches executed.
+    pub inference_batches: usize,
+    /// Wall-clock latency of each frame's processing (µs): a frame's
+    /// latency is the duration of the batch that carried it, i.e. what a
+    /// flow actually waits for its next frame decision.
+    pub frame_latency_us: Vec<f32>,
+}
+
+impl ServeReport {
+    /// Fraction of sessions that evaded the censor.
+    pub fn evasion_rate(&self) -> f32 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.evaded).count() as f32 / self.outcomes.len() as f32
+    }
+
+    /// Fraction of sessions whose streams reassembled bit-exact.
+    pub fn stream_ok_rate(&self) -> f32 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes.iter().filter(|o| o.stream_ok).count() as f32 / self.outcomes.len() as f32
+    }
+
+    /// Completed flows per wall-clock second.
+    pub fn flows_per_sec(&self) -> f64 {
+        self.outcomes.len() as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Frames per wall-clock second.
+    pub fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Application payload megabytes moved per wall-clock second.
+    pub fn payload_mb_per_sec(&self) -> f64 {
+        let bytes: u64 = self.outcomes.iter().map(|o| o.payload_bytes).sum();
+        bytes as f64 / 1e6 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Wire megabytes emitted per wall-clock second.
+    pub fn wire_mb_per_sec(&self) -> f64 {
+        let bytes: u64 = self.outcomes.iter().map(|o| o.wire_bytes).sum();
+        bytes as f64 / 1e6 / self.wall_seconds.max(1e-9)
+    }
+
+    /// Mean serving data overhead across sessions.
+    pub fn data_overhead(&self) -> f32 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(SessionOutcome::data_overhead)
+            .sum::<f32>()
+            / self.outcomes.len() as f32
+    }
+
+    /// Per-frame latency percentiles in µs (one sort for all requested
+    /// `qs`, each in `[0, 1]`).
+    pub fn latency_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
+        if self.frame_latency_us.is_empty() {
+            return vec![0.0; qs.len()];
+        }
+        let mut sorted = self.frame_latency_us.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        qs.iter()
+            .map(|q| {
+                let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+                sorted[idx]
+            })
+            .collect()
+    }
+
+    /// Per-frame latency percentile in µs (`q` in `[0, 1]`).
+    pub fn latency_percentile_us(&self, q: f64) -> f32 {
+        self.latency_percentiles_us(&[q])[0]
+    }
+
+    /// Median per-frame latency (µs).
+    pub fn p50_latency_us(&self) -> f32 {
+        self.latency_percentile_us(0.50)
+    }
+
+    /// Tail per-frame latency (µs).
+    pub fn p99_latency_us(&self) -> f32 {
+        self.latency_percentile_us(0.99)
+    }
+
+    /// One-line human summary.
+    pub fn summary(&self) -> String {
+        let ps = self.latency_percentiles_us(&[0.50, 0.99]);
+        format!(
+            "{} flows, {} frames in {:.2}s | {:.0} flows/s, {:.0} frames/s, \
+             {:.2} MB/s payload ({:.2} MB/s wire) | latency p50 {:.1}µs p99 {:.1}µs | \
+             evasion {:.1}%, streams ok {:.1}%, overhead {:.1}%",
+            self.outcomes.len(),
+            self.frames,
+            self.wall_seconds,
+            self.flows_per_sec(),
+            self.frames_per_sec(),
+            self.payload_mb_per_sec(),
+            self.wire_mb_per_sec(),
+            ps[0],
+            ps[1],
+            self.evasion_rate() * 100.0,
+            self.stream_ok_rate() * 100.0,
+            self.data_overhead() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(id: usize, evaded: bool) -> SessionOutcome {
+        SessionOutcome {
+            id,
+            evaded,
+            blocked_midstream: !evaded,
+            final_score: if evaded { 0.1 } else { 0.9 },
+            frames: 10,
+            payload_bytes: 1_000_000,
+            wire_bytes: 1_250_000,
+            padding_bytes: 200_000,
+            header_bytes: 50_000,
+            extra_delay_ms: 12.0,
+            duration_ms: 80.0,
+            stream_ok: true,
+            wire: Flow::new(),
+        }
+    }
+
+    #[test]
+    fn aggregates_rates_and_throughput() {
+        let report = ServeReport {
+            outcomes: vec![outcome(0, true), outcome(1, true), outcome(2, false)],
+            wall_seconds: 0.5,
+            frames: 30,
+            inference_batches: 3,
+            frame_latency_us: (1..=30).map(|i| i as f32).collect(),
+        };
+        assert!((report.evasion_rate() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(report.stream_ok_rate(), 1.0);
+        assert!((report.flows_per_sec() - 6.0).abs() < 1e-9);
+        assert!((report.frames_per_sec() - 60.0).abs() < 1e-9);
+        assert!((report.payload_mb_per_sec() - 6.0).abs() < 1e-9);
+        assert!((report.data_overhead() - 0.2).abs() < 1e-6);
+        assert_eq!(report.p50_latency_us(), 16.0);
+        assert_eq!(report.p99_latency_us(), 30.0);
+        assert!(report.summary().contains("flows/s"));
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = ServeReport::default();
+        assert_eq!(r.evasion_rate(), 0.0);
+        assert_eq!(r.p99_latency_us(), 0.0);
+        assert_eq!(r.data_overhead(), 0.0);
+    }
+}

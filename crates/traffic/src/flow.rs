@@ -137,6 +137,26 @@ impl Flow {
         }
     }
 
+    /// Builds a flow from emitted wire frames: `(direction, wire size,
+    /// delay)` triples, as produced by a shaping dataplane. This is the
+    /// bridge from a frame stream to the censor/feature pipeline — the
+    /// resulting [`Flow`] feeds every existing classifier without ad-hoc
+    /// conversion.
+    ///
+    /// # Panics
+    /// Panics on a zero wire size (frames always carry at least a header).
+    pub fn from_frames<I>(frames: I) -> Self
+    where
+        I: IntoIterator<Item = (Direction, u32, f32)>,
+    {
+        Self {
+            packets: frames
+                .into_iter()
+                .map(|(dir, size, delay_ms)| Packet::new(dir, size, delay_ms))
+                .collect(),
+        }
+    }
+
     /// Appends a packet.
     pub fn push(&mut self, p: Packet) {
         self.packets.push(p);
@@ -331,5 +351,17 @@ mod tests {
     #[should_panic(expected = "nonzero")]
     fn zero_size_rejected() {
         let _ = Flow::from_pairs(&[(0, 1.0)]);
+    }
+
+    #[test]
+    fn from_frames_builds_signed_packets() {
+        let f = Flow::from_frames([
+            (Direction::Outbound, 540u32, 0.0f32),
+            (Direction::Inbound, 1452, 2.5),
+            (Direction::Outbound, 4, 0.5),
+        ]);
+        assert_eq!(f.sizes(), vec![540, -1452, 4]);
+        assert_eq!(f.delays(), vec![0.0, 2.5, 0.5]);
+        assert_eq!(f.bytes(Direction::Inbound), 1452);
     }
 }

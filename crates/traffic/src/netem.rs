@@ -10,7 +10,7 @@
 
 use rand::Rng;
 
-use crate::flow::Flow;
+use crate::flow::{Flow, Packet};
 
 /// Emulated network-path configuration.
 #[derive(Debug, Clone, Copy)]
@@ -56,25 +56,46 @@ impl NetEm {
         }
     }
 
+    /// Applies impairment to a single packet in transmission order — the
+    /// streaming path used by the serving dataplane, which impairs frames
+    /// as they are emitted rather than post-processing a finished flow.
+    /// `first` marks the first packet of a flow (jitter never applies to
+    /// it, matching [`NetEm::apply`]). Returns the packet as an on-path
+    /// observer records it, plus an optional retransmitted duplicate.
+    pub fn apply_packet<R: Rng + ?Sized>(
+        &self,
+        packet: Packet,
+        first: bool,
+        rng: &mut R,
+    ) -> (Packet, Option<Packet>) {
+        let mut pkt = packet;
+        if !first && self.jitter_std > 0.0 {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+            pkt.delay_ms *= (1.0 + self.jitter_std * z).max(0.0);
+        }
+        let dup = if self.drop_rate > 0.0 && rng.gen_bool(self.drop_rate as f64) {
+            // The original copy crossed the observation point and was
+            // lost downstream; the retransmission appears after an RTO.
+            let mut retx = pkt;
+            retx.delay_ms =
+                self.retransmit_timeout_ms * (1.0 + rng.gen_range(-0.2..0.2f32)).max(0.1);
+            Some(retx)
+        } else {
+            None
+        };
+        (pkt, dup)
+    }
+
     /// Applies loss/retransmission/jitter to a flow, returning what an
     /// on-path observer between client and first relay would record.
     pub fn apply<R: Rng + ?Sized>(&self, flow: &Flow, rng: &mut R) -> Flow {
         let mut out = Flow::new();
         for (i, p) in flow.packets.iter().enumerate() {
-            let mut pkt = *p;
-            if i > 0 && self.jitter_std > 0.0 {
-                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-                let u2: f32 = rng.gen_range(0.0..1.0);
-                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
-                pkt.delay_ms *= (1.0 + self.jitter_std * z).max(0.0);
-            }
+            let (pkt, dup) = self.apply_packet(*p, i == 0, rng);
             out.push(pkt);
-            if self.drop_rate > 0.0 && rng.gen_bool(self.drop_rate as f64) {
-                // The original copy crossed the observation point and was
-                // lost downstream; the retransmission appears after an RTO.
-                let mut retx = pkt;
-                retx.delay_ms =
-                    self.retransmit_timeout_ms * (1.0 + rng.gen_range(-0.2..0.2f32)).max(0.1);
+            if let Some(retx) = dup {
                 out.push(retx);
             }
         }
@@ -85,7 +106,6 @@ impl NetEm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flow::Packet;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -157,5 +177,28 @@ mod tests {
     #[should_panic(expected = "drop rate")]
     fn rejects_invalid_drop_rate() {
         let _ = NetEm::with_drop_rate(1.5);
+    }
+
+    /// The streaming path must reproduce the whole-flow path exactly when
+    /// driven by the same RNG stream — the dataplane relies on this.
+    #[test]
+    fn apply_packet_stream_matches_whole_flow_apply() {
+        let f = base_flow();
+        let netem = NetEm {
+            drop_rate: 0.15,
+            retransmit_timeout_ms: 120.0,
+            jitter_std: 0.08,
+        };
+        let whole = netem.apply(&f, &mut StdRng::seed_from_u64(9));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut streamed = Flow::new();
+        for (i, p) in f.packets.iter().enumerate() {
+            let (pkt, dup) = netem.apply_packet(*p, i == 0, &mut rng);
+            streamed.push(pkt);
+            if let Some(retx) = dup {
+                streamed.push(retx);
+            }
+        }
+        assert_eq!(whole, streamed);
     }
 }

@@ -14,6 +14,8 @@
 //!   [`classifiers::Censor`] oracle;
 //! * [`core`] — the Amoeba agent: environment, StateEncoder, PPO,
 //!   profiles, shaper;
+//! * [`serve`] — the online flow-shaping dataplane: frozen policies
+//!   serving concurrent framed sessions with batched inference;
 //! * [`attacks`] — white-box baselines (C&W, NIDSGAN, BAP).
 //!
 //! ```no_run
@@ -43,4 +45,5 @@ pub use amoeba_classifiers as classifiers;
 pub use amoeba_core as core;
 pub use amoeba_ml as ml;
 pub use amoeba_nn as nn;
+pub use amoeba_serve as serve;
 pub use amoeba_traffic as traffic;
