@@ -1,16 +1,30 @@
-//! Dataplane throughput sweep across inference batch sizes.
-//! Scale via `AMOEBA_SCALE=paper`; flow count via `AMOEBA_SERVE_FLOWS`
-//! (default 1000).
+//! Dataplane throughput sweep across inference batch sizes and shard
+//! (worker thread) counts.
+//!
+//! * Scale via `AMOEBA_SCALE=paper`; flow count via `AMOEBA_SERVE_FLOWS`
+//!   (default 1000).
+//! * `AMOEBA_SERVE_SMOKE=1` switches to the CI smoke mode: a small run
+//!   (default 96 flows, override via `AMOEBA_SERVE_FLOWS`) at 1 vs 4
+//!   shards with the wire outputs cross-checked bit-for-bit.
 use amoeba_bench::{serve, Context, Scale};
 
 fn main() {
+    let smoke = std::env::var("AMOEBA_SERVE_SMOKE").is_ok_and(|v| v != "0");
     let n_flows = std::env::var("AMOEBA_SERVE_FLOWS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(1000);
+        .unwrap_or(if smoke { 96 } else { 1000 });
     let mut ctx = Context::new(Scale::from_env());
+    if smoke {
+        print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64));
+        return;
+    }
     print!(
         "{}",
         serve::serve_throughput(&mut ctx, n_flows, &[1, 16, 64, 256])
+    );
+    print!(
+        "{}",
+        serve::serve_shard_scaling(&mut ctx, n_flows, 64, &[1, 2, 4, 8])
     );
 }

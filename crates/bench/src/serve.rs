@@ -1,7 +1,8 @@
 //! Dataplane throughput harness: drives the `amoeba-serve` event loop over
-//! a trained policy + censor at several inference batch sizes and reports
-//! `flows/sec`, `MB/s` and p50/p99 per-frame latency — the numbers the
-//! ROADMAP's "serve heavy traffic" scaling work steers by.
+//! a trained policy + censor across inference batch sizes and shard
+//! (worker thread) counts, and reports `flows/sec`, `MB/s` and p50/p99
+//! per-frame latency — the numbers the ROADMAP's "serve heavy traffic"
+//! scaling work steers by.
 
 use std::sync::Arc;
 
@@ -15,10 +16,10 @@ use crate::Context;
 /// memory so 1k+ concurrent sessions stay cheap on CI hardware.
 pub const PREFIX_CAP: usize = 20;
 
-/// Runs one dataplane pass at the given batch size; the workload is
-/// `n_flows` sessions cycling the Tor test split's sensitive flows
-/// (≤ [`PREFIX_CAP`]-packet prefixes) against an inline DT censor.
-pub fn run_serve(ctx: &mut Context, n_flows: usize, batch: usize) -> ServeReport {
+/// Runs one dataplane pass at the given batch size and shard count; the
+/// workload is `n_flows` sessions cycling the Tor test split's sensitive
+/// flows (≤ [`PREFIX_CAP`]-packet prefixes) against an inline DT censor.
+pub fn run_serve(ctx: &mut Context, n_flows: usize, batch: usize, shards: usize) -> ServeReport {
     let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
     let censor = ctx.censor(DatasetKind::Tor, CensorKind::Dt);
     let base = ctx.eval_flows(DatasetKind::Tor);
@@ -27,6 +28,7 @@ pub fn run_serve(ctx: &mut Context, n_flows: usize, batch: usize) -> ServeReport
         .collect();
     let cfg = ServeConfig::from_amoeba(agent.config(), DatasetKind::Tor.layer())
         .with_batch(batch)
+        .with_shards(shards)
         .with_verdicts(VerdictPolicy::Every(8))
         .with_seed(ctx.scale.seed);
     let mut dp = Dataplane::new(FrozenPolicy::from_agent(&agent), Arc::clone(&censor), cfg);
@@ -34,29 +36,79 @@ pub fn run_serve(ctx: &mut Context, n_flows: usize, batch: usize) -> ServeReport
     dp.run()
 }
 
-/// The throughput table across batch sizes, as a markdown block.
+fn throughput_row(label: &str, r: &ServeReport) -> String {
+    format!(
+        "| {label} | {:.0} | {:.0} | {:.2} | {:.2} | {:.1} | {:.1} | {:.1}% | {:.1}% |\n",
+        r.flows_per_sec(),
+        r.frames_per_sec(),
+        r.payload_mb_per_sec(),
+        r.wire_mb_per_sec(),
+        r.p50_latency_us(),
+        r.p99_latency_us(),
+        r.evasion_rate() * 100.0,
+        r.stream_ok_rate() * 100.0,
+    )
+}
+
+const TABLE_HEADER: &str = "| config | flows/s | frames/s | payload MB/s | wire MB/s \
+                            | p50 µs | p99 µs | evasion | streams ok |\n\
+                            |---|---|---|---|---|---|---|---|---|\n";
+
+/// The throughput table across batch sizes (single shard), as a markdown
+/// block.
 pub fn serve_throughput(ctx: &mut Context, n_flows: usize, batches: &[usize]) -> String {
     let mut md = String::from("## amoeba-serve dataplane throughput\n\n");
     md += &format!(
         "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
          DT censor inline every 8 frames, deterministic policy.\n\n"
     );
-    md += "| batch | flows/s | frames/s | payload MB/s | wire MB/s | p50 µs | p99 µs \
-           | evasion | streams ok |\n";
-    md += "|---|---|---|---|---|---|---|---|---|\n";
+    md += TABLE_HEADER;
     for &batch in batches {
-        let r = run_serve(ctx, n_flows, batch);
-        md += &format!(
-            "| {batch} | {:.0} | {:.0} | {:.2} | {:.2} | {:.1} | {:.1} | {:.1}% | {:.1}% |\n",
-            r.flows_per_sec(),
-            r.frames_per_sec(),
-            r.payload_mb_per_sec(),
-            r.wire_mb_per_sec(),
-            r.p50_latency_us(),
-            r.p99_latency_us(),
-            r.evasion_rate() * 100.0,
-            r.stream_ok_rate() * 100.0,
-        );
+        let r = run_serve(ctx, n_flows, batch, 1);
+        md += &throughput_row(&format!("batch {batch}"), &r);
     }
+    md
+}
+
+/// The shard-scaling table at a fixed batch size, as a markdown block.
+/// Wire output is shard-count-invariant, so the rows differ only in
+/// wall-clock figures; near-linear `flows/s` scaling up to the core count
+/// is the §5.6.1 deployment argument at scale.
+pub fn serve_shard_scaling(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    shard_counts: &[usize],
+) -> String {
+    let mut md = String::from("## amoeba-serve shard scaling\n\n");
+    md += &format!(
+        "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
+         DT censor inline every 8 frames, batch {batch}, deterministic policy; \
+         sessions sharded across worker threads.\n\n"
+    );
+    md += TABLE_HEADER;
+    for &shards in shard_counts {
+        let r = run_serve(ctx, n_flows, batch, shards);
+        md += &throughput_row(&format!("{shards} shard(s)"), &r);
+    }
+    md
+}
+
+/// CI smoke pass: a small flow count served at 1 shard and 4 shards, with
+/// the wire outputs cross-checked frame-by-frame — exercises the sharded
+/// path on every push and fails loudly if the invariance contract breaks.
+pub fn serve_smoke(ctx: &mut Context, n_flows: usize, batch: usize) -> String {
+    let one = run_serve(ctx, n_flows, batch, 1);
+    let four = run_serve(ctx, n_flows, batch, 4);
+    assert_eq!(
+        one.wire_bits(),
+        four.wire_bits(),
+        "smoke: 4-shard wire output diverged from 1-shard"
+    );
+    assert_eq!(one.stream_ok_rate(), 1.0, "smoke: streams failed to verify");
+    let mut md = String::from("## amoeba-serve smoke (shards 1 vs 4, bit-identical wire)\n\n");
+    md += TABLE_HEADER;
+    md += &throughput_row("1 shard", &one);
+    md += &throughput_row("4 shards", &four);
     md
 }

@@ -250,11 +250,15 @@ impl EncoderSnapshot {
     /// single fused GRU evaluation — the `amoeba-serve` scheduler's fast
     /// path. Row `r` of `steps` (shape `(B, 2)`) is fed to
     /// `states[indices[r]]`; the per-layer hidden rows are gathered into
-    /// one batch matrix, stepped once, and scattered back.
+    /// one batch matrix, stepped once (through the blocked `amoeba-nn`
+    /// matmul kernel), and scattered back.
     ///
     /// Every GRU-step matrix op is row-independent, so each selected state
     /// ends up bit-identical to an individual [`EncoderState::push`] of
-    /// its row — regardless of how the flows are grouped into batches.
+    /// its row — regardless of how the flows are grouped into batches, or
+    /// across the serve dataplane's shard threads (the snapshot is an
+    /// immutable `Send + Sync` weight set; each shard owns its own
+    /// `states`, so concurrent `push_batch` calls never alias).
     ///
     /// # Panics
     /// Panics if `steps.rows() != indices.len()`, if an index is out of

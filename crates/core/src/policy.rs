@@ -104,10 +104,13 @@ impl ActorSnapshot {
     }
 
     /// Batched policy head: one fused MLP pass over `(B, state_dim)`
-    /// states, returning `(means, log_stds)` as `(B, ACTION_DIM)`
-    /// matrices. Every matrix op is row-independent, so row `r` is
-    /// bit-identical to the single-state head of `states.row(r)` — the
-    /// property the `amoeba-serve` batched scheduler relies on.
+    /// states (through the blocked `amoeba-nn` matmul kernel), returning
+    /// `(means, log_stds)` as `(B, ACTION_DIM)` matrices. Every matrix op
+    /// is row-independent, so row `r` is bit-identical to the
+    /// single-state head of `states.row(r)` — the property the
+    /// `amoeba-serve` batched scheduler relies on, within a shard and
+    /// across shard threads (the snapshot is immutable `Send + Sync`
+    /// state shared via `Arc`).
     pub fn head_batch(&self, states: &Matrix) -> (Matrix, Matrix) {
         let out = self.mlp.forward(states);
         let b = out.rows();

@@ -257,7 +257,9 @@ impl Forward for MlpSnapshot {
     /// each output row is bit-identical to the per-input [`Forward::forward`]
     /// result; the win is one allocation + weight traversal per layer per
     /// *batch* instead of per *sample* (the `amoeba-serve` scheduler's hot
-    /// path). Mixed shapes fall back to the default per-input mapping.
+    /// path), with the per-layer products running through the blocked
+    /// [`Matrix::matmul`] kernel. Mixed shapes fall back to the default
+    /// per-input mapping.
     fn forward_batch(&self, xs: &[Matrix]) -> Vec<Matrix> {
         let stackable =
             xs.len() > 1 && xs.iter().all(|x| x.rows() == 1 && x.cols() == xs[0].cols());

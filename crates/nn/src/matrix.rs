@@ -1,10 +1,17 @@
 //! Dense row-major `f32` matrix used as the storage type for every tensor
 //! in the autograd engine.
 //!
-//! The kernel is deliberately simple (no SIMD intrinsics, no tiling beyond
-//! a cache-friendly loop order) in the spirit of robustness-first design:
-//! every routine is easy to audit and is exercised by the gradient-check
-//! suite in [`crate::gradcheck`].
+//! [`Matrix::matmul`] — the workhorse behind `MlpSnapshot::forward`,
+//! `forward_batch`, the GRU step and therefore the whole `amoeba-serve`
+//! inference path — uses a blocked, cache-tiled kernel: column panels of
+//! the right operand are streamed through a register-blocked micro-kernel
+//! over row panels of the left operand. The tiling only reorders *which
+//! output elements* are produced when, never the order of the `f32`
+//! additions *within* an output element (always ascending `k`), so the
+//! result is bit-identical to the naive triple loop
+//! ([`Matrix::matmul_naive`], kept as the audit/parity reference). The
+//! other routines stay deliberately simple; everything is exercised by the
+//! gradient-check suite in [`crate::gradcheck`].
 
 use std::fmt;
 
@@ -204,14 +211,74 @@ impl Matrix {
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
-    /// Matrix product `self * rhs`.
+    /// Matrix product `self * rhs`, via the blocked, cache-tiled kernel.
     ///
-    /// Uses the `i-k-j` loop order so the inner loop walks both operand
-    /// rows contiguously.
+    /// The right operand is processed in `NC`-column panels so a whole
+    /// `K x NC` slab of `rhs` stays cache-resident while every row of
+    /// `self` streams over it; within a panel an `MR`-row micro-kernel
+    /// reuses each loaded `rhs` row across `MR` output rows from registers
+    /// / L1. Every output element still accumulates its `a[i][k] *
+    /// b[k][j]` terms in ascending-`k` order (skipping `a == 0.0` terms,
+    /// like the reference), so the result is **bit-identical** to
+    /// [`Matrix::matmul_naive`] — the grouping-invariance property the
+    /// serving dataplane's batching and sharding are built on.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        /// Column-panel width: a full `K x NC` slab of `rhs` (`K` up to a
+        /// few hundred here) fits comfortably in L2.
+        const NC: usize = 256;
+        /// Micro-kernel height: each `rhs` row loaded from cache feeds
+        /// this many output rows.
+        const MR: usize = 4;
+
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: ({}x{}) * ({}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, kk, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if n == 0 || kk == 0 {
+            return out;
+        }
+        // Independent mutable views of the output rows, so the micro-
+        // kernel can interleave writes to MR rows without re-slicing.
+        let mut out_rows: Vec<&mut [f32]> = out.data.chunks_mut(n).collect();
+        let mut j0 = 0;
+        while j0 < n {
+            let j1 = (j0 + NC).min(n);
+            let mut i0 = 0;
+            while i0 < m {
+                let i1 = (i0 + MR).min(m);
+                for k in 0..kk {
+                    let b_panel = &rhs.data[k * n + j0..k * n + j1];
+                    for (r, out_row) in out_rows[i0..i1].iter_mut().enumerate() {
+                        let a = self.data[(i0 + r) * kk + k];
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let out_panel = &mut out_row[j0..j1];
+                        for (o, &b) in out_panel.iter_mut().zip(b_panel) {
+                            *o += a * b;
+                        }
+                    }
+                }
+                i0 = i1;
+            }
+            j0 = j1;
+        }
+        out
+    }
+
+    /// Reference matrix product: the naive `i-k-j` triple loop the blocked
+    /// [`Matrix::matmul`] must match bit-for-bit (pinned by the parity
+    /// property test in `tests/algebra_props.rs`).
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: ({}x{}) * ({}x{})",
@@ -574,6 +641,47 @@ mod tests {
         assert!(approx(c[(0, 1)], 64.0));
         assert!(approx(c[(1, 0)], 139.0));
         assert!(approx(c[(1, 1)], 154.0));
+    }
+
+    /// The blocked kernel must be bit-identical to the naive reference,
+    /// including shapes that straddle the NC/MR panel boundaries and
+    /// matrices containing exact zeros (the skip path).
+    #[test]
+    fn blocked_matmul_matches_naive_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 2, 5),
+            (4, 7, 256),
+            (5, 3, 257),
+            (9, 64, 300),
+            (257, 33, 2),
+        ] {
+            let mut a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            // Sprinkle exact zeros to exercise the skip path.
+            for v in a.as_mut_slice().iter_mut() {
+                if *v < -0.8 {
+                    *v = 0.0;
+                }
+            }
+            let blocked = a.matmul(&b);
+            let naive = a.matmul_naive(&b);
+            assert_eq!(blocked.shape(), naive.shape());
+            for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k} * {k}x{n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_empty_dims_are_zero() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        assert_eq!(a.matmul(&b).shape(), (2, 3));
+        let c = Matrix::zeros(0, 4);
+        let d = Matrix::zeros(4, 0);
+        assert_eq!(c.matmul(&d).shape(), (0, 0));
     }
 
     #[test]

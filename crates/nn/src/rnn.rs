@@ -122,25 +122,30 @@ impl GruCellSnapshot {
     }
 
     /// One inference step on raw matrices.
+    ///
+    /// The two gate matmuls go through the blocked [`Matrix::matmul`]
+    /// kernel; the gate nonlinearities and the hidden-state blend are
+    /// fused into a single pass over the gate rows (no `r`/`z`/`n`
+    /// temporaries). Both are bit-identical to the unfused autograd
+    /// formulation — the property the serving dataplane's batching and
+    /// sharding rest on.
     pub fn step(&self, x: &Matrix, h: &Matrix) -> Matrix {
         let hs = self.hidden;
         let gx = x.matmul(&self.wx).add_row_broadcast(&self.bx);
         let gh = h.matmul(&self.wh).add_row_broadcast(&self.bh);
         let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
-        let r = gx
-            .slice_cols(0, hs)
-            .zip(&gh.slice_cols(0, hs), |a, b| sig(a + b));
-        let z = gx
-            .slice_cols(hs, 2 * hs)
-            .zip(&gh.slice_cols(hs, 2 * hs), |a, b| sig(a + b));
-        let n = gx
-            .slice_cols(2 * hs, 3 * hs)
-            .add(&r.hadamard(&gh.slice_cols(2 * hs, 3 * hs)))
-            .map(f32::tanh);
         let mut out = Matrix::zeros(h.rows(), hs);
-        for i in 0..out.len() {
-            let (zi, ni, hi) = (z.as_slice()[i], n.as_slice()[i], h.as_slice()[i]);
-            out.as_mut_slice()[i] = (1.0 - zi) * ni + zi * hi;
+        for row in 0..h.rows() {
+            let gx_row = gx.row(row);
+            let gh_row = gh.row(row);
+            let h_row = h.row(row);
+            let out_row = out.row_mut(row);
+            for c in 0..hs {
+                let r = sig(gx_row[c] + gh_row[c]);
+                let z = sig(gx_row[hs + c] + gh_row[hs + c]);
+                let n = (gx_row[2 * hs + c] + r * gh_row[2 * hs + c]).tanh();
+                out_row[c] = (1.0 - z) * n + z * h_row[c];
+            }
         }
         out
     }
@@ -577,6 +582,38 @@ mod tests {
             for (a, b) in graph_final.row(sample).iter().zip(snap_final.as_slice()) {
                 assert!((a - b).abs() < 1e-5);
             }
+        }
+    }
+
+    /// The fused snapshot step must be bit-identical to the textbook
+    /// slice-by-slice gate formulation it replaced.
+    #[test]
+    fn gru_snapshot_fused_step_is_bit_exact() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let cell = GruCell::new(3, 7, &mut rng);
+        let snap = cell.snapshot();
+        let x = Matrix::randn(5, 3, 1.0, &mut rng);
+        let h = Matrix::randn(5, 7, 1.0, &mut rng);
+        let fused = snap.step(&x, &h);
+
+        let hs = 7;
+        let gx = x.matmul_naive(&snap.wx).add_row_broadcast(&snap.bx);
+        let gh = h.matmul_naive(&snap.wh).add_row_broadcast(&snap.bh);
+        let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
+        let r = gx
+            .slice_cols(0, hs)
+            .zip(&gh.slice_cols(0, hs), |a, b| sig(a + b));
+        let z = gx
+            .slice_cols(hs, 2 * hs)
+            .zip(&gh.slice_cols(hs, 2 * hs), |a, b| sig(a + b));
+        let n = gx
+            .slice_cols(2 * hs, 3 * hs)
+            .add(&r.hadamard(&gh.slice_cols(2 * hs, 3 * hs)))
+            .map(f32::tanh);
+        for i in 0..fused.len() {
+            let (zi, ni, hi) = (z.as_slice()[i], n.as_slice()[i], h.as_slice()[i]);
+            let reference = (1.0 - zi) * ni + zi * hi;
+            assert_eq!(fused.as_slice()[i].to_bits(), reference.to_bits());
         }
     }
 

@@ -119,3 +119,37 @@ proptest! {
         prop_assert_eq!(a.as_slice(), r.as_slice());
     }
 }
+
+proptest! {
+    // Few cases: each one multiplies matrices up to 512x512 twice.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The blocked cache-tiled kernel is bit-identical to the naive
+    /// reference on random shapes up to 512x512 — the contract that makes
+    /// the serving dataplane's batched/sharded inference exact.
+    #[test]
+    fn blocked_matmul_is_bit_exact_up_to_512(
+        m in 1usize..=512,
+        k in 1usize..=512,
+        n in 1usize..=512,
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        // Exact zeros exercise the shared skip path.
+        for v in a.as_mut_slice().iter_mut() {
+            if *v > 1.0 {
+                *v = 0.0;
+            }
+        }
+        let blocked = a.matmul(&b);
+        let naive = a.matmul_naive(&b);
+        prop_assert_eq!(blocked.shape(), naive.shape());
+        for (x, y) in blocked.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -1,7 +1,7 @@
 //! Serving benches: the batched inference fast path against the per-flow
 //! path, at both the raw-network level (fused `forward_batch` vs mapped
-//! `forward`) and the end-to-end dataplane level (batch 64 vs batch 1 on
-//! the same workload).
+//! `forward`) and the end-to-end dataplane level (batch 64 vs batch 1,
+//! and 1/2/4 shards, on the same workload).
 
 use std::sync::Arc;
 
@@ -107,5 +107,42 @@ fn bench_dataplane_batching(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_forward_batch, bench_dataplane_batching);
+/// End-to-end shard scaling on a 400-flow workload at batch 64: the same
+/// sessions partitioned across 1, 2 and 4 worker threads (wire output is
+/// shard-count-invariant, so only wall clock changes).
+fn bench_dataplane_sharding(c: &mut Criterion) {
+    let flows = workload(400);
+    let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+        fixed_score: 0.1,
+        as_kind: CensorKind::Dt,
+    });
+    for shards in [1usize, 2, 4] {
+        let name = format!("dataplane_400flows_shards{shards}");
+        c.bench_function(&name, |b| {
+            b.iter_batched(
+                || {
+                    let mut dp = Dataplane::new(
+                        policy(),
+                        Arc::clone(&censor),
+                        ServeConfig::new(Layer::Tcp)
+                            .with_seed(5)
+                            .with_batch(64)
+                            .with_shards(shards),
+                    );
+                    dp.add_flows(flows.iter());
+                    dp
+                },
+                |dp| dp.run(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_forward_batch,
+    bench_dataplane_batching,
+    bench_dataplane_sharding
+);
 criterion_main!(benches);

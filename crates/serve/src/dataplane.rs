@@ -1,6 +1,7 @@
 //! The discrete-event dataplane: a virtual clock over thousands of
-//! concurrent sessions, with a batched inference scheduler that fuses all
-//! due flows' observations into single encoder/actor passes per tick.
+//! concurrent sessions, sharded across OS threads, each shard running a
+//! batched inference scheduler that fuses all due flows' observations
+//! into single encoder/actor passes per tick.
 //!
 //! ## Scheduling model
 //!
@@ -8,59 +9,58 @@
 //! frame is emitted (`ready_at`); the frame itself leaves `delay_ms`
 //! later, which is when the following decision is taken — inference cost
 //! hides inside the frame delay, exactly the §5.6.1 deployment argument.
-//! The loop repeatedly takes the earliest ready time `t`, collects every
-//! session ready within the scheduler quantum `[t, t + tick_ms]` in
-//! session-id order, and processes them in inference batches of at most
-//! `max_batch` flows.
+//! Each [`crate::shard::Shard`]'s loop repeatedly takes the earliest
+//! ready time `t` among its sessions, collects every session ready within
+//! the scheduler quantum `[t, t + tick_ms]` in session-id order, and
+//! processes them in inference batches of at most `max_batch` flows.
 //!
-//! ## Grouping invariance
+//! ## Sharding and grouping invariance
 //!
-//! Sessions are fully independent (stateless censor, per-session RNGs,
-//! row-independent matrix kernels), so *any* grouping of ready sessions
-//! into batches produces bit-identical per-session output — `max_batch`
-//! and `tick_ms` are pure throughput knobs. The regression tests pin this
-//! for batch sizes 1, 64 and 256.
+//! Sessions are fully independent (stateless censor, per-session RNGs
+//! derived from `(seed, session_id)` only, row-independent matrix
+//! kernels), so *any* grouping of sessions — into inference batches
+//! within a tick, or across [`crate::shard::Shard`] worker threads —
+//! produces bit-identical per-session output. `max_batch`, `tick_ms` and
+//! `n_shards` are pure throughput knobs. [`Dataplane::run`] partitions
+//! the admitted sessions round-robin (in session-id order) across
+//! `n_shards` `std::thread::scope` workers and merges the shard reports
+//! deterministically by session id; the regression tests below pin
+//! bit-identical wire output for shard counts 1/2/4/8 × batch sizes 1/64
+//! (and 256), and `tests/grouping_invariance.rs` property-tests random
+//! shard/batch combinations end-to-end.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use amoeba_classifiers::Censor;
-use amoeba_core::encoder::EncoderState;
-use amoeba_core::policy::ActorSnapshot;
-use amoeba_core::{Action, ShapingKernel};
-use amoeba_nn::matrix::Matrix;
 use amoeba_traffic::Flow;
 
 use crate::metrics::{ServeReport, SessionOutcome};
 use crate::session::Session;
-use crate::{ActionMode, FrozenPolicy, ServeConfig, VerdictPolicy};
+use crate::shard::{Shard, ShardReport};
+use crate::{FrozenPolicy, ServeConfig};
 
-/// The serving engine: frozen policy + censor + concurrent sessions.
+/// The serving engine: frozen policy + censor + concurrent sessions,
+/// partitioned across [`Shard`] worker threads at [`Dataplane::run`].
 pub struct Dataplane {
     policy: FrozenPolicy,
     censor: Arc<dyn Censor>,
     cfg: ServeConfig,
-    kernel: ShapingKernel,
     sessions: Vec<Session>,
-    /// Per-session incremental `E(x_{1:t})` states (indexed by session id).
-    x_states: Vec<EncoderState>,
-    /// Per-session incremental `E(a_{1:t})` states.
-    a_states: Vec<EncoderState>,
+    /// Next auto-assigned session id (`max(assigned) + 1`).
+    next_id: usize,
 }
 
 impl Dataplane {
     /// Builds an empty dataplane around a frozen policy and an inline
     /// censor.
     pub fn new(policy: FrozenPolicy, censor: Arc<dyn Censor>, cfg: ServeConfig) -> Self {
-        let kernel = cfg.kernel();
         Self {
             policy,
             censor,
             cfg,
-            kernel,
             sessions: Vec::new(),
-            x_states: Vec::new(),
-            a_states: Vec::new(),
+            next_id: 0,
         }
     }
 
@@ -75,12 +75,22 @@ impl Dataplane {
     }
 
     /// Admits one session carrying a deterministic pseudo-random payload
-    /// sized to the offered flow; returns its session id.
+    /// sized to the offered flow; returns its session id (the next free
+    /// one).
     pub fn add_flow(&mut self, offered: &Flow) -> usize {
-        let id = self.sessions.len();
+        self.add_flow_with_id(self.next_id, offered)
+    }
+
+    /// Admits one session under an explicit session id. Everything a
+    /// session does — payload generation, action sampling, NetEm — derives
+    /// from `(seed, id)` only, so admitting the same `(id, flow)` pairs in
+    /// any order yields identical per-session wire output (pinned by
+    /// `insertion_order_does_not_change_wire_output` below).
+    ///
+    /// Ids must be unique; duplicates panic at [`Dataplane::run`].
+    pub fn add_flow_with_id(&mut self, id: usize, offered: &Flow) -> usize {
         self.sessions.push(Session::new(id, offered, &self.cfg));
-        self.x_states.push(self.policy.encoder.begin());
-        self.a_states.push(self.policy.encoder.begin());
+        self.next_id = self.next_id.max(id + 1);
         id
     }
 
@@ -91,12 +101,11 @@ impl Dataplane {
         outbound: Vec<u8>,
         inbound: Vec<u8>,
     ) -> usize {
-        let id = self.sessions.len();
+        let id = self.next_id;
         self.sessions.push(Session::with_payload(
             id, offered, &self.cfg, outbound, inbound,
         ));
-        self.x_states.push(self.policy.encoder.begin());
-        self.a_states.push(self.policy.encoder.begin());
+        self.next_id = id + 1;
         id
     }
 
@@ -107,131 +116,117 @@ impl Dataplane {
         }
     }
 
-    /// Drives every session to completion and returns the run report.
+    /// Shard count this run will use: `n_shards` resolved (0 = one per
+    /// available core) and clamped to the session count.
+    fn effective_shards(&self) -> usize {
+        let configured = if self.cfg.n_shards == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.cfg.n_shards
+        };
+        configured.clamp(1, self.sessions.len().max(1))
+    }
+
+    /// Drives every session to completion and returns the merged run
+    /// report.
+    ///
+    /// Sessions are sorted by id, partitioned round-robin across
+    /// [`Shard`]s, run to completion on `std::thread::scope` workers
+    /// (inline for a single shard), and the shard reports are merged
+    /// deterministically by session id — so the report is identical for
+    /// any shard count, wall-clock fields aside.
+    ///
+    /// # Panics
+    /// Panics if two sessions share an id.
     pub fn run(mut self) -> ServeReport {
         let start = Instant::now();
-        let mut active: Vec<usize> = (0..self.sessions.len())
-            .filter(|&i| !self.sessions[i].is_done())
-            .collect();
-        let mut latencies: Vec<f32> = Vec::new();
-        let mut batches = 0usize;
-        let mut frames = 0usize;
-        let quantum = self.cfg.tick_ms.max(0.0) as f64;
+        self.sessions.sort_by_key(Session::id);
+        assert!(
+            self.sessions.windows(2).all(|w| w[0].id() != w[1].id()),
+            "duplicate session ids"
+        );
+        let n_shards = self.effective_shards();
 
-        while !active.is_empty() {
-            // Earliest ready session defines the tick; everything ready
-            // within the quantum joins it, in session-id order.
-            let t = active
-                .iter()
-                .map(|&i| self.sessions[i].ready_at())
-                .fold(f64::INFINITY, f64::min);
-            let due: Vec<usize> = active
-                .iter()
-                .copied()
-                .filter(|&i| self.sessions[i].ready_at() <= t + quantum)
-                .collect();
-            for chunk in due.chunks(self.cfg.max_batch.max(1)) {
-                let t0 = Instant::now();
-                self.process_chunk(chunk);
-                let us = (t0.elapsed().as_nanos() as f64 / 1e3) as f32;
-                latencies.extend(std::iter::repeat_n(us, chunk.len()));
-                batches += 1;
-                frames += chunk.len();
-            }
-            active.retain(|&i| !self.sessions[i].is_done());
+        // Round-robin partition in id order: shard s takes sorted
+        // sessions s, s + n, s + 2n, … — balanced and deterministic.
+        let mut parts: Vec<Vec<Session>> = (0..n_shards).map(|_| Vec::new()).collect();
+        for (i, session) in self.sessions.drain(..).enumerate() {
+            parts[i % n_shards].push(session);
         }
+        let shards: Vec<Shard> = parts
+            .into_iter()
+            .map(|sessions| {
+                Shard::new(
+                    self.policy.clone(),
+                    Arc::clone(&self.censor),
+                    self.cfg.clone(),
+                    sessions,
+                )
+            })
+            .collect();
 
+        let reports: Vec<ShardReport> = if n_shards == 1 {
+            shards.into_iter().map(Shard::run).collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| scope.spawn(move || shard.run()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+
+        Self::merge(reports, start.elapsed().as_secs_f64())
+    }
+
+    /// Deterministic merge: outcomes k-way-merged by session id (each
+    /// shard's list is already id-ascending), counters summed, latencies
+    /// concatenated in shard order.
+    fn merge(reports: Vec<ShardReport>, wall_seconds: f64) -> ServeReport {
+        let mut frames = 0usize;
+        let mut batches = 0usize;
+        let total: usize = reports.iter().map(|r| r.outcomes.len()).sum();
+        let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(total);
+        let mut latencies: Vec<f32> = Vec::new();
+        let mut queues: Vec<std::vec::IntoIter<SessionOutcome>> = Vec::new();
+        for r in reports {
+            frames += r.frames;
+            batches += r.batches;
+            latencies.extend(r.latencies);
+            queues.push(r.outcomes.into_iter());
+        }
+        let mut heads: Vec<Option<SessionOutcome>> =
+            queues.iter_mut().map(Iterator::next).collect();
+        while let Some(best) = heads
+            .iter()
+            .enumerate()
+            .filter_map(|(q, h)| h.as_ref().map(|o| (o.id, q)))
+            .min()
+            .map(|(_, q)| q)
+        {
+            outcomes.push(heads[best].take().expect("nonempty head"));
+            heads[best] = queues[best].next();
+        }
         ServeReport {
-            outcomes: self
-                .sessions
-                .into_iter()
-                .map(Session::into_outcome)
-                .collect::<Vec<SessionOutcome>>(),
-            wall_seconds: start.elapsed().as_secs_f64(),
+            outcomes,
+            wall_seconds,
             frames,
             inference_batches: batches,
             frame_latency_us: latencies,
         }
-    }
-
-    /// One inference batch: gather observations, fused encoder/actor
-    /// passes, then per-session framing + impairment + verdicts.
-    fn process_chunk(&mut self, chunk: &[usize]) {
-        let b = chunk.len();
-        let hidden = self.policy.encoder.hidden_size();
-        let kernel = self.kernel;
-
-        // Gather the pending observations into one (B, 2) matrix.
-        let mut obs = Matrix::zeros(b, 2);
-        for (r, &i) in chunk.iter().enumerate() {
-            let o = self.sessions[i]
-                .observe()
-                .expect("ready session has an observation");
-            obs.row_mut(r)
-                .copy_from_slice(&o.normalized(self.cfg.layer, self.cfg.max_delay_ms));
-        }
-        // One fused GRU step advances every due flow's E(x_{1:t}).
-        self.policy
-            .encoder
-            .push_batch(&mut self.x_states, chunk, &obs);
-
-        // One fused actor pass over the concatenated states.
-        let mut states = Matrix::zeros(b, 2 * hidden);
-        for (r, &i) in chunk.iter().enumerate() {
-            let row = states.row_mut(r);
-            row[..hidden].copy_from_slice(self.x_states[i].representation());
-            row[hidden..].copy_from_slice(self.a_states[i].representation());
-        }
-        let (means, logstds) = self.policy.actor.head_batch(&states);
-
-        // Per-session: act, frame, impair, verdict.
-        let mut emitted = Matrix::zeros(b, 2);
-        for (r, &i) in chunk.iter().enumerate() {
-            let action = match self.cfg.mode {
-                ActionMode::Deterministic => Action::clamped(means[(r, 0)], means[(r, 1)]),
-                ActionMode::Sample => {
-                    let (a, _) = ActorSnapshot::sample_from_head(
-                        means.row(r),
-                        logstds.row(r),
-                        self.sessions[i].rng(),
-                    );
-                    Action::clamped(a[0], a[1])
-                }
-            };
-            let netem = self.cfg.netem;
-            let event = self.sessions[i].advance(&kernel, action, netem.as_ref());
-            emitted
-                .row_mut(r)
-                .copy_from_slice(&kernel.normalize_packet(&event.emitted));
-
-            let inline = match self.cfg.verdicts {
-                VerdictPolicy::Final => false,
-                VerdictPolicy::EveryFrame => true,
-                VerdictPolicy::Every(n) => n > 0 && self.sessions[i].frames().is_multiple_of(n),
-            };
-            if inline
-                && !event.done
-                && !self.sessions[i].blocked_midstream()
-                && self.censor.blocks(self.sessions[i].wire())
-            {
-                self.sessions[i].set_blocked_midstream();
-            }
-            if event.done {
-                let score = self.censor.score(self.sessions[i].wire());
-                self.sessions[i].set_final_score(score);
-                self.sessions[i].finish_streams(self.cfg.verify_streams);
-            }
-        }
-        // One fused GRU step records what went on the wire in E(a_{1:t}).
-        self.policy
-            .encoder
-            .push_batch(&mut self.a_states, chunk, &emitted);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::{ActionMode, VerdictPolicy};
     use amoeba_classifiers::{CensorKind, ConstantCensor};
     use amoeba_core::encoder::StateEncoder;
     use amoeba_core::policy::Actor;
@@ -282,9 +277,10 @@ mod tests {
             .collect()
     }
 
-    fn run_with_batch(
+    fn run_with(
         flows: &[Flow],
         batch: usize,
+        shards: usize,
         mode: ActionMode,
         netem: Option<NetEm>,
     ) -> ServeReport {
@@ -292,6 +288,7 @@ mod tests {
         let mut cfg = ServeConfig::new(Layer::Tcp)
             .with_seed(11)
             .with_batch(batch)
+            .with_shards(shards)
             .with_mode(mode);
         cfg.netem = netem;
         let mut dp = Dataplane::new(policy, allow_censor(), cfg);
@@ -299,18 +296,17 @@ mod tests {
         dp.run()
     }
 
+    fn run_with_batch(
+        flows: &[Flow],
+        batch: usize,
+        mode: ActionMode,
+        netem: Option<NetEm>,
+    ) -> ServeReport {
+        run_with(flows, batch, 1, mode, netem)
+    }
+
     fn wire_bits(report: &ServeReport) -> Vec<Vec<(i32, u32)>> {
-        report
-            .outcomes
-            .iter()
-            .map(|o| {
-                o.wire
-                    .packets
-                    .iter()
-                    .map(|p| (p.size, p.delay_ms.to_bits()))
-                    .collect()
-            })
-            .collect()
+        report.wire_bits()
     }
 
     /// The acceptance criterion: ≥ 1k concurrent flows in one process,
@@ -333,6 +329,99 @@ mod tests {
             assert_eq!(report.stream_ok_rate(), 1.0, "batch {batch}");
             assert_eq!(wire_bits(&report), ref_bits, "batch {batch} diverged");
         }
+    }
+
+    /// The sharding acceptance criterion: bit-identical per-session wire
+    /// output for shard counts 1/2/4/8 × batch sizes 1/64, deterministic
+    /// policy.
+    #[test]
+    fn sharded_serving_bit_identical_across_shard_counts() {
+        let flows = offered_flows(250, 3);
+        let reference = run_with(&flows, 1, 1, ActionMode::Deterministic, None);
+        let ref_bits = wire_bits(&reference);
+        let ref_ids: Vec<usize> = reference.outcomes.iter().map(|o| o.id).collect();
+        for shards in [1usize, 2, 4, 8] {
+            for batch in [1usize, 64] {
+                let report = run_with(&flows, batch, shards, ActionMode::Deterministic, None);
+                assert_eq!(report.frames, reference.frames, "{shards} shards");
+                let ids: Vec<usize> = report.outcomes.iter().map(|o| o.id).collect();
+                assert_eq!(ids, ref_ids, "{shards} shards: merge order broke");
+                assert_eq!(
+                    wire_bits(&report),
+                    ref_bits,
+                    "{shards} shards x batch {batch} diverged"
+                );
+                assert_eq!(report.stream_ok_rate(), 1.0, "{shards} shards");
+            }
+        }
+    }
+
+    /// Sharding must also be invariant under sampled actions + NetEm —
+    /// every RNG is per-session, so moving a session to another shard
+    /// cannot shift its stream.
+    #[test]
+    fn sharded_sampled_impaired_serving_is_invariant() {
+        let flows = offered_flows(48, 5);
+        let netem = Some(NetEm {
+            drop_rate: 0.1,
+            retransmit_timeout_ms: 60.0,
+            jitter_std: 0.1,
+        });
+        let reference = run_with(&flows, 1, 1, ActionMode::Sample, netem);
+        let ref_bits = wire_bits(&reference);
+        for shards in [2usize, 4, 8] {
+            let report = run_with(&flows, 64, shards, ActionMode::Sample, netem);
+            assert_eq!(wire_bits(&report), ref_bits, "{shards} shards diverged");
+        }
+    }
+
+    /// `n_shards: 0` resolves to the core count and still merges cleanly.
+    #[test]
+    fn auto_shard_count_runs_and_merges() {
+        let flows = offered_flows(16, 7);
+        let report = run_with(&flows, 16, 0, ActionMode::Deterministic, None);
+        assert_eq!(report.outcomes.len(), 16);
+        assert_eq!(report.stream_ok_rate(), 1.0);
+        let reference = run_with(&flows, 16, 1, ActionMode::Deterministic, None);
+        assert_eq!(wire_bits(&report), wire_bits(&reference));
+    }
+
+    /// A session's randomness derives from `(seed, session_id)` only:
+    /// admitting the same `(id, flow)` pairs in permuted order yields
+    /// bit-identical per-session wire output.
+    #[test]
+    fn insertion_order_does_not_change_wire_output() {
+        let flows = offered_flows(40, 9);
+        let reference = run_with(&flows, 8, 2, ActionMode::Sample, None);
+
+        let policy = tiny_policy(7);
+        let cfg = ServeConfig::new(Layer::Tcp)
+            .with_seed(11)
+            .with_batch(8)
+            .with_shards(2)
+            .with_mode(ActionMode::Sample);
+        let mut dp = Dataplane::new(policy, allow_censor(), cfg);
+        // Deterministic permutation: stride through the ids.
+        let n = flows.len();
+        for k in 0..n {
+            let id = (k * 17 + 5) % n;
+            dp.add_flow_with_id(id, &flows[id]);
+        }
+        let permuted = dp.run();
+        assert_eq!(wire_bits(&permuted), wire_bits(&reference));
+        let ids: Vec<usize> = permuted.outcomes.iter().map(|o| o.id).collect();
+        assert_eq!(ids, (0..n).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate session ids")]
+    fn duplicate_session_ids_are_rejected() {
+        let flows = offered_flows(2, 1);
+        let policy = tiny_policy(7);
+        let mut dp = Dataplane::new(policy, allow_censor(), ServeConfig::new(Layer::Tcp));
+        dp.add_flow_with_id(3, &flows[0]);
+        dp.add_flow_with_id(3, &flows[1]);
+        let _ = dp.run();
     }
 
     /// Stochastic serving and path impairment draw from per-session RNGs,

@@ -15,26 +15,38 @@
 //!   gym uses) turns policy actions into legal frame shapes, frames go on
 //!   the wire with the §5.6.1 header, and a `ShapedReceiver` at the far
 //!   end reassembles the exact original stream.
-//! * [`dataplane::Dataplane`] — the event loop: a virtual clock honouring
-//!   per-frame delays, optional [`amoeba_traffic::NetEm`] impairment of
-//!   what the on-path censor observes, an inline streaming censor verdict
-//!   per flow, and the **batched inference scheduler**: at every virtual
-//!   tick, all due flows' observations are gathered into single matrices
-//!   and pushed through one fused GRU/MLP pass (`push_batch` /
-//!   `head_batch`) instead of per-flow calls.
+//! * [`shard::Shard`] — the shard-local event loop: a virtual clock
+//!   honouring per-frame delays, optional [`amoeba_traffic::NetEm`]
+//!   impairment of what the on-path censor observes, an inline streaming
+//!   censor verdict per flow, and the **batched inference scheduler**: at
+//!   every virtual tick, all due flows' observations are gathered into
+//!   single matrices and pushed through one fused GRU/MLP pass
+//!   (`push_batch` / `head_batch`) instead of per-flow calls.
+//! * [`dataplane::Dataplane`] — admission and orchestration: sessions are
+//!   partitioned round-robin (by session id) across
+//!   [`ServeConfig::n_shards`] `std::thread::scope` workers, each running
+//!   one [`shard::Shard`] to completion, and the shard reports merge
+//!   deterministically by session id.
 //! * [`metrics::ServeReport`] — throughput (`flows/sec`, `MB/s`),
-//!   per-frame latency percentiles, evasion rate, overhead accounting.
+//!   per-frame latency percentiles (linearly interpolated between ranks),
+//!   evasion rate, overhead accounting.
 //!
-//! ## Determinism
+//! ## Determinism: the grouping-invariance contract
 //!
-//! Every matrix op on the batched path is row-independent and every
-//! source of randomness (action sampling, NetEm) draws from a per-session
-//! RNG, so for a fixed seed the dataplane's output is **bit-identical
-//! regardless of the inference batch size** — batch 1, 64 and 256 produce
-//! the same wire flows. This is the property that makes batching a pure
-//! throughput knob rather than a semantics knob, and it is what every
-//! future scaling axis (sharding, async backends, multi-censor serving)
-//! plugs into.
+//! Every matrix op on the batched path is row-independent (and the
+//! blocked `amoeba-nn` matmul kernel is bit-identical to the naive
+//! reference), and every source of randomness (payload generation, action
+//! sampling, NetEm) draws from a per-session RNG derived from
+//! `(seed, session_id)` only — never from insertion order, shard id, or
+//! batch grouping. For a fixed seed the dataplane's per-session wire
+//! output is therefore **bit-identical regardless of how sessions are
+//! grouped**: inference batch size (1/64/256), shard count (1/2/4/8), and
+//! admission order all produce the same wire flows (regression-pinned in
+//! `dataplane.rs`, property-tested end-to-end in
+//! `tests/grouping_invariance.rs`). This is the property that makes
+//! batching and sharding pure throughput knobs rather than semantics
+//! knobs, and it is what every future scaling axis (async backends,
+//! multi-censor serving) plugs into.
 //!
 //! ## Framing note
 //!
@@ -54,6 +66,7 @@
 pub mod dataplane;
 pub mod metrics;
 pub mod session;
+pub mod shard;
 
 use std::sync::Arc;
 
@@ -66,6 +79,7 @@ use amoeba_traffic::{Layer, NetEm};
 pub use dataplane::Dataplane;
 pub use metrics::{ServeReport, SessionOutcome};
 pub use session::Session;
+pub use shard::Shard;
 
 /// The slice of a trained agent the dataplane needs: the frozen
 /// StateEncoder and actor. (Serving never needs the critic.)
@@ -141,6 +155,10 @@ pub struct ServeConfig {
     pub max_len_slack: usize,
     /// Maximum flows fused into one inference batch (≥ 1).
     pub max_batch: usize,
+    /// Worker threads the sessions are sharded across at
+    /// [`Dataplane::run`] (0 = one per available core). A pure throughput
+    /// knob: per-session wire output is shard-count-invariant.
+    pub n_shards: usize,
     /// Scheduler quantum (virtual ms): all sessions ready within
     /// `[t, t + tick_ms]` of the earliest ready time join one tick. A
     /// pure throughput knob — per-session output is grouping-invariant.
@@ -170,6 +188,7 @@ impl ServeConfig {
             max_len_factor: 3,
             max_len_slack: 16,
             max_batch: 64,
+            n_shards: 1,
             tick_ms: 5.0,
             mode: ActionMode::Deterministic,
             netem: None,
@@ -197,6 +216,12 @@ impl ServeConfig {
     pub fn with_batch(mut self, max_batch: usize) -> Self {
         assert!(max_batch >= 1, "max_batch must be at least 1");
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the shard (worker thread) count; 0 = one per available core.
+    pub fn with_shards(mut self, n_shards: usize) -> Self {
+        self.n_shards = n_shards;
         self
     }
 

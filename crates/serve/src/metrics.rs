@@ -118,8 +118,32 @@ impl ServeReport {
             / self.outcomes.len() as f32
     }
 
+    /// Per-session wire-stream fingerprint: each session's frames as
+    /// `(signed size, delay_ms bit pattern)` pairs, in session-id order.
+    /// This is the exact object the grouping-invariance regression tests,
+    /// property tests and CI smoke compare — two reports with equal
+    /// fingerprints emitted bit-identical wire traffic.
+    pub fn wire_bits(&self) -> Vec<Vec<(i32, u32)>> {
+        self.outcomes
+            .iter()
+            .map(|o| {
+                o.wire
+                    .packets
+                    .iter()
+                    .map(|p| (p.size, p.delay_ms.to_bits()))
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Per-frame latency percentiles in µs (one sort for all requested
     /// `qs`, each in `[0, 1]`).
+    ///
+    /// Uses linear interpolation between closest ranks (the "type 7"
+    /// estimator of numpy/R): rank `(len - 1) * q` is split into its
+    /// integer neighbours and blended by the fractional part. The earlier
+    /// nearest-rank `.round()` scheme was biased for small samples — p50
+    /// of `[1, 2, 3, 4]` came out as 2 or 3 instead of 2.5.
     pub fn latency_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
         if self.frame_latency_us.is_empty() {
             return vec![0.0; qs.len()];
@@ -128,8 +152,11 @@ impl ServeReport {
         sorted.sort_by(|a, b| a.total_cmp(b));
         qs.iter()
             .map(|q| {
-                let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-                sorted[idx]
+                let rank = (sorted.len() - 1) as f64 * q.clamp(0.0, 1.0);
+                let lo = rank.floor() as usize;
+                let hi = rank.ceil() as usize;
+                let frac = (rank - lo as f64) as f32;
+                sorted[lo] + (sorted[hi] - sorted[lo]) * frac
             })
             .collect()
     }
@@ -209,9 +236,34 @@ mod tests {
         assert!((report.frames_per_sec() - 60.0).abs() < 1e-9);
         assert!((report.payload_mb_per_sec() - 6.0).abs() < 1e-9);
         assert!((report.data_overhead() - 0.2).abs() < 1e-6);
-        assert_eq!(report.p50_latency_us(), 16.0);
-        assert_eq!(report.p99_latency_us(), 30.0);
+        // Interpolated ranks over [1, 30]: p50 = 15.5, p99 = 29 + 0.71.
+        assert_eq!(report.p50_latency_us(), 15.5);
+        assert!((report.p99_latency_us() - 29.71).abs() < 1e-4);
         assert!(report.summary().contains("flows/s"));
+    }
+
+    /// The small-sample bias the nearest-rank scheme had: p50 of
+    /// `[1, 2, 3, 4]` must be 2.5, not 2 or 3.
+    #[test]
+    fn percentiles_interpolate_between_ranks() {
+        let report = ServeReport {
+            frame_latency_us: vec![4.0, 1.0, 3.0, 2.0],
+            ..ServeReport::default()
+        };
+        assert_eq!(report.p50_latency_us(), 2.5);
+        assert_eq!(report.latency_percentile_us(0.0), 1.0);
+        assert_eq!(report.latency_percentile_us(1.0), 4.0);
+        assert_eq!(report.latency_percentile_us(0.25), 1.75);
+        // Out-of-range quantiles clamp to the extremes.
+        assert_eq!(report.latency_percentile_us(-0.5), 1.0);
+        assert_eq!(report.latency_percentile_us(2.0), 4.0);
+        // A single sample is every percentile.
+        let one = ServeReport {
+            frame_latency_us: vec![7.0],
+            ..ServeReport::default()
+        };
+        assert_eq!(one.p50_latency_us(), 7.0);
+        assert_eq!(one.p99_latency_us(), 7.0);
     }
 
     #[test]

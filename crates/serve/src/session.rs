@@ -20,6 +20,32 @@ fn dir_idx(d: Direction) -> usize {
     }
 }
 
+/// SplitMix64 finalizer: a full-avalanche 64-bit mixer.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-session payload stream tag.
+const STREAM_PAYLOAD: u64 = 1;
+/// Per-session action-sampling / NetEm stream tag.
+const STREAM_ACTION: u64 = 2;
+
+/// Derives a session's RNG for one `stream` from `(seed, session_id)`
+/// **only** — never from insertion order, shard id, or batch grouping —
+/// so a session's randomness is a pure function of its identity. This is
+/// one of the invariance pillars: permuting admission order or moving a
+/// session to a different shard cannot change its wire output. The double
+/// SplitMix64 avalanche also decorrelates the streams of adjacent session
+/// ids (the previous `seed ^ id * K` scheme left related ids one XOR
+/// apart).
+fn stream_rng(seed: u64, session_id: usize, stream: u64) -> StdRng {
+    let mixed = splitmix64(splitmix64(seed ^ splitmix64(session_id as u64)) ^ stream);
+    StdRng::seed_from_u64(mixed)
+}
+
 /// What one [`Session::advance`] call emitted.
 #[derive(Debug, Clone, Copy)]
 pub struct FrameEvent {
@@ -65,9 +91,7 @@ impl Session {
     /// deterministic pseudo-random payload stream per direction sized to
     /// the flow's byte totals.
     pub fn new(id: usize, offered: &Flow, cfg: &ServeConfig) -> Self {
-        let mut payload_rng = StdRng::seed_from_u64(
-            cfg.seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_F00D,
-        );
+        let mut payload_rng = stream_rng(cfg.seed, id, STREAM_PAYLOAD);
         let mut stream = |dir: Direction| {
             let mut bytes = vec![0u8; offered.bytes(dir) as usize];
             payload_rng.fill_bytes(&mut bytes);
@@ -122,9 +146,7 @@ impl Session {
             header_bytes: 0,
             padding_bytes: 0,
             extra_delay_ms: 0.0,
-            rng: StdRng::seed_from_u64(
-                cfg.seed ^ (id as u64).wrapping_mul(0xD134_2543_DE82_EF95) ^ 0xA5A5,
-            ),
+            rng: stream_rng(cfg.seed, id, STREAM_ACTION),
             blocked_midstream: false,
             final_score: 0.0,
             stream_ok: done,

@@ -1,0 +1,206 @@
+//! The shard-local event loop: one [`Shard`] owns a disjoint subset of the
+//! dataplane's sessions — their state machines, encoder states and RNGs —
+//! and drives them to completion with the batched inference scheduler,
+//! independently of every other shard.
+//!
+//! ## Why sharding cannot change results
+//!
+//! Sessions are fully independent: the censor is stateless across flows,
+//! every matrix op on the batched inference path is row-independent, and
+//! each session's randomness derives from `(seed, session_id)` only. A
+//! shard is therefore nothing but a *grouping* of sessions — and the
+//! dataplane's outputs are grouping-invariant, so partitioning sessions
+//! across 1, 2, 4 or 8 shards (or any other way) produces bit-identical
+//! per-session wire output. The shard count, like the batch size, is a
+//! pure throughput knob; `crates/serve/src/dataplane.rs` pins this with
+//! regression tests over shard counts 1/2/4/8 × batch sizes 1/64.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use amoeba_classifiers::Censor;
+use amoeba_core::encoder::EncoderState;
+use amoeba_core::policy::ActorSnapshot;
+use amoeba_core::{Action, ShapingKernel};
+use amoeba_nn::matrix::Matrix;
+
+use crate::metrics::SessionOutcome;
+use crate::session::Session;
+use crate::{ActionMode, FrozenPolicy, ServeConfig, VerdictPolicy};
+
+/// One shard's share of a dataplane run, before the deterministic merge.
+pub struct ShardReport {
+    /// Outcomes of this shard's sessions, in session-id order.
+    pub outcomes: Vec<SessionOutcome>,
+    /// Frames this shard processed.
+    pub frames: usize,
+    /// Inference batches this shard executed.
+    pub batches: usize,
+    /// Wall-clock latency of each frame's batch (µs).
+    pub latencies: Vec<f32>,
+}
+
+/// A shard: a worker-thread-sized slice of the dataplane. Owns its
+/// sessions, their incremental encoder states, and (through the sessions)
+/// their RNGs; shares only the frozen policy and the censor, both
+/// immutable and `Send + Sync`.
+pub struct Shard {
+    policy: FrozenPolicy,
+    censor: Arc<dyn Censor>,
+    cfg: ServeConfig,
+    kernel: ShapingKernel,
+    /// This shard's sessions, locally indexed (ids stay global).
+    sessions: Vec<Session>,
+    /// Per-session incremental `E(x_{1:t})` states (local indexing).
+    x_states: Vec<EncoderState>,
+    /// Per-session incremental `E(a_{1:t})` states.
+    a_states: Vec<EncoderState>,
+}
+
+impl Shard {
+    /// Builds a shard around its session subset. Encoder states start at
+    /// the zero state (`E` of an empty sequence), identical for every
+    /// session, so where a session is admitted cannot matter.
+    ///
+    /// Normally constructed by [`crate::Dataplane::run`]'s round-robin
+    /// partition; public so callers with their own placement policy can
+    /// build sessions via [`Session::new`] and run shards directly.
+    pub fn new(
+        policy: FrozenPolicy,
+        censor: Arc<dyn Censor>,
+        cfg: ServeConfig,
+        sessions: Vec<Session>,
+    ) -> Self {
+        let kernel = cfg.kernel();
+        let states = |n: usize| (0..n).map(|_| policy.encoder.begin()).collect();
+        Self {
+            x_states: states(sessions.len()),
+            a_states: states(sessions.len()),
+            policy,
+            censor,
+            cfg,
+            kernel,
+            sessions,
+        }
+    }
+
+    /// Drives every session in this shard to completion.
+    pub fn run(mut self) -> ShardReport {
+        let mut active: Vec<usize> = (0..self.sessions.len())
+            .filter(|&i| !self.sessions[i].is_done())
+            .collect();
+        let mut latencies: Vec<f32> = Vec::new();
+        let mut batches = 0usize;
+        let mut frames = 0usize;
+        let quantum = self.cfg.tick_ms.max(0.0) as f64;
+
+        while !active.is_empty() {
+            // Earliest ready session defines the tick; everything ready
+            // within the quantum joins it, in session order.
+            let t = active
+                .iter()
+                .map(|&i| self.sessions[i].ready_at())
+                .fold(f64::INFINITY, f64::min);
+            let due: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| self.sessions[i].ready_at() <= t + quantum)
+                .collect();
+            for chunk in due.chunks(self.cfg.max_batch.max(1)) {
+                let t0 = Instant::now();
+                self.process_chunk(chunk);
+                let us = (t0.elapsed().as_nanos() as f64 / 1e3) as f32;
+                latencies.extend(std::iter::repeat_n(us, chunk.len()));
+                batches += 1;
+                frames += chunk.len();
+            }
+            active.retain(|&i| !self.sessions[i].is_done());
+        }
+
+        ShardReport {
+            outcomes: self
+                .sessions
+                .into_iter()
+                .map(Session::into_outcome)
+                .collect(),
+            frames,
+            batches,
+            latencies,
+        }
+    }
+
+    /// One inference batch: gather observations, fused encoder/actor
+    /// passes, then per-session framing + impairment + verdicts. `chunk`
+    /// holds local session indices.
+    fn process_chunk(&mut self, chunk: &[usize]) {
+        let b = chunk.len();
+        let hidden = self.policy.encoder.hidden_size();
+        let kernel = self.kernel;
+
+        // Gather the pending observations into one (B, 2) matrix.
+        let mut obs = Matrix::zeros(b, 2);
+        for (r, &i) in chunk.iter().enumerate() {
+            let o = self.sessions[i]
+                .observe()
+                .expect("ready session has an observation");
+            obs.row_mut(r)
+                .copy_from_slice(&o.normalized(self.cfg.layer, self.cfg.max_delay_ms));
+        }
+        // One fused GRU step advances every due flow's E(x_{1:t}).
+        self.policy
+            .encoder
+            .push_batch(&mut self.x_states, chunk, &obs);
+
+        // One fused actor pass over the concatenated states.
+        let mut states = Matrix::zeros(b, 2 * hidden);
+        for (r, &i) in chunk.iter().enumerate() {
+            let row = states.row_mut(r);
+            row[..hidden].copy_from_slice(self.x_states[i].representation());
+            row[hidden..].copy_from_slice(self.a_states[i].representation());
+        }
+        let (means, logstds) = self.policy.actor.head_batch(&states);
+
+        // Per-session: act, frame, impair, verdict.
+        let mut emitted = Matrix::zeros(b, 2);
+        for (r, &i) in chunk.iter().enumerate() {
+            let action = match self.cfg.mode {
+                ActionMode::Deterministic => Action::clamped(means[(r, 0)], means[(r, 1)]),
+                ActionMode::Sample => {
+                    let (a, _) = ActorSnapshot::sample_from_head(
+                        means.row(r),
+                        logstds.row(r),
+                        self.sessions[i].rng(),
+                    );
+                    Action::clamped(a[0], a[1])
+                }
+            };
+            let netem = self.cfg.netem;
+            let event = self.sessions[i].advance(&kernel, action, netem.as_ref());
+            emitted
+                .row_mut(r)
+                .copy_from_slice(&kernel.normalize_packet(&event.emitted));
+
+            let inline = match self.cfg.verdicts {
+                VerdictPolicy::Final => false,
+                VerdictPolicy::EveryFrame => true,
+                VerdictPolicy::Every(n) => n > 0 && self.sessions[i].frames().is_multiple_of(n),
+            };
+            if inline
+                && !event.done
+                && !self.sessions[i].blocked_midstream()
+                && self.censor.blocks(self.sessions[i].wire())
+            {
+                self.sessions[i].set_blocked_midstream();
+            }
+            if event.done {
+                let score = self.censor.score(self.sessions[i].wire());
+                self.sessions[i].set_final_score(score);
+                self.sessions[i].finish_streams(self.cfg.verify_streams);
+            }
+        }
+        // One fused GRU step records what went on the wire in E(a_{1:t}).
+        self.policy
+            .encoder
+            .push_batch(&mut self.a_states, chunk, &emitted);
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end property test of the dataplane's grouping-invariance
+//! contract: for random offered flows, a fixed seed must produce
+//! bit-identical per-session wire output no matter how sessions are
+//! grouped — any shard count in `1..=8`, batch size 1 or 64, sampled
+//! actions, and NetEm impairment on or off.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use amoeba_classifiers::{Censor, CensorKind, ConstantCensor};
+use amoeba_core::encoder::StateEncoder;
+use amoeba_core::policy::Actor;
+use amoeba_core::AmoebaConfig;
+use amoeba_serve::{ActionMode, Dataplane, FrozenPolicy, ServeConfig, ServeReport};
+use amoeba_traffic::{Flow, Layer, NetEm};
+
+fn tiny_policy() -> FrozenPolicy {
+    let mut rng = StdRng::seed_from_u64(7);
+    let encoder = StateEncoder::new(12, 2, &mut rng);
+    let cfg = AmoebaConfig {
+        encoder_hidden: 12,
+        actor_hidden: vec![24],
+        ..AmoebaConfig::fast()
+    };
+    let actor = Actor::new(&cfg, &mut rng);
+    FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
+}
+
+fn run(
+    flows: &[Flow],
+    seed: u64,
+    batch: usize,
+    shards: usize,
+    netem: Option<NetEm>,
+) -> ServeReport {
+    let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+        fixed_score: 0.1,
+        as_kind: CensorKind::Dt,
+    });
+    let mut cfg = ServeConfig::new(Layer::Tcp)
+        .with_seed(seed)
+        .with_batch(batch)
+        .with_shards(shards)
+        .with_mode(ActionMode::Sample);
+    cfg.netem = netem;
+    let mut dp = Dataplane::new(tiny_policy(), censor, cfg);
+    dp.add_flows(flows.iter());
+    dp.run()
+}
+
+/// The per-session wire frame stream, down to the bit.
+fn wire_bits(report: &ServeReport) -> Vec<Vec<(i32, u32)>> {
+    report.wire_bits()
+}
+
+/// One random offered flow: a few packets with random sizes, signs and
+/// inter-packet delays.
+fn arb_flow() -> impl Strategy<Value = Flow> {
+    prop::collection::vec((40i32..1400, 0u8..2, 0u32..8000), 1..6).prop_map(|pkts| {
+        Flow::from_pairs(
+            &pkts
+                .iter()
+                .enumerate()
+                .map(|(i, &(size, sign, delay_us))| {
+                    let signed = if sign == 0 { size } else { -size };
+                    let delay = if i == 0 { 0.0 } else { delay_us as f32 / 1e3 };
+                    (signed, delay)
+                })
+                .collect::<Vec<_>>(),
+        )
+    })
+}
+
+proptest! {
+    // Each case runs the full dataplane three times; keep the count low.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random flows, random shard count, batch 1 vs 64: identical
+    /// `ServeReport` frame streams.
+    #[test]
+    fn shard_count_and_batch_size_never_change_wire_output(
+        flows in prop::collection::vec(arb_flow(), 4..24),
+        seed in any::<u64>(),
+        n_shards in 1usize..=8,
+        with_netem in any::<bool>(),
+    ) {
+        let netem = with_netem.then_some(NetEm {
+            drop_rate: 0.08,
+            retransmit_timeout_ms: 50.0,
+            jitter_std: 0.2,
+        });
+        let reference = run(&flows, seed, 1, 1, netem);
+        prop_assert_eq!(reference.outcomes.len(), flows.len());
+        let ref_bits = wire_bits(&reference);
+        for batch in [1usize, 64] {
+            let sharded = run(&flows, seed, batch, n_shards, netem);
+            prop_assert_eq!(sharded.frames, reference.frames);
+            prop_assert_eq!(
+                wire_bits(&sharded),
+                ref_bits.clone(),
+                "{} shards x batch {} diverged",
+                n_shards,
+                batch
+            );
+        }
+    }
+}

@@ -20,7 +20,12 @@ pub struct NetEm {
     /// Retransmission timeout added before the retransmitted copy (ms).
     pub retransmit_timeout_ms: f32,
     /// Multiplicative delay jitter: each delay is scaled by
-    /// `max(0, 1 + N(0, jitter_std))`.
+    /// `1 + jitter_std * z` with `z ~ N(0, 1)` clamped symmetrically to
+    /// `±1/jitter_std`, so the factor stays in `[0, 2]` and — because the
+    /// clamp is symmetric around 0 — `E[factor] = 1` exactly: jitter
+    /// perturbs delays without inflating their mean. (A one-sided
+    /// `max(0, 1 + σz)` truncation would bias the mean upward by ≈ 4% at
+    /// `σ = 0.8`.)
     pub jitter_std: f32,
 }
 
@@ -73,7 +78,11 @@ impl NetEm {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
             let u2: f32 = rng.gen_range(0.0..1.0);
             let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
-            pkt.delay_ms *= (1.0 + self.jitter_std * z).max(0.0);
+            // Symmetric clamp: the factor stays non-negative AND its mean
+            // stays exactly 1 (a one-sided max(0, ·) truncation silently
+            // inflated E[delay] at large jitter_std).
+            let lim = 1.0 / self.jitter_std;
+            pkt.delay_ms *= 1.0 + self.jitter_std * z.clamp(-lim, lim);
         }
         let dup = if self.drop_rate > 0.0 && rng.gen_bool(self.drop_rate as f64) {
             // The original copy crossed the observation point and was
@@ -177,6 +186,39 @@ mod tests {
     #[should_panic(expected = "drop rate")]
     fn rejects_invalid_drop_rate() {
         let _ = NetEm::with_drop_rate(1.5);
+    }
+
+    /// Jitter must not shift the mean delay: with the symmetric clamp,
+    /// `E[observed delay]` stays within 1% of the base delay even at
+    /// large `jitter_std` (the old one-sided `max(0, 1 + σz)` truncation
+    /// was ≈ 4% high at σ = 0.8).
+    #[test]
+    fn jitter_preserves_mean_delay_within_one_percent() {
+        let base_delay = 10.0f32;
+        for &sigma in &[0.3f32, 0.8, 1.5] {
+            let netem = NetEm {
+                drop_rate: 0.0,
+                retransmit_timeout_ms: 0.0,
+                jitter_std: sigma,
+            };
+            let mut rng = StdRng::seed_from_u64(42);
+            let n = 200_000usize;
+            let mut sum = 0.0f64;
+            for _ in 0..n {
+                let (pkt, dup) =
+                    netem.apply_packet(Packet::outbound(100, base_delay), false, &mut rng);
+                assert!(pkt.delay_ms >= 0.0, "σ={sigma}: negative delay");
+                assert!(dup.is_none());
+                sum += pkt.delay_ms as f64;
+            }
+            let mean = sum / n as f64;
+            let rel = (mean - base_delay as f64).abs() / base_delay as f64;
+            assert!(
+                rel < 0.01,
+                "σ={sigma}: mean {mean:.4} vs base {base_delay} ({:.2}% off)",
+                rel * 100.0
+            );
+        }
     }
 
     /// The streaming path must reproduce the whole-flow path exactly when

@@ -9,7 +9,9 @@
 //! ```
 //!
 //! `AMOEBA_SERVE_FLOWS` / `AMOEBA_STEPS` bound the run (CI uses the
-//! defaults: 1 000 flows, 8 192 PPO timesteps, ~a minute end to end).
+//! defaults: 1 000 flows, 8 192 PPO timesteps, ~a minute end to end);
+//! `AMOEBA_SERVE_SHARDS` sets the dataplane worker-thread count
+//! (default 0 = one per core — wire output is shard-count-invariant).
 
 use std::sync::Arc;
 
@@ -67,6 +69,7 @@ fn main() {
         .collect();
     let serve_cfg = ServeConfig::from_amoeba(agent.config(), Layer::Tcp)
         .with_batch(64)
+        .with_shards(env_or("AMOEBA_SERVE_SHARDS", 0))
         .with_verdicts(VerdictPolicy::Every(8))
         .with_seed(7);
     let mut dp = Dataplane::new(policy, Arc::clone(&censor), serve_cfg);
