@@ -1,30 +1,50 @@
 //! Dataplane throughput sweep across inference batch sizes and shard
-//! (worker thread) counts.
+//! (worker thread) counts, plus the multi-tenant policy × censor matrix.
 //!
 //! * Scale via `AMOEBA_SCALE=paper`; flow count via `AMOEBA_SERVE_FLOWS`
 //!   (default 1000).
+//! * `--matrix` switches to the cross-censor evaluation table: one
+//!   `ServeEngine` run over 2 policies (trained vs DT and RF) × 3
+//!   censors (DT, RF, CUMUL), printing evasion per `(policy, censor)`
+//!   cell.
 //! * `AMOEBA_SERVE_SMOKE=1` switches to the CI smoke mode: a small run
 //!   (default 96 flows, override via `AMOEBA_SERVE_FLOWS`) at 1 vs 4
-//!   shards with the wire outputs cross-checked bit-for-bit.
+//!   shards with the wire outputs cross-checked bit-for-bit — or, with
+//!   `--matrix`, the 2×3 tenant matrix with every cell cross-checked
+//!   against its single-tenant run.
 use amoeba_bench::{serve, Context, Scale};
+use amoeba_classifiers::CensorKind;
 
 fn main() {
+    let matrix = std::env::args().any(|a| a == "--matrix");
     let smoke = std::env::var("AMOEBA_SERVE_SMOKE").is_ok_and(|v| v != "0");
     let n_flows = std::env::var("AMOEBA_SERVE_FLOWS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 96 } else { 1000 });
     let mut ctx = Context::new(Scale::from_env());
-    if smoke {
-        print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64));
-        return;
+    match (smoke, matrix) {
+        (true, true) => print!("{}", serve::serve_matrix_smoke(&mut ctx, n_flows, 64)),
+        (true, false) => print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64)),
+        (false, true) => print!(
+            "{}",
+            serve::serve_matrix(
+                &mut ctx,
+                n_flows,
+                64,
+                &[CensorKind::Dt, CensorKind::Rf],
+                &[CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul],
+            )
+        ),
+        (false, false) => {
+            print!(
+                "{}",
+                serve::serve_throughput(&mut ctx, n_flows, &[1, 16, 64, 256])
+            );
+            print!(
+                "{}",
+                serve::serve_shard_scaling(&mut ctx, n_flows, 64, &[1, 2, 4, 8])
+            );
+        }
     }
-    print!(
-        "{}",
-        serve::serve_throughput(&mut ctx, n_flows, &[1, 16, 64, 256])
-    );
-    print!(
-        "{}",
-        serve::serve_shard_scaling(&mut ctx, n_flows, 64, &[1, 2, 4, 8])
-    );
 }

@@ -1,13 +1,15 @@
-//! Dataplane throughput harness: drives the `amoeba-serve` event loop over
-//! a trained policy + censor across inference batch sizes and shard
-//! (worker thread) counts, and reports `flows/sec`, `MB/s` and p50/p99
-//! per-frame latency — the numbers the ROADMAP's "serve heavy traffic"
-//! scaling work steers by.
-
-use std::sync::Arc;
+//! Dataplane throughput harness: drives the `amoeba-serve` engine over
+//! trained policies + censors across inference batch sizes, shard
+//! (worker thread) counts and policy × censor tenant matrices, and
+//! reports `flows/sec`, `MB/s`, p50/p99 per-frame latency and per-cell
+//! evasion — the numbers the ROADMAP's "serve heavy traffic" scaling
+//! work steers by.
 
 use amoeba_classifiers::CensorKind;
-use amoeba_serve::{Dataplane, FrozenPolicy, ServeConfig, ServeReport, VerdictPolicy};
+use amoeba_serve::{
+    CensorId, CensorRegistry, FrozenPolicy, PolicyId, PolicyRegistry, ServeConfig, ServeEngine,
+    ServeReport, VerdictPolicy,
+};
 use amoeba_traffic::{DatasetKind, Flow};
 
 use crate::Context;
@@ -16,24 +18,36 @@ use crate::Context;
 /// memory so 1k+ concurrent sessions stay cheap on CI hardware.
 pub const PREFIX_CAP: usize = 20;
 
-/// Runs one dataplane pass at the given batch size and shard count; the
-/// workload is `n_flows` sessions cycling the Tor test split's sensitive
-/// flows (≤ [`PREFIX_CAP`]-packet prefixes) against an inline DT censor.
+fn serve_config(ctx: &mut Context, batch: usize, shards: usize) -> ServeConfig {
+    let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
+    ServeConfig::builder_from_amoeba(agent.config(), DatasetKind::Tor.layer())
+        .batch(batch)
+        .shards(shards)
+        .verdicts(VerdictPolicy::Every(8))
+        .seed(ctx.scale.seed)
+        .build()
+}
+
+fn offered(ctx: &mut Context, n_flows: usize) -> Vec<Flow> {
+    let base = ctx.eval_flows(DatasetKind::Tor);
+    (0..n_flows)
+        .map(|i| base[i % base.len()].prefix(PREFIX_CAP))
+        .collect()
+}
+
+/// Runs one single-tenant engine pass at the given batch size and shard
+/// count; the workload is `n_flows` sessions cycling the Tor test
+/// split's sensitive flows (≤ [`PREFIX_CAP`]-packet prefixes) against an
+/// inline DT censor.
 pub fn run_serve(ctx: &mut Context, n_flows: usize, batch: usize, shards: usize) -> ServeReport {
     let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
     let censor = ctx.censor(DatasetKind::Tor, CensorKind::Dt);
-    let base = ctx.eval_flows(DatasetKind::Tor);
-    let offered: Vec<Flow> = (0..n_flows)
-        .map(|i| base[i % base.len()].prefix(PREFIX_CAP))
-        .collect();
-    let cfg = ServeConfig::from_amoeba(agent.config(), DatasetKind::Tor.layer())
-        .with_batch(batch)
-        .with_shards(shards)
-        .with_verdicts(VerdictPolicy::Every(8))
-        .with_seed(ctx.scale.seed);
-    let mut dp = Dataplane::new(FrozenPolicy::from_agent(&agent), Arc::clone(&censor), cfg);
-    dp.add_flows(offered.iter());
-    dp.run()
+    let flows = offered(ctx, n_flows);
+    let mut engine = ServeEngine::new(serve_config(ctx, batch, shards));
+    let p = engine.register_policy(FrozenPolicy::from_agent(&agent));
+    let c = engine.register_censor(censor);
+    engine.admit_all(flows.iter(), p, c);
+    engine.run()
 }
 
 fn throughput_row(label: &str, r: &ServeReport) -> String {
@@ -110,5 +124,167 @@ pub fn serve_smoke(ctx: &mut Context, n_flows: usize, batch: usize) -> String {
     md += TABLE_HEADER;
     md += &throughput_row("1 shard", &one);
     md += &throughput_row("4 shards", &four);
+    md
+}
+
+/// Builds one multi-tenant engine over `policy_kinds × censor_kinds`
+/// (policies are Amoeba agents trained against the named censor family)
+/// and admits `n_flows` Tor-prefix sessions round-robin across the
+/// tenant cells. Returns the run report plus the registered handles, in
+/// registration (= argument) order.
+fn run_matrix(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    shards: usize,
+    policy_kinds: &[CensorKind],
+    censor_kinds: &[CensorKind],
+) -> (ServeReport, Vec<PolicyId>, Vec<CensorId>) {
+    assert!(!policy_kinds.is_empty() && !censor_kinds.is_empty());
+    // Assemble the tenant tables up front, then hand them to the engine —
+    // the `ServeEngine::with_registries` sweep-harness path.
+    let mut policies = PolicyRegistry::new();
+    let pids: Vec<PolicyId> = policy_kinds
+        .iter()
+        .map(|&k| policies.register(FrozenPolicy::from_agent(&ctx.agent(DatasetKind::Tor, k).0)))
+        .collect();
+    let mut censors = CensorRegistry::new();
+    let cids: Vec<CensorId> = censor_kinds
+        .iter()
+        .map(|&k| censors.register(ctx.censor(DatasetKind::Tor, k)))
+        .collect();
+    let flows = offered(ctx, n_flows);
+    let mut engine =
+        ServeEngine::with_registries(policies, censors, serve_config(ctx, batch, shards));
+    let cells = pids.len() * cids.len();
+    for (i, f) in flows.iter().enumerate() {
+        let cell = i % cells;
+        engine
+            .admit(f)
+            .id(i)
+            .policy(pids[cell / cids.len()])
+            .censor(cids[cell % cids.len()])
+            .submit();
+    }
+    (engine.run(), pids, cids)
+}
+
+/// Cross-censor evaluation matrix from **one** engine run: evasion rate
+/// per `(policy, censor)` cell, policies (rows) trained against one
+/// censor family each, censors (columns) serving inline — the §5.4
+/// robustness/transfer table at serving time, at dataplane cost `1`
+/// instead of `P×C`.
+pub fn serve_matrix(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    policy_kinds: &[CensorKind],
+    censor_kinds: &[CensorKind],
+) -> String {
+    let (report, pids, cids) = run_matrix(ctx, n_flows, batch, 1, policy_kinds, censor_kinds);
+    let mut md = String::from("## amoeba-serve cross-censor matrix (one engine run)\n\n");
+    md += &format!(
+        "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes) split \
+         round-robin across {} policies × {} censors, verdicts every 8 frames, batch \
+         {batch}; cells are evasion rates of the per-tenant sub-reports.\n\n",
+        pids.len(),
+        cids.len(),
+    );
+    md += &serve_matrix_table_only(&report, &pids, &cids, policy_kinds, censor_kinds);
+    md += &format!(
+        "\nwhole engine at 1 shard: {:.0} flows/s, {:.0} frames/s, streams ok {:.1}% \
+         (shard scaling is measured by the dedicated table; wire output is \
+         shard-count-invariant)\n",
+        report.flows_per_sec(),
+        report.frames_per_sec(),
+        report.stream_ok_rate() * 100.0,
+    );
+    md
+}
+
+/// CI matrix smoke: a 2×3 policy × censor matrix served by one engine at
+/// 4 shards, with every tenant's sub-report cross-checked bit-for-bit
+/// against a fresh single-tenant engine run of the same `(id, flow)`
+/// set — the tenancy-invariance contract exercised end-to-end on real
+/// trained policies and censors on every push.
+pub fn serve_matrix_smoke(ctx: &mut Context, n_flows: usize, batch: usize) -> String {
+    let policy_kinds = [CensorKind::Dt, CensorKind::Rf];
+    let censor_kinds = [CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul];
+    let (report, pids, cids) = run_matrix(ctx, n_flows, batch, 4, &policy_kinds, &censor_kinds);
+    assert_eq!(
+        report.stream_ok_rate(),
+        1.0,
+        "matrix smoke: streams failed to verify"
+    );
+
+    let flows = offered(ctx, n_flows);
+    let cells = pids.len() * cids.len();
+    for (ti, (tenant, sub)) in report.sub_reports().into_iter().enumerate() {
+        let pairs: Vec<(usize, &Flow)> = flows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % cells == ti)
+            .collect();
+        let agent_kind = policy_kinds[tenant.policy.index()];
+        let censor_kind = censor_kinds[tenant.censor.index()];
+        let policy = FrozenPolicy::from_agent(&ctx.agent(DatasetKind::Tor, agent_kind).0);
+        let censor = ctx.censor(DatasetKind::Tor, censor_kind);
+        let mut solo = ServeEngine::new(serve_config(ctx, batch, 1));
+        let p = solo.register_policy(policy);
+        let c = solo.register_censor(censor);
+        for &(id, f) in &pairs {
+            solo.admit(f).id(id).policy(p).censor(c).submit();
+        }
+        let solo = solo.run();
+        assert_eq!(
+            sub.wire_bits(),
+            solo.wire_bits(),
+            "matrix smoke: tenant ({agent_kind:?} policy, {censor_kind:?} censor) \
+             diverged from its single-tenant run"
+        );
+    }
+
+    let mut md = String::from(
+        "## amoeba-serve matrix smoke (2×3 tenants, bit-identical to single-tenant runs)\n\n",
+    );
+    md += TABLE_HEADER;
+    md += &throughput_row("2 policies × 3 censors", &report);
+    md += "\n";
+    md += &serve_matrix_table_only(&report, &pids, &cids, &policy_kinds, &censor_kinds);
+    md
+}
+
+/// Renders just the evasion matrix for an existing report (shared by the
+/// smoke path so it doesn't re-run the engine).
+fn serve_matrix_table_only(
+    report: &ServeReport,
+    pids: &[PolicyId],
+    cids: &[CensorId],
+    policy_kinds: &[CensorKind],
+    censor_kinds: &[CensorKind],
+) -> String {
+    let mut md = format!(
+        "| policy \\ censor | {} |\n|---|{}\n",
+        censor_kinds
+            .iter()
+            .map(|k| format!("{k:?}"))
+            .collect::<Vec<_>>()
+            .join(" | "),
+        "---|".repeat(cids.len())
+    );
+    for (pi, &pid) in pids.iter().enumerate() {
+        let cells: Vec<String> = cids
+            .iter()
+            .map(|&cid| {
+                let sub = report.sub_report(amoeba_serve::Tenant::new(pid, cid));
+                format!("{:.1}%", sub.evasion_rate() * 100.0)
+            })
+            .collect();
+        md += &format!(
+            "| trained vs {:?} | {} |\n",
+            policy_kinds[pi],
+            cells.join(" | ")
+        );
+    }
     md
 }

@@ -12,7 +12,7 @@ use amoeba_traffic::{Flow, Label, Layer};
 use crate::config::AmoebaConfig;
 use crate::encoder::{EncoderSnapshot, StateEncoder};
 use crate::env::{Action, CensorEnv, EnvConfig, EpisodeStats};
-use crate::policy::{ActorSnapshot, CriticSnapshot};
+use crate::policy::ActorSnapshot;
 use crate::ppo::{
     collect_rollouts_threaded, Batch, PolicySnapshots, PpoLearner, Trajectory, Worker,
 };
@@ -125,13 +125,13 @@ fn mean(it: impl Iterator<Item = f32>) -> f32 {
     }
 }
 
-/// A trained Amoeba agent: frozen encoder + policy.
+/// A trained Amoeba agent: frozen encoder + policy, held behind the same
+/// `Arc`-shared [`PolicySnapshots`] the rollout workers use — cloning the
+/// agent, or freezing it for serving, shares the weight allocations
+/// rather than deep-copying the matrices.
 #[derive(Clone)]
 pub struct AmoebaAgent {
-    encoder: EncoderSnapshot,
-    actor: ActorSnapshot,
-    #[allow(dead_code)]
-    critic: CriticSnapshot,
+    snapshots: PolicySnapshots,
     cfg: AmoebaConfig,
     layer: Layer,
 }
@@ -149,12 +149,19 @@ impl AmoebaAgent {
 
     /// The frozen state encoder.
     pub fn encoder(&self) -> &EncoderSnapshot {
-        &self.encoder
+        &self.snapshots.encoder
     }
 
     /// The frozen actor (for latency benchmarks — Figure 11).
     pub fn actor(&self) -> &ActorSnapshot {
-        &self.actor
+        &self.snapshots.actor
+    }
+
+    /// The `Arc`-shared frozen networks; serving consumers (e.g. the
+    /// `amoeba-serve` policy registry) clone these handles instead of the
+    /// underlying weights.
+    pub fn snapshots(&self) -> &PolicySnapshots {
+        &self.snapshots
     }
 
     /// Reshapes one flow against a censor by *sampling* the stochastic
@@ -188,17 +195,18 @@ impl AmoebaAgent {
         );
         let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
         env.reset(flow);
-        let mut x_state = self.encoder.begin();
-        let mut a_state = self.encoder.begin();
+        let encoder = self.encoder();
+        let mut x_state = encoder.begin();
+        let mut a_state = encoder.begin();
         let mut guard = 0usize;
         let guard_max = flow.len() * self.cfg.max_len_factor.max(1) + self.cfg.max_len_slack + 4;
         while let Some(obs) = env.observe_normalized() {
-            x_state.push(&self.encoder, obs);
+            x_state.push(encoder, obs);
             let mut state = x_state.representation().to_vec();
             state.extend_from_slice(a_state.representation());
-            let (raw, _) = self.actor.sample(&state, &mut rng);
+            let (raw, _) = self.actor().sample(&state, &mut rng);
             let out = env.step(Action::clamped(raw[0], raw[1]));
-            a_state.push(&self.encoder, env.normalize_packet(&out.emitted));
+            a_state.push(encoder, env.normalize_packet(&out.emitted));
             guard += 1;
             if out.done || guard > guard_max {
                 break;
@@ -333,9 +341,11 @@ pub fn train_amoeba_with_encoder(
         let eval_asr = match eval {
             Some((eval_flows, every)) if every > 0 && (iter + 1) % every == 0 => {
                 let agent = AmoebaAgent {
-                    encoder: encoder.clone(),
-                    actor: learner.actor.snapshot(),
-                    critic: learner.critic.snapshot(),
+                    snapshots: PolicySnapshots::from_shared(
+                        Arc::clone(&shared_encoder),
+                        Arc::new(learner.actor.snapshot()),
+                        Arc::new(learner.critic.snapshot()),
+                    ),
                     cfg: cfg.clone(),
                     layer,
                 };
@@ -361,9 +371,11 @@ pub fn train_amoeba_with_encoder(
     }
 
     let agent = AmoebaAgent {
-        encoder,
-        actor: learner.actor.snapshot(),
-        critic: learner.critic.snapshot(),
+        snapshots: PolicySnapshots::from_shared(
+            shared_encoder,
+            Arc::new(learner.actor.snapshot()),
+            Arc::new(learner.critic.snapshot()),
+        ),
         cfg: cfg.clone(),
         layer,
     };

@@ -386,6 +386,26 @@ impl PolicySnapshots {
             critic: Arc::new(critic),
         }
     }
+
+    /// Wraps already-shared snapshots without re-allocating the weights.
+    ///
+    /// This is how one trained policy fans out to any number of consumers
+    /// — rollout workers here, and every serving tenant downstream: a
+    /// [`crate::AmoebaAgent`] stores its frozen networks behind these
+    /// `Arc`s, so freezing it for serving (or registering it with several
+    /// censors in a multi-tenant engine) shares the single weight
+    /// allocation instead of deep-cloning the matrices.
+    pub fn from_shared(
+        encoder: Arc<EncoderSnapshot>,
+        actor: Arc<ActorSnapshot>,
+        critic: Arc<CriticSnapshot>,
+    ) -> Self {
+        Self {
+            encoder,
+            actor,
+            critic,
+        }
+    }
 }
 
 /// Default worker-thread count for [`collect_rollouts`]: the machine's

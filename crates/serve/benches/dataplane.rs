@@ -1,7 +1,13 @@
 //! Serving benches: the batched inference fast path against the per-flow
 //! path, at both the raw-network level (fused `forward_batch` vs mapped
 //! `forward`) and the end-to-end dataplane level (batch 64 vs batch 1,
-//! and 1/2/4 shards, on the same workload).
+//! and 1/2/4 shards, on the same workload) — plus the engine-overhead
+//! gate: a 1-tenant `ServeEngine` against the deprecated `Dataplane`
+//! shim on the same workload (budget: within 3%; since the shim
+//! delegates to the engine the comparison doubles as a delegation-cost
+//! check), and a 6-tenant engine run to size multi-tenant packing.
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
 
@@ -16,7 +22,7 @@ use amoeba_core::AmoebaConfig;
 use amoeba_nn::layers::{Activation, Mlp};
 use amoeba_nn::matrix::Matrix;
 use amoeba_nn::Forward;
-use amoeba_serve::{Dataplane, FrozenPolicy, ServeConfig};
+use amoeba_serve::{Dataplane, FrozenPolicy, ServeConfig, ServeEngine};
 use amoeba_traffic::{Flow, Layer};
 
 fn policy() -> FrozenPolicy {
@@ -139,10 +145,100 @@ fn bench_dataplane_sharding(c: &mut Criterion) {
     }
 }
 
+/// The redesign's overhead gate: one-tenant `ServeEngine` vs the
+/// deprecated `Dataplane` shim on the identical 200-flow workload at
+/// batch 64 — the acceptance budget is ≤3% between these two rows.
+fn bench_engine_vs_dataplane(c: &mut Criterion) {
+    let flows = workload(200);
+    let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+        fixed_score: 0.1,
+        as_kind: CensorKind::Dt,
+    });
+    let cfg = || ServeConfig::new(Layer::Tcp).with_seed(5).with_batch(64);
+    c.bench_function("dataplane_shim_200flows_batch64", |b| {
+        b.iter_batched(
+            || {
+                let mut dp = Dataplane::new(policy(), Arc::clone(&censor), cfg());
+                dp.add_flows(flows.iter());
+                dp
+            },
+            |dp| dp.run(),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("engine_1tenant_200flows_batch64", |b| {
+        b.iter_batched(
+            || {
+                let mut engine = ServeEngine::new(cfg());
+                let p = engine.register_policy(policy());
+                let cc = engine.register_censor(Arc::clone(&censor));
+                engine.admit_all(flows.iter(), p, cc);
+                engine
+            },
+            |engine| engine.run(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+/// Multi-tenant packing: the same 200 flows spread across 2 policies ×
+/// 3 censors in one engine run — one dataplane pass instead of six.
+fn bench_engine_multi_tenant(c: &mut Criterion) {
+    let flows = workload(200);
+    let censors: Vec<Arc<dyn Censor>> = [0.1f32, 0.4, 0.9]
+        .iter()
+        .map(|&s| {
+            Arc::new(ConstantCensor {
+                fixed_score: s,
+                as_kind: CensorKind::Dt,
+            }) as Arc<dyn Censor>
+        })
+        .collect();
+    let mk_policy = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let encoder = StateEncoder::new(32, 2, &mut rng);
+        let cfg = AmoebaConfig {
+            encoder_hidden: 32,
+            actor_hidden: vec![64, 32],
+            ..AmoebaConfig::fast()
+        };
+        let actor = Actor::new(&cfg, &mut rng);
+        FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
+    };
+    c.bench_function("engine_6tenants_200flows_batch64", |b| {
+        b.iter_batched(
+            || {
+                let mut engine =
+                    ServeEngine::new(ServeConfig::new(Layer::Tcp).with_seed(5).with_batch(64));
+                let pids: Vec<_> = [7u64, 19]
+                    .iter()
+                    .map(|&s| engine.register_policy(mk_policy(s)))
+                    .collect();
+                let cids: Vec<_> = censors
+                    .iter()
+                    .map(|c| engine.register_censor(Arc::clone(c)))
+                    .collect();
+                for (i, f) in flows.iter().enumerate() {
+                    engine
+                        .admit(f)
+                        .policy(pids[i % 2])
+                        .censor(cids[i % 3])
+                        .submit();
+                }
+                engine
+            },
+            |engine| engine.run(),
+            BatchSize::LargeInput,
+        )
+    });
+}
+
 criterion_group!(
     benches,
     bench_forward_batch,
     bench_dataplane_batching,
-    bench_dataplane_sharding
+    bench_dataplane_sharding,
+    bench_engine_vs_dataplane,
+    bench_engine_multi_tenant
 );
 criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Pluggable inference backends: the seam between the shard scheduler and
+//! whatever executes the fused GRU/MLP passes.
+//!
+//! The scheduler only ever needs two operations per tick — advance a
+//! batch of per-session encoder states by one observation each, and run
+//! the actor heads over a batch of concatenated states. [`InferenceBackend`]
+//! names exactly that contract; [`CpuBackend`] is the current
+//! implementation (the blocked-matmul snapshot fast path), and the
+//! ROADMAP's SIMD and async backends slot in behind the same trait
+//! without another serving-API break.
+//!
+//! ## Backend obligations
+//!
+//! Any backend must preserve the dataplane's grouping-invariance
+//! contract: both operations must be **row-independent and bit-exact
+//! per row** — the result for a session must not depend on which other
+//! sessions share the batch, the batch size, or the call order. A backend
+//! that reorders reductions per row (e.g. a SIMD kernel with a different
+//! summation tree) changes wire output and must keep the reference
+//! summation order instead.
+
+use amoeba_core::encoder::EncoderState;
+use amoeba_nn::matrix::Matrix;
+
+use crate::FrozenPolicy;
+
+/// Executes the two fused inference operations the batched scheduler
+/// needs. Implementations are shared (`Send + Sync`) across every shard
+/// worker thread; all mutable state lives in the caller-owned
+/// `EncoderState`s.
+pub trait InferenceBackend: Send + Sync {
+    /// Advances the selected per-session `E(·)` states by one step each in
+    /// a single fused GRU pass: row `r` of `obs` (shape `(B, 2)`) feeds
+    /// `states[indices[r]]`, exactly as
+    /// [`amoeba_core::encoder::EncoderSnapshot::push_batch`].
+    ///
+    /// Must be bit-identical per row to a per-session
+    /// [`amoeba_core::encoder::EncoderState::push`], for any grouping.
+    fn push_batch(
+        &self,
+        policy: &FrozenPolicy,
+        states: &mut [EncoderState],
+        indices: &[usize],
+        obs: &Matrix,
+    );
+
+    /// Runs the actor heads over a `(B, 2H)` batch of concatenated
+    /// `[E(x_{1:t}) | E(a_{1:t})]` states, returning `(means, logstds)`,
+    /// exactly as [`amoeba_core::policy::ActorSnapshot::head_batch`].
+    ///
+    /// Must be bit-identical per row to a single-row head pass, for any
+    /// grouping.
+    fn head_batch(&self, policy: &FrozenPolicy, states: &Matrix) -> (Matrix, Matrix);
+
+    /// Human-readable backend label (reports and benches).
+    fn name(&self) -> &'static str {
+        "unnamed"
+    }
+}
+
+/// The reference backend: the frozen snapshots' own fused fast paths
+/// (blocked cache-tiled matmul, fused GRU gate pass), bit-identical to
+/// the per-flow paths by construction. This is the path every previous
+/// single-tenant `Dataplane` release shipped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuBackend;
+
+impl InferenceBackend for CpuBackend {
+    fn push_batch(
+        &self,
+        policy: &FrozenPolicy,
+        states: &mut [EncoderState],
+        indices: &[usize],
+        obs: &Matrix,
+    ) {
+        policy.encoder.push_batch(states, indices, obs);
+    }
+
+    fn head_batch(&self, policy: &FrozenPolicy, states: &Matrix) -> (Matrix, Matrix) {
+        policy.actor.head_batch(states)
+    }
+
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_policy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The CPU backend is definitionally the snapshot fast path: both ops
+    /// must be bit-identical to calling the snapshots directly.
+    #[test]
+    fn cpu_backend_matches_snapshot_paths() {
+        let p = tiny_policy(11);
+        let backend = CpuBackend;
+        assert_eq!(backend.name(), "cpu");
+
+        let mut a: Vec<EncoderState> = (0..3).map(|_| p.encoder.begin()).collect();
+        let mut b: Vec<EncoderState> = (0..3).map(|_| p.encoder.begin()).collect();
+        let obs = Matrix::from_vec(2, 2, vec![0.25, -0.5, 0.75, 0.1]);
+        backend.push_batch(&p, &mut a, &[0, 2], &obs);
+        p.encoder.push_batch(&mut b, &[0, 2], &obs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.representation(), y.representation());
+        }
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let states = Matrix::randn(4, 2 * p.encoder.hidden_size(), 1.0, &mut rng);
+        let (m1, s1) = backend.head_batch(&p, &states);
+        let (m2, s2) = p.actor.head_batch(&states);
+        assert_eq!(m1.as_slice(), m2.as_slice());
+        assert_eq!(s1.as_slice(), s2.as_slice());
+    }
+}

@@ -1,84 +1,96 @@
-//! The discrete-event dataplane: a virtual clock over thousands of
-//! concurrent sessions, sharded across OS threads, each shard running a
-//! batched inference scheduler that fuses all due flows' observations
-//! into single encoder/actor passes per tick.
+//! The deprecated one-tenant shim over [`ServeEngine`].
 //!
-//! ## Scheduling model
+//! [`Dataplane`] was the pre-engine serving API: exactly one
+//! `(FrozenPolicy, Censor)` pair per process. It survives as a thin
+//! delegating wrapper so existing callers compile, but new code should
+//! use [`ServeEngine`] directly — registries, the admission builder, and
+//! per-tenant sub-reports all live there, and the shim can express none
+//! of them.
 //!
-//! Each session's next decision becomes *ready* the moment its previous
-//! frame is emitted (`ready_at`); the frame itself leaves `delay_ms`
-//! later, which is when the following decision is taken — inference cost
-//! hides inside the frame delay, exactly the §5.6.1 deployment argument.
-//! Each [`crate::shard::Shard`]'s loop repeatedly takes the earliest
-//! ready time `t` among its sessions, collects every session ready within
-//! the scheduler quantum `[t, t + tick_ms]` in session-id order, and
-//! processes them in inference batches of at most `max_batch` flows.
+//! ## Migration
 //!
-//! ## Sharding and grouping invariance
+//! ```text
+//! // before                                   // after
+//! let mut dp = Dataplane::new(p, c, cfg);     let mut e = ServeEngine::new(cfg);
+//! dp.add_flow(&flow);                         let p = e.register_policy(p);
+//! dp.add_flow_with_id(7, &flow);              let c = e.register_censor(c);
+//! dp.add_flow_with_payload(&flow, out, inb);  e.admit(&flow).policy(p).censor(c).submit();
+//! let report = dp.run();                      e.admit(&flow).id(7).submit();
+//!                                             e.admit(&flow).payload(out, inb).submit();
+//!                                             let report = e.run();
+//! ```
 //!
-//! Sessions are fully independent (stateless censor, per-session RNGs
-//! derived from `(seed, session_id)` only, row-independent matrix
-//! kernels), so *any* grouping of sessions — into inference batches
-//! within a tick, or across [`crate::shard::Shard`] worker threads —
-//! produces bit-identical per-session output. `max_batch`, `tick_ms` and
-//! `n_shards` are pure throughput knobs. [`Dataplane::run`] partitions
-//! the admitted sessions round-robin (in session-id order) across
-//! `n_shards` `std::thread::scope` workers and merges the shard reports
-//! deterministically by session id; the regression tests below pin
-//! bit-identical wire output for shard counts 1/2/4/8 × batch sizes 1/64
-//! (and 256), and `tests/grouping_invariance.rs` property-tests random
-//! shard/batch combinations end-to-end.
+//! (With exactly one registered policy and censor, the builder's
+//! `.policy(..)`/`.censor(..)` calls may be omitted — they default to
+//! the first registration, which is how the shim itself delegates.)
+//!
+//! Every admission path below — including bulk [`Dataplane::add_flows`],
+//! which previously re-derived ids internally — routes through the
+//! engine's admission builder, so shim and engine admissions are
+//! wire-identical by construction (regression-pinned in the tests).
+//! The grouping-invariance regression tests for shard counts × batch
+//! sizes also still live here, now exercising the engine through the
+//! shim.
+
+#![allow(deprecated)]
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use amoeba_classifiers::Censor;
 use amoeba_traffic::Flow;
 
-use crate::metrics::{ServeReport, SessionOutcome};
-use crate::session::Session;
-use crate::shard::{Shard, ShardReport};
+use crate::engine::ServeEngine;
+use crate::metrics::ServeReport;
+use crate::registry::{CensorId, PolicyId};
 use crate::{FrozenPolicy, ServeConfig};
 
-/// The serving engine: frozen policy + censor + concurrent sessions,
-/// partitioned across [`Shard`] worker threads at [`Dataplane::run`].
+/// One-tenant serving: a frozen policy + censor pair and its sessions.
+///
+/// Deprecated shim over [`ServeEngine`]; see the [module docs](self) for
+/// the migration table.
+#[deprecated(
+    since = "0.1.0",
+    note = "use ServeEngine: register the policy and censor, then admit flows via the builder"
+)]
 pub struct Dataplane {
-    policy: FrozenPolicy,
-    censor: Arc<dyn Censor>,
-    cfg: ServeConfig,
-    sessions: Vec<Session>,
-    /// Next auto-assigned session id (`max(assigned) + 1`).
-    next_id: usize,
+    engine: ServeEngine,
+    policy: PolicyId,
+    censor: CensorId,
 }
 
 impl Dataplane {
-    /// Builds an empty dataplane around a frozen policy and an inline
-    /// censor.
+    /// Builds an empty one-tenant engine around a frozen policy and an
+    /// inline censor.
     pub fn new(policy: FrozenPolicy, censor: Arc<dyn Censor>, cfg: ServeConfig) -> Self {
+        let mut engine = ServeEngine::new(cfg);
+        let policy = engine.register_policy(policy);
+        let censor = engine.register_censor(censor);
         Self {
+            engine,
             policy,
             censor,
-            cfg,
-            sessions: Vec::new(),
-            next_id: 0,
         }
     }
 
     /// Number of admitted sessions.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.engine.len()
     }
 
     /// True when no sessions were admitted.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.engine.is_empty()
     }
 
     /// Admits one session carrying a deterministic pseudo-random payload
     /// sized to the offered flow; returns its session id (the next free
     /// one).
     pub fn add_flow(&mut self, offered: &Flow) -> usize {
-        self.add_flow_with_id(self.next_id, offered)
+        self.engine
+            .admit(offered)
+            .policy(self.policy)
+            .censor(self.censor)
+            .submit()
     }
 
     /// Admits one session under an explicit session id. Everything a
@@ -89,9 +101,12 @@ impl Dataplane {
     ///
     /// Ids must be unique; duplicates panic at [`Dataplane::run`].
     pub fn add_flow_with_id(&mut self, id: usize, offered: &Flow) -> usize {
-        self.sessions.push(Session::new(id, offered, &self.cfg));
-        self.next_id = self.next_id.max(id + 1);
-        id
+        self.engine
+            .admit(offered)
+            .id(id)
+            .policy(self.policy)
+            .censor(self.censor)
+            .submit()
     }
 
     /// Admits one session carrying caller-supplied byte streams.
@@ -101,181 +116,39 @@ impl Dataplane {
         outbound: Vec<u8>,
         inbound: Vec<u8>,
     ) -> usize {
-        let id = self.next_id;
-        self.sessions.push(Session::with_payload(
-            id, offered, &self.cfg, outbound, inbound,
-        ));
-        self.next_id = id + 1;
-        id
+        self.engine
+            .admit(offered)
+            .payload(outbound, inbound)
+            .policy(self.policy)
+            .censor(self.censor)
+            .submit()
     }
 
-    /// Admits many flows at once.
+    /// Admits many flows at once — one admission-builder submit per flow,
+    /// so bulk admission is wire-identical to the equivalent
+    /// [`Dataplane::add_flow`] loop (regression-pinned below).
     pub fn add_flows<'a>(&mut self, offered: impl IntoIterator<Item = &'a Flow>) {
         for f in offered {
             self.add_flow(f);
         }
     }
 
-    /// Shard count this run will use: `n_shards` resolved (0 = one per
-    /// available core) and clamped to the session count.
-    fn effective_shards(&self) -> usize {
-        let configured = if self.cfg.n_shards == 0 {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        } else {
-            self.cfg.n_shards
-        };
-        configured.clamp(1, self.sessions.len().max(1))
-    }
-
     /// Drives every session to completion and returns the merged run
-    /// report.
-    ///
-    /// Sessions are sorted by id, partitioned round-robin across
-    /// [`Shard`]s, run to completion on `std::thread::scope` workers
-    /// (inline for a single shard), and the shard reports are merged
-    /// deterministically by session id — so the report is identical for
-    /// any shard count, wall-clock fields aside.
+    /// report — [`ServeEngine::run`] verbatim.
     ///
     /// # Panics
     /// Panics if two sessions share an id.
-    pub fn run(mut self) -> ServeReport {
-        let start = Instant::now();
-        self.sessions.sort_by_key(Session::id);
-        assert!(
-            self.sessions.windows(2).all(|w| w[0].id() != w[1].id()),
-            "duplicate session ids"
-        );
-        let n_shards = self.effective_shards();
-
-        // Round-robin partition in id order: shard s takes sorted
-        // sessions s, s + n, s + 2n, … — balanced and deterministic.
-        let mut parts: Vec<Vec<Session>> = (0..n_shards).map(|_| Vec::new()).collect();
-        for (i, session) in self.sessions.drain(..).enumerate() {
-            parts[i % n_shards].push(session);
-        }
-        let shards: Vec<Shard> = parts
-            .into_iter()
-            .map(|sessions| {
-                Shard::new(
-                    self.policy.clone(),
-                    Arc::clone(&self.censor),
-                    self.cfg.clone(),
-                    sessions,
-                )
-            })
-            .collect();
-
-        let reports: Vec<ShardReport> = if n_shards == 1 {
-            shards.into_iter().map(Shard::run).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .into_iter()
-                    .map(|shard| scope.spawn(move || shard.run()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            })
-        };
-
-        Self::merge(reports, start.elapsed().as_secs_f64())
-    }
-
-    /// Deterministic merge: outcomes k-way-merged by session id (each
-    /// shard's list is already id-ascending), counters summed, latencies
-    /// concatenated in shard order.
-    fn merge(reports: Vec<ShardReport>, wall_seconds: f64) -> ServeReport {
-        let mut frames = 0usize;
-        let mut batches = 0usize;
-        let total: usize = reports.iter().map(|r| r.outcomes.len()).sum();
-        let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(total);
-        let mut latencies: Vec<f32> = Vec::new();
-        let mut queues: Vec<std::vec::IntoIter<SessionOutcome>> = Vec::new();
-        for r in reports {
-            frames += r.frames;
-            batches += r.batches;
-            latencies.extend(r.latencies);
-            queues.push(r.outcomes.into_iter());
-        }
-        let mut heads: Vec<Option<SessionOutcome>> =
-            queues.iter_mut().map(Iterator::next).collect();
-        while let Some(best) = heads
-            .iter()
-            .enumerate()
-            .filter_map(|(q, h)| h.as_ref().map(|o| (o.id, q)))
-            .min()
-            .map(|(_, q)| q)
-        {
-            outcomes.push(heads[best].take().expect("nonempty head"));
-            heads[best] = queues[best].next();
-        }
-        ServeReport {
-            outcomes,
-            wall_seconds,
-            frames,
-            inference_batches: batches,
-            frame_latency_us: latencies,
-        }
+    pub fn run(self) -> ServeReport {
+        self.engine.run()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testutil::{allow_censor, offered_flows, scoring_censor, tiny_policy};
     use crate::{ActionMode, VerdictPolicy};
-    use amoeba_classifiers::{CensorKind, ConstantCensor};
-    use amoeba_core::encoder::StateEncoder;
-    use amoeba_core::policy::Actor;
-    use amoeba_core::AmoebaConfig;
     use amoeba_traffic::{Layer, NetEm};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
-
-    fn tiny_policy(seed: u64) -> FrozenPolicy {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let encoder = StateEncoder::new(16, 2, &mut rng);
-        let cfg = AmoebaConfig {
-            encoder_hidden: 16,
-            actor_hidden: vec![32],
-            ..AmoebaConfig::fast()
-        };
-        let actor = Actor::new(&cfg, &mut rng);
-        FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
-    }
-
-    fn allow_censor() -> Arc<dyn Censor> {
-        Arc::new(ConstantCensor {
-            fixed_score: 0.1,
-            as_kind: CensorKind::Dt,
-        })
-    }
-
-    fn offered_flows(n: usize, seed: u64) -> Vec<Flow> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| {
-                let len = rng.gen_range(2..6usize);
-                Flow::from_pairs(
-                    &(0..len)
-                        .map(|i| {
-                            let size = rng.gen_range(40..1400i32);
-                            let sign = if rng.gen_bool(0.5) { 1 } else { -1 };
-                            let delay = if i == 0 {
-                                0.0
-                            } else {
-                                rng.gen_range(0.0..8.0f32)
-                            };
-                            (sign * size, delay)
-                        })
-                        .collect::<Vec<_>>(),
-                )
-            })
-            .collect()
-    }
 
     fn run_with(
         flows: &[Flow],
@@ -413,6 +286,40 @@ mod tests {
         assert_eq!(ids, (0..n).collect::<Vec<usize>>());
     }
 
+    /// The old `add_flows` API gap, pinned closed: bulk admission routes
+    /// through the engine's admission builder, so it is wire-identical to
+    /// a one-by-one `add_flow` loop *and* to direct engine admission.
+    #[test]
+    fn bulk_admission_matches_loop_and_engine_admission() {
+        let flows = offered_flows(32, 15);
+        let cfg = || {
+            ServeConfig::new(Layer::Tcp)
+                .with_seed(11)
+                .with_batch(8)
+                .with_mode(ActionMode::Sample)
+        };
+
+        let mut bulk = Dataplane::new(tiny_policy(7), allow_censor(), cfg());
+        bulk.add_flows(flows.iter());
+        assert_eq!(bulk.len(), flows.len());
+        let bulk = bulk.run();
+
+        let mut looped = Dataplane::new(tiny_policy(7), allow_censor(), cfg());
+        for f in &flows {
+            looped.add_flow(f);
+        }
+        let looped = looped.run();
+
+        let mut engine = ServeEngine::new(cfg());
+        let p = engine.register_policy(tiny_policy(7));
+        let c = engine.register_censor(allow_censor());
+        engine.admit_all(flows.iter(), p, c);
+        let engine = engine.run();
+
+        assert_eq!(wire_bits(&bulk), wire_bits(&looped));
+        assert_eq!(wire_bits(&bulk), wire_bits(&engine));
+    }
+
     #[test]
     #[should_panic(expected = "duplicate session ids")]
     fn duplicate_session_ids_are_rejected() {
@@ -448,10 +355,7 @@ mod tests {
     fn inline_verdicts_catch_blocking_censors() {
         let flows = offered_flows(24, 9);
         let policy = tiny_policy(7);
-        let block: Arc<dyn Censor> = Arc::new(ConstantCensor {
-            fixed_score: 0.9,
-            as_kind: CensorKind::Dt,
-        });
+        let block = scoring_censor(0.9);
         let cfg = ServeConfig::new(Layer::Tcp)
             .with_seed(1)
             .with_verdicts(VerdictPolicy::EveryFrame);

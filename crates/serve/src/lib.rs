@@ -2,12 +2,30 @@
 //!
 //! The online flow-shaping dataplane (§5.6.1): where `amoeba-core` *trains*
 //! policies inside the offline gym, this crate *serves* them — a
-//! deterministic, discrete-event dataplane that drives thousands of
-//! concurrent framed sessions from frozen policy snapshots, the
-//! "transport-layer extension inside obfuscators" deployment the paper
-//! argues for.
+//! deterministic, discrete-event, **multi-tenant** engine that drives
+//! thousands of concurrent framed sessions from frozen policy snapshots
+//! against any number of inline censors, the "transport-layer extension
+//! inside obfuscators" deployment the paper argues for, scaled to the
+//! cross-censor sweeps its robustness analysis (§5.4) needs.
 //!
 //! ## Architecture
+//!
+//! * [`engine::ServeEngine`] — the serving API. A [`registry::PolicyRegistry`]
+//!   and [`registry::CensorRegistry`] hand out cheap `Copy` handles
+//!   ([`registry::PolicyId`] / [`registry::CensorId`]); sessions are
+//!   admitted through a builder and tagged with their
+//!   [`registry::Tenant`] — a `(policy, censor)` pair:
+//!
+//!   ```text
+//!   let mut engine = ServeEngine::new(ServeConfig::builder(Layer::Tcp).batch(64).build());
+//!   let p  = engine.register_policy(FrozenPolicy::from_agent(&agent));
+//!   let dt = engine.register_censor(dt_censor);
+//!   let ls = engine.register_censor(lstm_censor);
+//!   engine.admit(&flow).policy(p).censor(dt).submit();
+//!   engine.admit(&flow).policy(p).censor(ls).submit();
+//!   let report = engine.run();
+//!   for (tenant, sub) in report.sub_reports() { /* per-(policy, censor) cells */ }
+//!   ```
 //!
 //! * [`session::Session`] — the per-flow state machine: an application
 //!   byte stream per direction enters a `ShapedSender`, the shared
@@ -17,36 +35,47 @@
 //!   end reassembles the exact original stream.
 //! * [`shard::Shard`] — the shard-local event loop: a virtual clock
 //!   honouring per-frame delays, optional [`amoeba_traffic::NetEm`]
-//!   impairment of what the on-path censor observes, an inline streaming
-//!   censor verdict per flow, and the **batched inference scheduler**: at
-//!   every virtual tick, all due flows' observations are gathered into
-//!   single matrices and pushed through one fused GRU/MLP pass
-//!   (`push_batch` / `head_batch`) instead of per-flow calls.
-//! * [`dataplane::Dataplane`] — admission and orchestration: sessions are
-//!   partitioned round-robin (by session id) across
-//!   [`ServeConfig::n_shards`] `std::thread::scope` workers, each running
-//!   one [`shard::Shard`] to completion, and the shard reports merge
-//!   deterministically by session id.
+//!   impairment of what the on-path censor observes, inline per-tenant
+//!   censor verdicts, and the **batched inference scheduler**: at every
+//!   virtual tick, all due flows are bucketed by [`registry::PolicyId`]
+//!   and each bucket's observations are gathered into single matrices
+//!   and pushed through one fused GRU/MLP pass — tenants that share a
+//!   policy share the pass, whichever censor each faces, so a
+//!   policy × censor sweep costs one dataplane run instead of `P×C`.
+//! * [`backend::InferenceBackend`] — the pluggable execution seam behind
+//!   the scheduler (`push_batch` / `head_batch`).
+//!   [`backend::CpuBackend`] is the reference blocked-matmul snapshot
+//!   path; SIMD and async backends slot in behind the same trait without
+//!   another API break.
 //! * [`metrics::ServeReport`] — throughput (`flows/sec`, `MB/s`),
 //!   per-frame latency percentiles (linearly interpolated between ranks),
-//!   evasion rate, overhead accounting.
+//!   evasion rate, overhead accounting — plus per-`(policy, censor)`
+//!   [`metrics::ServeReport::sub_reports`] with a deterministic merge.
+//! * [`dataplane::Dataplane`] — **deprecated** one-tenant shim over the
+//!   engine, kept so pre-engine callers compile. Migration: replace
+//!   `Dataplane::new(policy, censor, cfg)` + `add_flow*` with a
+//!   [`engine::ServeEngine`], one `register_policy` / `register_censor`
+//!   call each, and the [`engine::ServeEngine::admit`] builder (which is
+//!   also where explicit ids and payloads — the old `add_flows` gap —
+//!   plug in).
 //!
-//! ## Determinism: the grouping-invariance contract
+//! ## Determinism: the grouping- and tenancy-invariance contract
 //!
 //! Every matrix op on the batched path is row-independent (and the
 //! blocked `amoeba-nn` matmul kernel is bit-identical to the naive
 //! reference), and every source of randomness (payload generation, action
 //! sampling, NetEm) draws from a per-session RNG derived from
 //! `(seed, session_id)` only — never from insertion order, shard id, or
-//! batch grouping. For a fixed seed the dataplane's per-session wire
-//! output is therefore **bit-identical regardless of how sessions are
-//! grouped**: inference batch size (1/64/256), shard count (1/2/4/8), and
-//! admission order all produce the same wire flows (regression-pinned in
-//! `dataplane.rs`, property-tested end-to-end in
-//! `tests/grouping_invariance.rs`). This is the property that makes
-//! batching and sharding pure throughput knobs rather than semantics
-//! knobs, and it is what every future scaling axis (async backends,
-//! multi-censor serving) plugs into.
+//! batch grouping. For a fixed seed a session's wire output is therefore
+//! a pure function of `(seed, session_id, policy, censor)`: inference
+//! batch size (1/64/256), shard count (1/2/4/8), admission order, *and
+//! which other tenants share the process* all produce the same wire flows
+//! (regression-pinned in `engine.rs` and `dataplane.rs`, property-tested
+//! end-to-end in `tests/grouping_invariance.rs` and
+//! `tests/tenancy_invariance.rs`). This is the property that makes
+//! batching, sharding and multi-tenant packing pure throughput knobs
+//! rather than semantics knobs, and it is what every future scaling axis
+//! (SIMD/async [`backend::InferenceBackend`]s, work stealing) plugs into.
 //!
 //! ## Framing note
 //!
@@ -63,10 +92,15 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod dataplane;
+pub mod engine;
 pub mod metrics;
+pub mod registry;
 pub mod session;
 pub mod shard;
+#[cfg(test)]
+pub(crate) mod testutil;
 
 use std::sync::Arc;
 
@@ -76,13 +110,20 @@ use amoeba_core::ppo::PolicySnapshots;
 use amoeba_core::{ActionSpace, AmoebaAgent, AmoebaConfig, ShapingKernel};
 use amoeba_traffic::{Layer, NetEm};
 
+pub use backend::{CpuBackend, InferenceBackend};
+#[allow(deprecated)]
 pub use dataplane::Dataplane;
+pub use engine::{Admission, ServeEngine};
 pub use metrics::{ServeReport, SessionOutcome};
+pub use registry::{CensorId, CensorRegistry, PolicyId, PolicyRegistry, Tenant};
 pub use session::Session;
 pub use shard::Shard;
 
 /// The slice of a trained agent the dataplane needs: the frozen
 /// StateEncoder and actor. (Serving never needs the critic.)
+///
+/// Cloning shares the underlying `Arc`s — registering one policy with
+/// many engines, or one engine many times, never duplicates weights.
 #[derive(Clone)]
 pub struct FrozenPolicy {
     /// Frozen StateEncoder driving `E(x_{1:t})` and `E(a_{1:t})`.
@@ -100,9 +141,10 @@ impl FrozenPolicy {
         }
     }
 
-    /// Freezes a trained agent's encoder + actor.
+    /// Freezes a trained agent's encoder + actor — `Arc`-sharing the
+    /// agent's weight allocations, not copying them.
     pub fn from_agent(agent: &AmoebaAgent) -> Self {
-        Self::new(agent.encoder().clone(), agent.actor().clone())
+        Self::from(agent.snapshots())
     }
 }
 
@@ -138,8 +180,14 @@ pub enum VerdictPolicy {
     Every(usize),
 }
 
-/// Dataplane configuration.
+/// Engine configuration.
+///
+/// Construct via [`ServeConfig::new`] / [`ServeConfig::from_amoeba`] and
+/// the `with_*` setters, or the [`ServeConfig::builder`]; the struct is
+/// `#[non_exhaustive]` so future knobs (async backends, work stealing)
+/// can land without breaking callers.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ServeConfig {
     /// Observation layer (TCP segments or TLS records).
     pub layer: Layer,
@@ -156,8 +204,8 @@ pub struct ServeConfig {
     /// Maximum flows fused into one inference batch (≥ 1).
     pub max_batch: usize,
     /// Worker threads the sessions are sharded across at
-    /// [`Dataplane::run`] (0 = one per available core). A pure throughput
-    /// knob: per-session wire output is shard-count-invariant.
+    /// [`ServeEngine::run`] (0 = one per available core). A pure
+    /// throughput knob: per-session wire output is shard-count-invariant.
     pub n_shards: usize,
     /// Scheduler quantum (virtual ms): all sessions ready within
     /// `[t, t + tick_ms]` of the earliest ready time join one tick. A
@@ -209,6 +257,20 @@ impl ServeConfig {
             max_len_slack: cfg.max_len_slack,
             seed: cfg.seed,
             ..Self::new(layer)
+        }
+    }
+
+    /// A fluent builder starting from [`ServeConfig::new`]'s defaults.
+    pub fn builder(layer: Layer) -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: Self::new(layer),
+        }
+    }
+
+    /// A fluent builder starting from [`ServeConfig::from_amoeba`].
+    pub fn builder_from_amoeba(cfg: &AmoebaConfig, layer: Layer) -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: Self::from_amoeba(cfg, layer),
         }
     }
 
@@ -265,5 +327,143 @@ impl ServeConfig {
             self.min_packet,
             self.action_space,
         )
+    }
+}
+
+/// Fluent [`ServeConfig`] constructor, mirroring the engine's admission
+/// builder. Obtain via [`ServeConfig::builder`]; every method maps to one
+/// config field; [`ServeConfigBuilder::build`] validates and returns the
+/// config.
+#[derive(Debug, Clone)]
+#[must_use = "a config builder does nothing until .build() is called"]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Inference batch cap (≥ 1, validated at [`ServeConfigBuilder::build`]).
+    pub fn batch(mut self, max_batch: usize) -> Self {
+        self.cfg.max_batch = max_batch;
+        self
+    }
+
+    /// Shard (worker thread) count; 0 = one per available core.
+    pub fn shards(mut self, n_shards: usize) -> Self {
+        self.cfg.n_shards = n_shards;
+        self
+    }
+
+    /// Scheduler quantum (virtual ms, non-negative).
+    pub fn tick_ms(mut self, tick_ms: f32) -> Self {
+        self.cfg.tick_ms = tick_ms;
+        self
+    }
+
+    /// Deterministic vs sampled actions.
+    pub fn mode(mut self, mode: ActionMode) -> Self {
+        self.cfg.mode = mode;
+        self
+    }
+
+    /// Optional path impairment of the censor-visible wire.
+    pub fn netem(mut self, netem: Option<NetEm>) -> Self {
+        self.cfg.netem = netem;
+        self
+    }
+
+    /// Inline verdict cadence.
+    pub fn verdicts(mut self, verdicts: VerdictPolicy) -> Self {
+        self.cfg.verdicts = verdicts;
+        self
+    }
+
+    /// Verify end-to-end stream reassembly per session.
+    pub fn verify_streams(mut self, verify: bool) -> Self {
+        self.cfg.verify_streams = verify;
+        self
+    }
+
+    /// Master seed for per-session payload generation, sampling, NetEm.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Maximum agent-added delay per frame (ms).
+    pub fn max_delay_ms(mut self, ms: f32) -> Self {
+        self.cfg.max_delay_ms = ms;
+        self
+    }
+
+    /// Morphing operations available to the policy.
+    pub fn action_space(mut self, space: ActionSpace) -> Self {
+        self.cfg.action_space = space;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Panics
+    /// Panics on an invalid combination (`max_batch == 0`, negative
+    /// `tick_ms` or `max_delay_ms`).
+    pub fn build(self) -> ServeConfig {
+        assert!(self.cfg.max_batch >= 1, "max_batch must be at least 1");
+        assert!(self.cfg.tick_ms >= 0.0, "tick_ms must be non-negative");
+        assert!(
+            self.cfg.max_delay_ms >= 0.0,
+            "max_delay_ms must be non-negative"
+        );
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The builder is field-for-field equivalent to the `with_*` chain.
+    #[test]
+    fn config_builder_matches_with_chain() {
+        let built = ServeConfig::builder(Layer::Tcp)
+            .batch(32)
+            .shards(4)
+            .tick_ms(2.0)
+            .mode(ActionMode::Sample)
+            .verdicts(VerdictPolicy::Every(8))
+            .verify_streams(false)
+            .seed(99)
+            .build();
+        let mut chained = ServeConfig::new(Layer::Tcp)
+            .with_batch(32)
+            .with_shards(4)
+            .with_tick(2.0)
+            .with_mode(ActionMode::Sample)
+            .with_verdicts(VerdictPolicy::Every(8))
+            .with_seed(99);
+        chained.verify_streams = false;
+        assert_eq!(format!("{built:?}"), format!("{chained:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_batch must be at least 1")]
+    fn builder_rejects_zero_batch() {
+        let _ = ServeConfig::builder(Layer::Tcp).batch(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "tick_ms must be non-negative")]
+    fn builder_rejects_negative_tick() {
+        let _ = ServeConfig::builder(Layer::Tcp).tick_ms(-1.0).build();
+    }
+
+    #[test]
+    fn builder_from_amoeba_inherits_training_limits() {
+        let amoeba = AmoebaConfig::fast().with_seed(23);
+        let cfg = ServeConfig::builder_from_amoeba(&amoeba, Layer::Tcp)
+            .batch(16)
+            .build();
+        assert_eq!(cfg.seed, 23);
+        assert_eq!(cfg.max_delay_ms, amoeba.max_delay_ms);
+        assert_eq!(cfg.max_batch, 16);
     }
 }

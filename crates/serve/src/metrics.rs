@@ -1,13 +1,20 @@
 //! Serving telemetry: per-session outcomes and the aggregate throughput /
-//! latency / evasion report the ROADMAP's scaling work steers by.
+//! latency / evasion report the ROADMAP's scaling work steers by — plus
+//! the per-`(policy, censor)` sub-reports a multi-tenant engine run
+//! slices into (the cross-censor evaluation matrix of §5.4 from one
+//! dataplane pass).
 
 use amoeba_traffic::Flow;
+
+use crate::registry::Tenant;
 
 /// One completed session's accounting.
 #[derive(Debug, Clone)]
 pub struct SessionOutcome {
     /// Session identifier.
     pub id: usize,
+    /// The `(policy, censor)` pair that served this session.
+    pub tenant: Tenant,
     /// The flow was never blocked mid-stream and its final score allowed.
     /// A session whose offered flow was empty emits nothing, is never
     /// scored (`final_score` stays 0.0), and trivially counts as evaded —
@@ -65,6 +72,10 @@ pub struct ServeReport {
     /// latency is the duration of the batch that carried it, i.e. what a
     /// flow actually waits for its next frame decision.
     pub frame_latency_us: Vec<f32>,
+    /// The tenant that owned each frame, parallel to
+    /// [`ServeReport::frame_latency_us`] — what lets [`ServeReport::sub_report`]
+    /// attribute latencies per `(policy, censor)` cell.
+    pub frame_tenants: Vec<Tenant>,
 }
 
 impl ServeReport {
@@ -116,6 +127,57 @@ impl ServeReport {
             .map(SessionOutcome::data_overhead)
             .sum::<f32>()
             / self.outcomes.len() as f32
+    }
+
+    /// The distinct tenants present in this report, ascending by
+    /// `(policy, censor)`.
+    pub fn tenants(&self) -> Vec<Tenant> {
+        let mut ts: Vec<Tenant> = self.outcomes.iter().map(|o| o.tenant).collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// The slice of this report belonging to one `(policy, censor)` pair:
+    /// that tenant's outcomes (still in session-id order), its frames, and
+    /// the latencies of exactly the batches that carried its frames.
+    ///
+    /// `wall_seconds` is copied from the parent (tenants share the
+    /// process), and `inference_batches` is reported as 0: batches are
+    /// fused across tenants sharing a policy, so a per-tenant batch count
+    /// has no meaning — read it off the parent report.
+    pub fn sub_report(&self, tenant: Tenant) -> ServeReport {
+        let (latencies, tags): (Vec<f32>, Vec<Tenant>) = self
+            .frame_latency_us
+            .iter()
+            .zip(&self.frame_tenants)
+            .filter(|(_, &t)| t == tenant)
+            .map(|(&l, &t)| (l, t))
+            .unzip();
+        let outcomes: Vec<SessionOutcome> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.tenant == tenant)
+            .cloned()
+            .collect();
+        ServeReport {
+            frames: outcomes.iter().map(|o| o.frames).sum(),
+            outcomes,
+            wall_seconds: self.wall_seconds,
+            inference_batches: 0,
+            frame_latency_us: latencies,
+            frame_tenants: tags,
+        }
+    }
+
+    /// Every tenant's sub-report, ascending by `(policy, censor)` — the
+    /// deterministic per-cell decomposition of a multi-tenant run. The
+    /// union of the sub-reports' outcomes is exactly the parent's.
+    pub fn sub_reports(&self) -> Vec<(Tenant, ServeReport)> {
+        self.tenants()
+            .into_iter()
+            .map(|t| (t, self.sub_report(t)))
+            .collect()
     }
 
     /// Per-session wire-stream fingerprint: each session's frames as
@@ -206,6 +268,7 @@ mod tests {
     fn outcome(id: usize, evaded: bool) -> SessionOutcome {
         SessionOutcome {
             id,
+            tenant: Tenant::default(),
             evaded,
             blocked_midstream: !evaded,
             final_score: if evaded { 0.1 } else { 0.9 },
@@ -229,6 +292,7 @@ mod tests {
             frames: 30,
             inference_batches: 3,
             frame_latency_us: (1..=30).map(|i| i as f32).collect(),
+            frame_tenants: vec![Tenant::default(); 30],
         };
         assert!((report.evasion_rate() - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(report.stream_ok_rate(), 1.0);
@@ -272,5 +336,47 @@ mod tests {
         assert_eq!(r.evasion_rate(), 0.0);
         assert_eq!(r.p99_latency_us(), 0.0);
         assert_eq!(r.data_overhead(), 0.0);
+        assert!(r.tenants().is_empty());
+        assert!(r.sub_reports().is_empty());
+    }
+
+    #[test]
+    fn sub_reports_partition_outcomes_and_latencies_by_tenant() {
+        use crate::registry::{CensorId, PolicyId};
+        let ta = Tenant::new(PolicyId(0), CensorId(0));
+        let tb = Tenant::new(PolicyId(0), CensorId(1));
+        let mut o0 = outcome(0, true);
+        o0.tenant = ta;
+        let mut o1 = outcome(1, false);
+        o1.tenant = tb;
+        let mut o2 = outcome(2, true);
+        o2.tenant = tb;
+        let report = ServeReport {
+            outcomes: vec![o0, o1, o2],
+            wall_seconds: 2.0,
+            frames: 30,
+            inference_batches: 5,
+            frame_latency_us: vec![1.0, 2.0, 3.0, 4.0],
+            frame_tenants: vec![ta, tb, ta, tb],
+        };
+        assert_eq!(report.tenants(), vec![ta, tb]);
+        let subs = report.sub_reports();
+        assert_eq!(subs.len(), 2);
+        let (_, ra) = &subs[0];
+        let (_, rb) = &subs[1];
+        assert_eq!(ra.outcomes.len(), 1);
+        assert_eq!(rb.outcomes.len(), 2);
+        assert_eq!(ra.frames, 10);
+        assert_eq!(rb.frames, 20);
+        assert_eq!(ra.frame_latency_us, vec![1.0, 3.0]);
+        assert_eq!(rb.frame_latency_us, vec![2.0, 4.0]);
+        assert_eq!(ra.wall_seconds, 2.0);
+        // Batches fuse across tenants; sub-reports do not claim them.
+        assert_eq!(ra.inference_batches, 0);
+        assert_eq!(ra.evasion_rate(), 1.0);
+        assert_eq!(rb.evasion_rate(), 0.5);
+        // The union of sub-report outcomes is the parent's outcome set.
+        let total: usize = subs.iter().map(|(_, r)| r.outcomes.len()).sum();
+        assert_eq!(total, report.outcomes.len());
     }
 }

@@ -1,0 +1,226 @@
+//! Tenant registries: the engine-side tables that turn frozen policies
+//! and censors into cheap copyable handles.
+//!
+//! A multi-tenant [`crate::ServeEngine`] hosts many `(policy, censor)`
+//! pairs in one process. Sessions do not carry their networks around —
+//! they carry a [`PolicyId`] and a [`CensorId`], tiny `Copy` indices into
+//! the engine's [`PolicyRegistry`] / [`CensorRegistry`]. The scheduler
+//! keys its fused inference batches by [`PolicyId`] (same weights ⇒ same
+//! GRU/MLP pass), so registering one policy against many censors costs
+//! one dataplane run, not one per pair.
+//!
+//! Registration is `Arc`-sharing and idempotent: a [`FrozenPolicy`] whose
+//! encoder *and* actor point at the same allocations as an already
+//! registered one maps back to the existing [`PolicyId`] (likewise for
+//! `Arc`-identical censors), so sweep harnesses can re-register freely
+//! without duplicating tenants.
+
+use std::sync::Arc;
+
+use amoeba_classifiers::Censor;
+
+use crate::FrozenPolicy;
+
+/// Handle to a policy in a [`PolicyRegistry`]: a cheap `Copy` index,
+/// stable for the lifetime of the registry. The default value refers to
+/// the first registered policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PolicyId(pub(crate) usize);
+
+impl PolicyId {
+    /// Zero-based registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a censor in a [`CensorRegistry`]: a cheap `Copy` index,
+/// stable for the lifetime of the registry. The default value refers to
+/// the first registered censor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CensorId(pub(crate) usize);
+
+impl CensorId {
+    /// Zero-based registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// One tenant of the engine: a `(policy, censor)` pair. Sessions are
+/// tagged with their tenant, reports slice by it, and the
+/// tenancy-invariance contract is stated over it: a session's wire output
+/// depends only on `(seed, session_id, policy, censor)`, never on which
+/// other tenants share the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Tenant {
+    /// The serving policy.
+    pub policy: PolicyId,
+    /// The inline censor scoring this session's wire flow.
+    pub censor: CensorId,
+}
+
+impl Tenant {
+    /// Pairs a policy with a censor.
+    pub fn new(policy: PolicyId, censor: CensorId) -> Self {
+        Self { policy, censor }
+    }
+}
+
+/// The engine's table of frozen policies.
+#[derive(Clone, Default)]
+pub struct PolicyRegistry {
+    policies: Vec<FrozenPolicy>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a frozen policy and returns its handle. Policies whose
+    /// encoder and actor `Arc`s are both identical to an already
+    /// registered policy are deduplicated onto the existing handle.
+    pub fn register(&mut self, policy: FrozenPolicy) -> PolicyId {
+        if let Some(i) = self.policies.iter().position(|p| {
+            Arc::ptr_eq(&p.encoder, &policy.encoder) && Arc::ptr_eq(&p.actor, &policy.actor)
+        }) {
+            return PolicyId(i);
+        }
+        self.policies.push(policy);
+        PolicyId(self.policies.len() - 1)
+    }
+
+    /// The policy behind a handle.
+    ///
+    /// # Panics
+    /// Panics if the handle did not come from this registry.
+    pub fn get(&self, id: PolicyId) -> &FrozenPolicy {
+        self.policies
+            .get(id.0)
+            .unwrap_or_else(|| panic!("unknown PolicyId({})", id.0))
+    }
+
+    /// Number of registered policies.
+    pub fn len(&self) -> usize {
+        self.policies.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.policies.is_empty()
+    }
+
+    /// Handles of every registered policy, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = PolicyId> + '_ {
+        (0..self.policies.len()).map(PolicyId)
+    }
+
+    /// Freezes the table into the shared slice the shard workers read.
+    pub(crate) fn into_shared(self) -> Arc<[FrozenPolicy]> {
+        self.policies.into()
+    }
+}
+
+/// The engine's table of inline censors.
+#[derive(Clone, Default)]
+pub struct CensorRegistry {
+    censors: Vec<Arc<dyn Censor>>,
+}
+
+impl CensorRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a censor and returns its handle. `Arc`-identical censors
+    /// are deduplicated onto the existing handle.
+    pub fn register(&mut self, censor: Arc<dyn Censor>) -> CensorId {
+        if let Some(i) = self.censors.iter().position(|c| Arc::ptr_eq(c, &censor)) {
+            return CensorId(i);
+        }
+        self.censors.push(censor);
+        CensorId(self.censors.len() - 1)
+    }
+
+    /// The censor behind a handle.
+    ///
+    /// # Panics
+    /// Panics if the handle did not come from this registry.
+    pub fn get(&self, id: CensorId) -> &Arc<dyn Censor> {
+        self.censors
+            .get(id.0)
+            .unwrap_or_else(|| panic!("unknown CensorId({})", id.0))
+    }
+
+    /// Number of registered censors.
+    pub fn len(&self) -> usize {
+        self.censors.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.censors.is_empty()
+    }
+
+    /// Handles of every registered censor, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = CensorId> + '_ {
+        (0..self.censors.len()).map(CensorId)
+    }
+
+    /// Freezes the table into the shared slice the shard workers read.
+    pub(crate) fn into_shared(self) -> Arc<[Arc<dyn Censor>]> {
+        self.censors.into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{scoring_censor, tiny_policy};
+
+    #[test]
+    fn policies_register_in_order_and_dedupe_by_arc_identity() {
+        let mut reg = PolicyRegistry::new();
+        let a = tiny_policy(1);
+        let b = tiny_policy(2);
+        let pa = reg.register(a.clone());
+        let pb = reg.register(b);
+        assert_eq!((pa.index(), pb.index()), (0, 1));
+        // A clone shares both Arcs, so it maps back to the same handle.
+        assert_eq!(reg.register(a.clone()), pa);
+        assert_eq!(reg.len(), 2);
+        assert!(Arc::ptr_eq(&reg.get(pa).encoder, &a.encoder));
+        assert_eq!(reg.ids().collect::<Vec<_>>(), vec![pa, pb]);
+    }
+
+    #[test]
+    fn censors_register_in_order_and_dedupe_by_arc_identity() {
+        let mut reg = CensorRegistry::new();
+        let c = scoring_censor(0.1);
+        let d = scoring_censor(0.1);
+        let ca = reg.register(Arc::clone(&c));
+        let cd = reg.register(d);
+        assert_eq!((ca.index(), cd.index()), (0, 1));
+        // Same Arc → same handle; an equal-valued but distinct Arc does
+        // not dedupe (identity, not structural equality).
+        assert_eq!(reg.register(c), ca);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown PolicyId")]
+    fn foreign_policy_handle_panics() {
+        let reg = PolicyRegistry::new();
+        let _ = reg.get(PolicyId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown CensorId")]
+    fn foreign_censor_handle_panics() {
+        let reg = CensorRegistry::new();
+        let _ = reg.get(CensorId(3));
+    }
+}

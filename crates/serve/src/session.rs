@@ -10,6 +10,7 @@ use amoeba_core::shaper::{ShapedReceiver, ShapedSender, HEADER_LEN};
 use amoeba_core::{Action, Observation, ShapingKernel, TransportEmulator};
 use amoeba_traffic::{Direction, Flow, NetEm, Packet};
 
+use crate::registry::Tenant;
 use crate::ServeConfig;
 
 /// Index into the per-direction sender/receiver pairs.
@@ -63,6 +64,11 @@ pub struct FrameEvent {
 /// byte streams in flight, and the adversarial wire flow the censor sees.
 pub struct Session {
     id: usize,
+    /// The `(policy, censor)` pair serving this session. Deliberately
+    /// *not* part of the RNG derivation: payload bytes depend on
+    /// `(seed, session_id)` only, while actions (and hence everything
+    /// downstream of them) depend on the policy through its weights.
+    tenant: Tenant,
     emulator: TransportEmulator,
     tx: [ShapedSender; 2],
     rx: [ShapedReceiver; 2],
@@ -134,6 +140,7 @@ impl Session {
         };
         Self {
             id,
+            tenant: Tenant::default(),
             payload_bytes: (outbound.len() + inbound.len()) as u64,
             expected,
             tx: [ShapedSender::new(outbound), ShapedSender::new(inbound)],
@@ -157,6 +164,21 @@ impl Session {
     /// Session identifier (index in the dataplane).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Assigns the `(policy, censor)` pair serving this session
+    /// (builder-style; defaults to the first registered policy and
+    /// censor). The handles must come from the engine this session will
+    /// run on — `ServeEngine` validates them at admission, and
+    /// `Shard::new` re-validates against its tenant tables.
+    pub fn with_tenant(mut self, tenant: Tenant) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The `(policy, censor)` pair serving this session.
+    pub fn tenant(&self) -> Tenant {
+        self.tenant
     }
 
     /// Virtual time at which this session's next decision is due.
@@ -292,6 +314,7 @@ impl Session {
     pub(crate) fn into_outcome(self) -> crate::SessionOutcome {
         crate::SessionOutcome {
             id: self.id,
+            tenant: self.tenant,
             evaded: !self.blocked_midstream && self.final_score < 0.5,
             blocked_midstream: self.blocked_midstream,
             final_score: self.final_score,

@@ -1,19 +1,32 @@
 //! The shard-local event loop: one [`Shard`] owns a disjoint subset of the
-//! dataplane's sessions — their state machines, encoder states and RNGs —
+//! engine's sessions — their state machines, encoder states and RNGs —
 //! and drives them to completion with the batched inference scheduler,
 //! independently of every other shard.
 //!
-//! ## Why sharding cannot change results
+//! ## Multi-tenant scheduling
 //!
-//! Sessions are fully independent: the censor is stateless across flows,
+//! A shard's sessions may belong to different `(policy, censor)` tenants.
+//! At every virtual tick the due sessions are bucketed by [`PolicyId`]
+//! (ascending, session order preserved within a bucket): sessions that
+//! share a policy share weights, so their observations fuse into the same
+//! GRU/MLP pass through the [`InferenceBackend`] regardless of which
+//! censor each of them is evaluated against. A cross-censor sweep over
+//! one policy therefore costs one dataplane run, not one per censor.
+//!
+//! ## Why sharding (and tenancy) cannot change results
+//!
+//! Sessions are fully independent: censors are stateless across flows,
 //! every matrix op on the batched inference path is row-independent, and
 //! each session's randomness derives from `(seed, session_id)` only. A
 //! shard is therefore nothing but a *grouping* of sessions — and the
 //! dataplane's outputs are grouping-invariant, so partitioning sessions
 //! across 1, 2, 4 or 8 shards (or any other way) produces bit-identical
-//! per-session wire output. The shard count, like the batch size, is a
-//! pure throughput knob; `crates/serve/src/dataplane.rs` pins this with
-//! regression tests over shard counts 1/2/4/8 × batch sizes 1/64.
+//! per-session wire output. The same argument covers tenancy: which
+//! other tenants share the process (or the tick, or the fused batch)
+//! cannot shift any session's stream — a session's wire output depends on
+//! `(seed, session_id, policy, censor)` only. `crates/serve/src/engine.rs`
+//! pins this with regression tests and `tests/tenancy_invariance.rs`
+//! property-tests it end-to-end.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -24,11 +37,13 @@ use amoeba_core::policy::ActorSnapshot;
 use amoeba_core::{Action, ShapingKernel};
 use amoeba_nn::matrix::Matrix;
 
+use crate::backend::InferenceBackend;
 use crate::metrics::SessionOutcome;
+use crate::registry::{PolicyId, Tenant};
 use crate::session::Session;
 use crate::{ActionMode, FrozenPolicy, ServeConfig, VerdictPolicy};
 
-/// One shard's share of a dataplane run, before the deterministic merge.
+/// One shard's share of an engine run, before the deterministic merge.
 pub struct ShardReport {
     /// Outcomes of this shard's sessions, in session-id order.
     pub outcomes: Vec<SessionOutcome>,
@@ -38,46 +53,80 @@ pub struct ShardReport {
     pub batches: usize,
     /// Wall-clock latency of each frame's batch (µs).
     pub latencies: Vec<f32>,
+    /// The tenant that owned each frame, parallel to `latencies`.
+    pub frame_tenants: Vec<Tenant>,
 }
 
-/// A shard: a worker-thread-sized slice of the dataplane. Owns its
-/// sessions, their incremental encoder states, and (through the sessions)
-/// their RNGs; shares only the frozen policy and the censor, both
-/// immutable and `Send + Sync`.
+/// A shard: a worker-thread-sized slice of the engine. Owns its sessions,
+/// their incremental encoder states, and (through the sessions) their
+/// RNGs; shares only the frozen policy table, the censor table and the
+/// inference backend, all immutable and `Send + Sync`.
 pub struct Shard {
-    policy: FrozenPolicy,
-    censor: Arc<dyn Censor>,
+    policies: Arc<[FrozenPolicy]>,
+    censors: Arc<[Arc<dyn Censor>]>,
+    backend: Arc<dyn InferenceBackend>,
     cfg: ServeConfig,
     kernel: ShapingKernel,
     /// This shard's sessions, locally indexed (ids stay global).
     sessions: Vec<Session>,
-    /// Per-session incremental `E(x_{1:t})` states (local indexing).
+    /// Per-session incremental `E(x_{1:t})` states (local indexing),
+    /// each sized by its session's policy encoder.
     x_states: Vec<EncoderState>,
     /// Per-session incremental `E(a_{1:t})` states.
     a_states: Vec<EncoderState>,
 }
 
 impl Shard {
-    /// Builds a shard around its session subset. Encoder states start at
-    /// the zero state (`E` of an empty sequence), identical for every
-    /// session, so where a session is admitted cannot matter.
+    /// Builds a shard around its session subset and the shared tenant
+    /// tables. Encoder states start at the zero state (`E` of an empty
+    /// sequence) of each session's own policy, identical for every
+    /// session of that policy, so where a session is admitted cannot
+    /// matter.
     ///
-    /// Normally constructed by [`crate::Dataplane::run`]'s round-robin
+    /// Normally constructed by [`crate::ServeEngine::run`]'s round-robin
     /// partition; public so callers with their own placement policy can
     /// build sessions via [`Session::new`] and run shards directly.
+    ///
+    /// # Panics
+    /// Panics if a session references a policy or censor outside the
+    /// tables.
     pub fn new(
-        policy: FrozenPolicy,
-        censor: Arc<dyn Censor>,
+        policies: Arc<[FrozenPolicy]>,
+        censors: Arc<[Arc<dyn Censor>]>,
+        backend: Arc<dyn InferenceBackend>,
         cfg: ServeConfig,
         sessions: Vec<Session>,
     ) -> Self {
         let kernel = cfg.kernel();
-        let states = |n: usize| (0..n).map(|_| policy.encoder.begin()).collect();
+        let states: Vec<EncoderState> = sessions
+            .iter()
+            .map(|s| {
+                let t = s.tenant();
+                assert!(
+                    t.censor.index() < censors.len(),
+                    "session {} references unknown CensorId({})",
+                    s.id(),
+                    t.censor.index()
+                );
+                policies
+                    .get(t.policy.index())
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "session {} references unknown PolicyId({})",
+                            s.id(),
+                            t.policy.index()
+                        )
+                    })
+                    .encoder
+                    .begin()
+            })
+            .collect();
         Self {
-            x_states: states(sessions.len()),
-            a_states: states(sessions.len()),
-            policy,
-            censor,
+            x_states: states.clone(),
+            a_states: states,
+            policies,
+            censors,
+            backend,
             cfg,
             kernel,
             sessions,
@@ -90,29 +139,39 @@ impl Shard {
             .filter(|&i| !self.sessions[i].is_done())
             .collect();
         let mut latencies: Vec<f32> = Vec::new();
+        let mut frame_tenants: Vec<Tenant> = Vec::new();
         let mut batches = 0usize;
         let mut frames = 0usize;
         let quantum = self.cfg.tick_ms.max(0.0) as f64;
+        // Due-session buckets, one per policy, reused across ticks.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); self.policies.len()];
 
         while !active.is_empty() {
             // Earliest ready session defines the tick; everything ready
-            // within the quantum joins it, in session order.
+            // within the quantum joins it, bucketed by policy (ascending)
+            // in session order — same weights, same fused pass.
             let t = active
                 .iter()
                 .map(|&i| self.sessions[i].ready_at())
                 .fold(f64::INFINITY, f64::min);
-            let due: Vec<usize> = active
-                .iter()
-                .copied()
-                .filter(|&i| self.sessions[i].ready_at() <= t + quantum)
-                .collect();
-            for chunk in due.chunks(self.cfg.max_batch.max(1)) {
-                let t0 = Instant::now();
-                self.process_chunk(chunk);
-                let us = (t0.elapsed().as_nanos() as f64 / 1e3) as f32;
-                latencies.extend(std::iter::repeat_n(us, chunk.len()));
-                batches += 1;
-                frames += chunk.len();
+            for &i in &active {
+                if self.sessions[i].ready_at() <= t + quantum {
+                    buckets[self.sessions[i].tenant().policy.index()].push(i);
+                }
+            }
+            for (p, bucket) in buckets.iter_mut().enumerate() {
+                // `std::mem::take` empties the bucket for refilling next
+                // tick without fighting the borrow on `self`.
+                let due = std::mem::take(bucket);
+                for chunk in due.chunks(self.cfg.max_batch.max(1)) {
+                    let t0 = Instant::now();
+                    self.process_chunk(PolicyId(p), chunk);
+                    let us = (t0.elapsed().as_nanos() as f64 / 1e3) as f32;
+                    latencies.extend(std::iter::repeat_n(us, chunk.len()));
+                    frame_tenants.extend(chunk.iter().map(|&i| self.sessions[i].tenant()));
+                    batches += 1;
+                    frames += chunk.len();
+                }
             }
             active.retain(|&i| !self.sessions[i].is_done());
         }
@@ -126,15 +185,18 @@ impl Shard {
             frames,
             batches,
             latencies,
+            frame_tenants,
         }
     }
 
-    /// One inference batch: gather observations, fused encoder/actor
-    /// passes, then per-session framing + impairment + verdicts. `chunk`
-    /// holds local session indices.
-    fn process_chunk(&mut self, chunk: &[usize]) {
+    /// One inference batch under one policy: gather observations, run the
+    /// fused encoder/actor passes through the backend, then per-session
+    /// framing, impairment and per-tenant censor verdicts. `chunk` holds
+    /// local session indices, all belonging to `policy`.
+    fn process_chunk(&mut self, policy: PolicyId, chunk: &[usize]) {
         let b = chunk.len();
-        let hidden = self.policy.encoder.hidden_size();
+        let policy = &self.policies[policy.index()];
+        let hidden = policy.encoder.hidden_size();
         let kernel = self.kernel;
 
         // Gather the pending observations into one (B, 2) matrix.
@@ -147,9 +209,8 @@ impl Shard {
                 .copy_from_slice(&o.normalized(self.cfg.layer, self.cfg.max_delay_ms));
         }
         // One fused GRU step advances every due flow's E(x_{1:t}).
-        self.policy
-            .encoder
-            .push_batch(&mut self.x_states, chunk, &obs);
+        self.backend
+            .push_batch(policy, &mut self.x_states, chunk, &obs);
 
         // One fused actor pass over the concatenated states.
         let mut states = Matrix::zeros(b, 2 * hidden);
@@ -158,7 +219,7 @@ impl Shard {
             row[..hidden].copy_from_slice(self.x_states[i].representation());
             row[hidden..].copy_from_slice(self.a_states[i].representation());
         }
-        let (means, logstds) = self.policy.actor.head_batch(&states);
+        let (means, logstds) = self.backend.head_batch(policy, &states);
 
         // Per-session: act, frame, impair, verdict.
         let mut emitted = Matrix::zeros(b, 2);
@@ -180,6 +241,7 @@ impl Shard {
                 .row_mut(r)
                 .copy_from_slice(&kernel.normalize_packet(&event.emitted));
 
+            let censor = &self.censors[self.sessions[i].tenant().censor.index()];
             let inline = match self.cfg.verdicts {
                 VerdictPolicy::Final => false,
                 VerdictPolicy::EveryFrame => true,
@@ -188,19 +250,18 @@ impl Shard {
             if inline
                 && !event.done
                 && !self.sessions[i].blocked_midstream()
-                && self.censor.blocks(self.sessions[i].wire())
+                && censor.blocks(self.sessions[i].wire())
             {
                 self.sessions[i].set_blocked_midstream();
             }
             if event.done {
-                let score = self.censor.score(self.sessions[i].wire());
+                let score = censor.score(self.sessions[i].wire());
                 self.sessions[i].set_final_score(score);
                 self.sessions[i].finish_streams(self.cfg.verify_streams);
             }
         }
         // One fused GRU step records what went on the wire in E(a_{1:t}).
-        self.policy
-            .encoder
-            .push_batch(&mut self.a_states, chunk, &emitted);
+        self.backend
+            .push_batch(policy, &mut self.a_states, chunk, &emitted);
     }
 }

@@ -1,0 +1,69 @@
+//! Shared unit-test fixtures for the serve crate: one definition of the
+//! tiny frozen policy, the constant-score censor and the random offered
+//! flows that the `engine`/`dataplane`/`backend`/`registry` test modules
+//! all drive the dataplane with. (The integration tests under `tests/`
+//! cannot see `#[cfg(test)]` items and carry their own copy in
+//! `tests/common/mod.rs`.)
+
+use std::sync::Arc;
+
+use amoeba_classifiers::{Censor, CensorKind, ConstantCensor};
+use amoeba_core::encoder::StateEncoder;
+use amoeba_core::policy::Actor;
+use amoeba_core::AmoebaConfig;
+use amoeba_traffic::Flow;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::FrozenPolicy;
+
+/// A small randomly initialised frozen policy (16-hidden encoder, one
+/// 32-wide actor layer); distinct seeds give distinct weights.
+pub(crate) fn tiny_policy(seed: u64) -> FrozenPolicy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoder = StateEncoder::new(16, 2, &mut rng);
+    let cfg = AmoebaConfig {
+        encoder_hidden: 16,
+        actor_hidden: vec![32],
+        ..AmoebaConfig::fast()
+    };
+    let actor = Actor::new(&cfg, &mut rng);
+    FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
+}
+
+/// A censor that scores every flow with the given constant.
+pub(crate) fn scoring_censor(score: f32) -> Arc<dyn Censor> {
+    Arc::new(ConstantCensor {
+        fixed_score: score,
+        as_kind: CensorKind::Dt,
+    })
+}
+
+/// An allow-everything censor.
+pub(crate) fn allow_censor() -> Arc<dyn Censor> {
+    scoring_censor(0.1)
+}
+
+/// `n` random offered flows (2–5 packets, random sizes/signs/delays).
+pub(crate) fn offered_flows(n: usize, seed: u64) -> Vec<Flow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(2..6usize);
+            Flow::from_pairs(
+                &(0..len)
+                    .map(|i| {
+                        let size = rng.gen_range(40..1400i32);
+                        let sign = if rng.gen_bool(0.5) { 1 } else { -1 };
+                        let delay = if i == 0 {
+                            0.0
+                        } else {
+                            rng.gen_range(0.0..8.0f32)
+                        };
+                        (sign * size, delay)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect()
+}

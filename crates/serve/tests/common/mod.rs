@@ -1,0 +1,58 @@
+//! Shared fixtures for the serve crate's integration tests (the
+//! grouping- and tenancy-invariance property suites): one definition of
+//! the tiny frozen policy, the constant-score censor and the random-flow
+//! strategy. (Unit tests inside `src/` use `crate::testutil` instead —
+//! `#[cfg(test)]` items are invisible from here.)
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use amoeba_classifiers::{Censor, CensorKind, ConstantCensor};
+use amoeba_core::encoder::StateEncoder;
+use amoeba_core::policy::Actor;
+use amoeba_core::AmoebaConfig;
+use amoeba_serve::FrozenPolicy;
+use amoeba_traffic::Flow;
+
+/// A small randomly initialised frozen policy (12-hidden encoder, one
+/// 24-wide actor layer); distinct seeds give distinct weights.
+pub fn tiny_policy(seed: u64) -> FrozenPolicy {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let encoder = StateEncoder::new(12, 2, &mut rng);
+    let cfg = AmoebaConfig {
+        encoder_hidden: 12,
+        actor_hidden: vec![24],
+        ..AmoebaConfig::fast()
+    };
+    let actor = Actor::new(&cfg, &mut rng);
+    FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
+}
+
+/// A censor that scores every flow with the given constant.
+pub fn scoring_censor(score: f32) -> Arc<dyn Censor> {
+    Arc::new(ConstantCensor {
+        fixed_score: score,
+        as_kind: CensorKind::Dt,
+    })
+}
+
+/// One random offered flow: a few packets with random sizes, signs and
+/// inter-packet delays.
+pub fn arb_flow() -> impl Strategy<Value = Flow> {
+    prop::collection::vec((40i32..1400, 0u8..2, 0u32..8000), 1..6).prop_map(|pkts| {
+        Flow::from_pairs(
+            &pkts
+                .iter()
+                .enumerate()
+                .map(|(i, &(size, sign, delay_us))| {
+                    let signed = if sign == 0 { size } else { -size };
+                    let delay = if i == 0 { 0.0 } else { delay_us as f32 / 1e3 };
+                    (signed, delay)
+                })
+                .collect::<Vec<_>>(),
+        )
+    })
+}

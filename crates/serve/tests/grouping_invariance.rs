@@ -3,31 +3,21 @@
 //! bit-identical per-session wire output no matter how sessions are
 //! grouped — any shard count in `1..=8`, batch size 1 or 64, sampled
 //! actions, and NetEm impairment on or off.
+//!
+//! Runs through the deprecated one-tenant [`Dataplane`] shim on purpose:
+//! it doubles as the regression net that the shim delegates to the
+//! engine faithfully. The multi-tenant variant of this property lives in
+//! `tenancy_invariance.rs`.
 
-use std::sync::Arc;
+#![allow(deprecated)]
 
+mod common;
+
+use common::{arb_flow, scoring_censor, tiny_policy};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-use amoeba_classifiers::{Censor, CensorKind, ConstantCensor};
-use amoeba_core::encoder::StateEncoder;
-use amoeba_core::policy::Actor;
-use amoeba_core::AmoebaConfig;
-use amoeba_serve::{ActionMode, Dataplane, FrozenPolicy, ServeConfig, ServeReport};
+use amoeba_serve::{ActionMode, Dataplane, ServeConfig, ServeReport};
 use amoeba_traffic::{Flow, Layer, NetEm};
-
-fn tiny_policy() -> FrozenPolicy {
-    let mut rng = StdRng::seed_from_u64(7);
-    let encoder = StateEncoder::new(12, 2, &mut rng);
-    let cfg = AmoebaConfig {
-        encoder_hidden: 12,
-        actor_hidden: vec![24],
-        ..AmoebaConfig::fast()
-    };
-    let actor = Actor::new(&cfg, &mut rng);
-    FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
-}
 
 fn run(
     flows: &[Flow],
@@ -36,17 +26,13 @@ fn run(
     shards: usize,
     netem: Option<NetEm>,
 ) -> ServeReport {
-    let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
-        fixed_score: 0.1,
-        as_kind: CensorKind::Dt,
-    });
     let mut cfg = ServeConfig::new(Layer::Tcp)
         .with_seed(seed)
         .with_batch(batch)
         .with_shards(shards)
         .with_mode(ActionMode::Sample);
     cfg.netem = netem;
-    let mut dp = Dataplane::new(tiny_policy(), censor, cfg);
+    let mut dp = Dataplane::new(tiny_policy(7), scoring_censor(0.1), cfg);
     dp.add_flows(flows.iter());
     dp.run()
 }
@@ -54,24 +40,6 @@ fn run(
 /// The per-session wire frame stream, down to the bit.
 fn wire_bits(report: &ServeReport) -> Vec<Vec<(i32, u32)>> {
     report.wire_bits()
-}
-
-/// One random offered flow: a few packets with random sizes, signs and
-/// inter-packet delays.
-fn arb_flow() -> impl Strategy<Value = Flow> {
-    prop::collection::vec((40i32..1400, 0u8..2, 0u32..8000), 1..6).prop_map(|pkts| {
-        Flow::from_pairs(
-            &pkts
-                .iter()
-                .enumerate()
-                .map(|(i, &(size, sign, delay_us))| {
-                    let signed = if sign == 0 { size } else { -size };
-                    let delay = if i == 0 { 0.0 } else { delay_us as f32 / 1e3 };
-                    (signed, delay)
-                })
-                .collect::<Vec<_>>(),
-        )
-    })
 }
 
 proptest! {

@@ -1,23 +1,28 @@
-//! The train → freeze → serve lifecycle end to end: train a censor, train
-//! a small Amoeba policy against it in the offline gym, freeze the policy,
-//! then serve 1 000 concurrent shaped flows through the `amoeba-serve`
-//! dataplane with the censor inline — printing evasion rate and
-//! throughput.
+//! The train → freeze → serve lifecycle end to end, multi-tenant: train
+//! two censors (DT and LSTM), train a small Amoeba policy against the DT
+//! censor in the offline gym, freeze the policy, then serve shaped flows
+//! through one `ServeEngine` against **both** censors concurrently — the
+//! same policy registered once, each offered flow admitted twice (once
+//! per censor tenant), batched inference fused across both tenants. The
+//! per-censor sub-reports print the §5.4 cross-censor transfer story
+//! (policy trained vs DT, evaluated vs DT *and* LSTM) from a single
+//! dataplane run.
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
 //! ```
 //!
 //! `AMOEBA_SERVE_FLOWS` / `AMOEBA_STEPS` bound the run (CI uses the
-//! defaults: 1 000 flows, 8 192 PPO timesteps, ~a minute end to end);
-//! `AMOEBA_SERVE_SHARDS` sets the dataplane worker-thread count
-//! (default 0 = one per core — wire output is shard-count-invariant).
+//! defaults: 1 000 sessions — 500 offered flows × 2 censors — and 8 192
+//! PPO timesteps); `AMOEBA_SERVE_SHARDS` sets the engine worker-thread
+//! count (default 0 = one per core — wire output is shard-count- and
+//! tenancy-invariant).
 
 use std::sync::Arc;
 
 use amoeba::classifiers::{evaluate, train_censor, Censor, CensorKind, TrainConfig};
 use amoeba::core::{sensitive_flows, train_amoeba, AmoebaConfig};
-use amoeba::serve::{Dataplane, FrozenPolicy, ServeConfig, VerdictPolicy};
+use amoeba::serve::{FrozenPolicy, ServeConfig, ServeEngine, VerdictPolicy};
 use amoeba::traffic::{build_dataset, DatasetKind, Flow, Layer};
 
 fn env_or(name: &str, default: usize) -> usize {
@@ -28,33 +33,43 @@ fn env_or(name: &str, default: usize) -> usize {
 }
 
 fn main() {
-    let n_flows = env_or("AMOEBA_SERVE_FLOWS", 1000);
+    let n_sessions = env_or("AMOEBA_SERVE_FLOWS", 1000);
+    let n_flows = n_sessions.div_ceil(2);
     let steps = env_or("AMOEBA_STEPS", 8_192);
 
-    // --- train: censor, then Amoeba against it (offline gym) -------------
+    // --- train: two censor families, then Amoeba against the DT one ------
     let splits = build_dataset(DatasetKind::Tor, 250, None, 42).split(42);
-    let censor: Arc<dyn Censor> = Arc::new(train_censor(
+    let dt: Arc<dyn Censor> = Arc::new(train_censor(
         CensorKind::Dt,
         &splits.clf_train,
         Layer::Tcp,
         &TrainConfig::fast(),
         1,
     ));
-    println!(
-        "censor (DT) on raw traffic: {}",
-        evaluate(censor.as_ref(), &splits.test)
-    );
+    let lstm: Arc<dyn Censor> = Arc::new(train_censor(
+        CensorKind::Lstm,
+        &splits.clf_train,
+        Layer::Tcp,
+        &TrainConfig::fast(),
+        1,
+    ));
+    for (name, censor) in [("DT", &dt), ("LSTM", &lstm)] {
+        println!(
+            "censor ({name}) on raw traffic: {}",
+            evaluate(censor.as_ref(), &splits.test)
+        );
+    }
 
     let cfg = AmoebaConfig::fast().with_timesteps(steps).with_seed(7);
     let (agent, report) = train_amoeba(
-        Arc::clone(&censor),
+        Arc::clone(&dt),
         &sensitive_flows(&splits.attack_train),
         Layer::Tcp,
         &cfg,
         None,
     );
     println!(
-        "trained: {} timesteps, {} censor queries",
+        "trained vs DT: {} timesteps, {} censor queries",
         report.total_timesteps(),
         report.total_queries()
     );
@@ -62,31 +77,47 @@ fn main() {
     // --- freeze ------------------------------------------------------------
     let policy = FrozenPolicy::from_agent(&agent);
 
-    // --- serve: 1k concurrent flows, censor inline, batched inference -----
+    // --- serve: one engine, one policy, two censor tenants ----------------
     let base = sensitive_flows(&splits.test);
     let offered: Vec<Flow> = (0..n_flows)
         .map(|i| base[i % base.len()].prefix(20))
         .collect();
-    let serve_cfg = ServeConfig::from_amoeba(agent.config(), Layer::Tcp)
-        .with_batch(64)
-        .with_shards(env_or("AMOEBA_SERVE_SHARDS", 0))
-        .with_verdicts(VerdictPolicy::Every(8))
-        .with_seed(7);
-    let mut dp = Dataplane::new(policy, Arc::clone(&censor), serve_cfg);
-    dp.add_flows(offered.iter());
-    let r = dp.run();
+    let serve_cfg = ServeConfig::builder_from_amoeba(agent.config(), Layer::Tcp)
+        .batch(64)
+        .shards(env_or("AMOEBA_SERVE_SHARDS", 0))
+        .verdicts(VerdictPolicy::Every(8))
+        .seed(7)
+        .build();
+    let mut engine = ServeEngine::new(serve_cfg);
+    let p = engine.register_policy(policy);
+    let c_dt = engine.register_censor(Arc::clone(&dt));
+    let c_lstm = engine.register_censor(Arc::clone(&lstm));
+    for flow in &offered {
+        engine.admit(flow).policy(p).censor(c_dt).submit();
+        engine.admit(flow).policy(p).censor(c_lstm).submit();
+    }
+    let r = engine.run();
 
     println!("serve: {}", r.summary());
     assert!(
         r.stream_ok_rate() == 1.0,
         "every session must reassemble its byte streams bit-exact"
     );
+    let names = [(c_dt, "DT (training censor)"), (c_lstm, "LSTM (transfer)")];
+    for (tenant, sub) in r.sub_reports() {
+        let name = names
+            .iter()
+            .find(|(c, _)| *c == tenant.censor)
+            .map(|(_, n)| *n)
+            .unwrap_or("?");
+        println!("  vs {name}: {}", sub.summary());
+    }
     println!(
-        "dataplane served {} flows at {:.0} flows/s ({:.2} MB/s payload) \
-         with {:.1}% evasion against the inline DT censor",
+        "one engine served {} sessions ({} offered flows x 2 censors) at {:.0} flows/s \
+         ({:.2} MB/s payload)",
         r.outcomes.len(),
+        offered.len(),
         r.flows_per_sec(),
-        r.payload_mb_per_sec(),
-        r.evasion_rate() * 100.0
+        r.payload_mb_per_sec()
     );
 }
