@@ -3,6 +3,10 @@
 //!
 //! * Scale via `AMOEBA_SCALE=paper`; flow count via `AMOEBA_SERVE_FLOWS`
 //!   (default 1000).
+//! * `--backend {cpu,simd}` selects the inference backend (default: the
+//!   `AMOEBA_SERVE_BACKEND` env var, else `cpu`). Backends are
+//!   bit-identical — the flag is a pure throughput knob, and the smoke
+//!   mode cross-checks the other backend's wire output to prove it.
 //! * `--matrix` switches to the cross-censor evaluation table: one
 //!   `ServeEngine` run over 2 policies (trained vs DT and RF) × 3
 //!   censors (DT, RF, CUMUL), printing evasion per `(policy, censor)`
@@ -14,9 +18,21 @@
 //!   against its single-tenant run.
 use amoeba_bench::{serve, Context, Scale};
 use amoeba_classifiers::CensorKind;
+use amoeba_serve::BackendKind;
 
 fn main() {
-    let matrix = std::env::args().any(|a| a == "--matrix");
+    let args: Vec<String> = std::env::args().collect();
+    let matrix = args.iter().any(|a| a == "--matrix");
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .map(|i| {
+            args.get(i + 1)
+                .expect("--backend needs a value (cpu|simd)")
+                .parse::<BackendKind>()
+                .expect("--backend value")
+        })
+        .unwrap_or_else(BackendKind::from_env_or_default);
     let smoke = std::env::var("AMOEBA_SERVE_SMOKE").is_ok_and(|v| v != "0");
     let n_flows = std::env::var("AMOEBA_SERVE_FLOWS")
         .ok()
@@ -24,14 +40,18 @@ fn main() {
         .unwrap_or(if smoke { 96 } else { 1000 });
     let mut ctx = Context::new(Scale::from_env());
     match (smoke, matrix) {
-        (true, true) => print!("{}", serve::serve_matrix_smoke(&mut ctx, n_flows, 64)),
-        (true, false) => print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64)),
+        (true, true) => print!(
+            "{}",
+            serve::serve_matrix_smoke(&mut ctx, n_flows, 64, backend)
+        ),
+        (true, false) => print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64, backend)),
         (false, true) => print!(
             "{}",
             serve::serve_matrix(
                 &mut ctx,
                 n_flows,
                 64,
+                backend,
                 &[CensorKind::Dt, CensorKind::Rf],
                 &[CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul],
             )
@@ -39,11 +59,11 @@ fn main() {
         (false, false) => {
             print!(
                 "{}",
-                serve::serve_throughput(&mut ctx, n_flows, &[1, 16, 64, 256])
+                serve::serve_throughput(&mut ctx, n_flows, &[1, 16, 64, 256], backend)
             );
             print!(
                 "{}",
-                serve::serve_shard_scaling(&mut ctx, n_flows, 64, &[1, 2, 4, 8])
+                serve::serve_shard_scaling(&mut ctx, n_flows, 64, &[1, 2, 4, 8], backend)
             );
         }
     }

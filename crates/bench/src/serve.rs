@@ -7,8 +7,8 @@
 
 use amoeba_classifiers::CensorKind;
 use amoeba_serve::{
-    CensorId, CensorRegistry, FrozenPolicy, PolicyId, PolicyRegistry, ServeConfig, ServeEngine,
-    ServeReport, VerdictPolicy,
+    BackendKind, CensorId, CensorRegistry, FrozenPolicy, PolicyId, PolicyRegistry, ServeConfig,
+    ServeEngine, ServeReport, VerdictPolicy,
 };
 use amoeba_traffic::{DatasetKind, Flow};
 
@@ -18,13 +18,19 @@ use crate::Context;
 /// memory so 1k+ concurrent sessions stay cheap on CI hardware.
 pub const PREFIX_CAP: usize = 20;
 
-fn serve_config(ctx: &mut Context, batch: usize, shards: usize) -> ServeConfig {
+fn serve_config(
+    ctx: &mut Context,
+    batch: usize,
+    shards: usize,
+    backend: BackendKind,
+) -> ServeConfig {
     let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
     ServeConfig::builder_from_amoeba(agent.config(), DatasetKind::Tor.layer())
         .batch(batch)
         .shards(shards)
         .verdicts(VerdictPolicy::Every(8))
         .seed(ctx.scale.seed)
+        .backend(backend)
         .build()
 }
 
@@ -39,11 +45,17 @@ fn offered(ctx: &mut Context, n_flows: usize) -> Vec<Flow> {
 /// count; the workload is `n_flows` sessions cycling the Tor test
 /// split's sensitive flows (≤ [`PREFIX_CAP`]-packet prefixes) against an
 /// inline DT censor.
-pub fn run_serve(ctx: &mut Context, n_flows: usize, batch: usize, shards: usize) -> ServeReport {
+pub fn run_serve(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    shards: usize,
+    backend: BackendKind,
+) -> ServeReport {
     let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
     let censor = ctx.censor(DatasetKind::Tor, CensorKind::Dt);
     let flows = offered(ctx, n_flows);
-    let mut engine = ServeEngine::new(serve_config(ctx, batch, shards));
+    let mut engine = ServeEngine::new(serve_config(ctx, batch, shards, backend));
     let p = engine.register_policy(FrozenPolicy::from_agent(&agent));
     let c = engine.register_censor(censor);
     engine.admit_all(flows.iter(), p, c);
@@ -70,16 +82,21 @@ const TABLE_HEADER: &str = "| config | flows/s | frames/s | payload MB/s | wire 
 
 /// The throughput table across batch sizes (single shard), as a markdown
 /// block.
-pub fn serve_throughput(ctx: &mut Context, n_flows: usize, batches: &[usize]) -> String {
+pub fn serve_throughput(
+    ctx: &mut Context,
+    n_flows: usize,
+    batches: &[usize],
+    backend: BackendKind,
+) -> String {
     let mut md = String::from("## amoeba-serve dataplane throughput\n\n");
     md += &format!(
         "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
-         DT censor inline every 8 frames, deterministic policy.\n\n"
+         DT censor inline every 8 frames, deterministic policy, {backend} backend.\n\n"
     );
     md += TABLE_HEADER;
     for &batch in batches {
-        let r = run_serve(ctx, n_flows, batch, 1);
-        md += &throughput_row(&format!("batch {batch}"), &r);
+        let r = run_serve(ctx, n_flows, batch, 1, backend);
+        md += &throughput_row(&format!("batch {batch} ({backend})"), &r);
     }
     md
 }
@@ -93,17 +110,18 @@ pub fn serve_shard_scaling(
     n_flows: usize,
     batch: usize,
     shard_counts: &[usize],
+    backend: BackendKind,
 ) -> String {
     let mut md = String::from("## amoeba-serve shard scaling\n\n");
     md += &format!(
         "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
-         DT censor inline every 8 frames, batch {batch}, deterministic policy; \
-         sessions sharded across worker threads.\n\n"
+         DT censor inline every 8 frames, batch {batch}, deterministic policy, \
+         {backend} backend; sessions sharded across worker threads.\n\n"
     );
     md += TABLE_HEADER;
     for &shards in shard_counts {
-        let r = run_serve(ctx, n_flows, batch, shards);
-        md += &throughput_row(&format!("{shards} shard(s)"), &r);
+        let r = run_serve(ctx, n_flows, batch, shards, backend);
+        md += &throughput_row(&format!("{shards} shard(s) ({backend})"), &r);
     }
     md
 }
@@ -111,19 +129,41 @@ pub fn serve_shard_scaling(
 /// CI smoke pass: a small flow count served at 1 shard and 4 shards, with
 /// the wire outputs cross-checked frame-by-frame — exercises the sharded
 /// path on every push and fails loudly if the invariance contract breaks.
-pub fn serve_smoke(ctx: &mut Context, n_flows: usize, batch: usize) -> String {
-    let one = run_serve(ctx, n_flows, batch, 1);
-    let four = run_serve(ctx, n_flows, batch, 4);
+pub fn serve_smoke(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    backend: BackendKind,
+) -> String {
+    let one = run_serve(ctx, n_flows, batch, 1, backend);
+    let four = run_serve(ctx, n_flows, batch, 4, backend);
     assert_eq!(
         one.wire_bits(),
         four.wire_bits(),
         "smoke: 4-shard wire output diverged from 1-shard"
     );
     assert_eq!(one.stream_ok_rate(), 1.0, "smoke: streams failed to verify");
-    let mut md = String::from("## amoeba-serve smoke (shards 1 vs 4, bit-identical wire)\n\n");
+    // Cross-backend leg: the *other* in-crate backend must reproduce the
+    // wire bit-for-bit (the conformance contract on real trained
+    // policies and censors, on every push).
+    let other = match backend {
+        BackendKind::Cpu => BackendKind::Simd,
+        BackendKind::Simd => BackendKind::Cpu,
+    };
+    let cross = run_serve(ctx, n_flows, batch, 1, other);
+    assert_eq!(
+        one.wire_bits(),
+        cross.wire_bits(),
+        "smoke: {other} backend wire output diverged from {backend}"
+    );
+    let mut md = format!(
+        "## amoeba-serve smoke (shards 1 vs 4, {backend} vs {other} backend, \
+         bit-identical wire)\n\n"
+    );
     md += TABLE_HEADER;
-    md += &throughput_row("1 shard", &one);
-    md += &throughput_row("4 shards", &four);
+    md += &throughput_row(&format!("1 shard ({backend})"), &one);
+    md += &throughput_row(&format!("4 shards ({backend})"), &four);
+    md += &throughput_row(&format!("1 shard ({other})"), &cross);
     md
 }
 
@@ -137,6 +177,7 @@ fn run_matrix(
     n_flows: usize,
     batch: usize,
     shards: usize,
+    backend: BackendKind,
     policy_kinds: &[CensorKind],
     censor_kinds: &[CensorKind],
 ) -> (ServeReport, Vec<PolicyId>, Vec<CensorId>) {
@@ -155,7 +196,7 @@ fn run_matrix(
         .collect();
     let flows = offered(ctx, n_flows);
     let mut engine =
-        ServeEngine::with_registries(policies, censors, serve_config(ctx, batch, shards));
+        ServeEngine::with_registries(policies, censors, serve_config(ctx, batch, shards, backend));
     let cells = pids.len() * cids.len();
     for (i, f) in flows.iter().enumerate() {
         let cell = i % cells;
@@ -178,10 +219,12 @@ pub fn serve_matrix(
     ctx: &mut Context,
     n_flows: usize,
     batch: usize,
+    backend: BackendKind,
     policy_kinds: &[CensorKind],
     censor_kinds: &[CensorKind],
 ) -> String {
-    let (report, pids, cids) = run_matrix(ctx, n_flows, batch, 1, policy_kinds, censor_kinds);
+    let (report, pids, cids) =
+        run_matrix(ctx, n_flows, batch, 1, backend, policy_kinds, censor_kinds);
     let mut md = String::from("## amoeba-serve cross-censor matrix (one engine run)\n\n");
     md += &format!(
         "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes) split \
@@ -207,10 +250,23 @@ pub fn serve_matrix(
 /// against a fresh single-tenant engine run of the same `(id, flow)`
 /// set — the tenancy-invariance contract exercised end-to-end on real
 /// trained policies and censors on every push.
-pub fn serve_matrix_smoke(ctx: &mut Context, n_flows: usize, batch: usize) -> String {
+pub fn serve_matrix_smoke(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    backend: BackendKind,
+) -> String {
     let policy_kinds = [CensorKind::Dt, CensorKind::Rf];
     let censor_kinds = [CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul];
-    let (report, pids, cids) = run_matrix(ctx, n_flows, batch, 4, &policy_kinds, &censor_kinds);
+    let (report, pids, cids) = run_matrix(
+        ctx,
+        n_flows,
+        batch,
+        4,
+        backend,
+        &policy_kinds,
+        &censor_kinds,
+    );
     assert_eq!(
         report.stream_ok_rate(),
         1.0,
@@ -229,7 +285,7 @@ pub fn serve_matrix_smoke(ctx: &mut Context, n_flows: usize, batch: usize) -> St
         let censor_kind = censor_kinds[tenant.censor.index()];
         let policy = FrozenPolicy::from_agent(&ctx.agent(DatasetKind::Tor, agent_kind).0);
         let censor = ctx.censor(DatasetKind::Tor, censor_kind);
-        let mut solo = ServeEngine::new(serve_config(ctx, batch, 1));
+        let mut solo = ServeEngine::new(serve_config(ctx, batch, 1, backend));
         let p = solo.register_policy(policy);
         let c = solo.register_censor(censor);
         for &(id, f) in &pairs {

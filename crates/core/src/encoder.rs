@@ -17,6 +17,7 @@ use amoeba_nn::layers::Linear;
 use amoeba_nn::matrix::Matrix;
 use amoeba_nn::optim::{Adam, Optimizer};
 use amoeba_nn::rnn::{Gru, GruSnapshot};
+use amoeba_nn::simd::MatmulKernel;
 use amoeba_nn::tensor::Tensor;
 
 use crate::config::{AmoebaConfig, ReconLoss};
@@ -264,6 +265,23 @@ impl EncoderSnapshot {
     /// Panics if `steps.rows() != indices.len()`, if an index is out of
     /// bounds or repeated, or if a state does not belong to this encoder.
     pub fn push_batch(&self, states: &mut [EncoderState], indices: &[usize], steps: &Matrix) {
+        self.push_batch_with(states, indices, steps, MatmulKernel::Blocked);
+    }
+
+    /// [`EncoderSnapshot::push_batch`] with the fused GRU step's matmuls
+    /// routed through the chosen `amoeba-nn` kernel. Bit-identical for
+    /// any [`MatmulKernel`] (the kernels themselves are bit-identical) —
+    /// the seam `amoeba-serve`'s SIMD inference backend plugs into.
+    ///
+    /// # Panics
+    /// As [`EncoderSnapshot::push_batch`].
+    pub fn push_batch_with(
+        &self,
+        states: &mut [EncoderState],
+        indices: &[usize],
+        steps: &Matrix,
+        kernel: MatmulKernel,
+    ) {
         assert_eq!(steps.rows(), indices.len(), "push_batch shape mismatch");
         assert_eq!(steps.cols(), STEP_DIM, "push_batch expects (B, 2) steps");
         if indices.is_empty() {
@@ -296,7 +314,7 @@ impl EncoderSnapshot {
                 m
             })
             .collect();
-        self.gru.step(steps, &mut batch);
+        self.gru.step_with(steps, &mut batch, kernel);
         // Scatter back.
         for (l, m) in batch.iter().enumerate() {
             for (r, &i) in indices.iter().enumerate() {

@@ -13,6 +13,7 @@ use rand::Rng;
 use amoeba_nn::forward::Forward;
 use amoeba_nn::layers::{Activation, Mlp, MlpSnapshot};
 use amoeba_nn::matrix::Matrix;
+use amoeba_nn::simd::MatmulKernel;
 use amoeba_nn::tensor::Tensor;
 
 use crate::config::AmoebaConfig;
@@ -112,7 +113,15 @@ impl ActorSnapshot {
     /// across shard threads (the snapshot is immutable `Send + Sync`
     /// state shared via `Arc`).
     pub fn head_batch(&self, states: &Matrix) -> (Matrix, Matrix) {
-        let out = self.mlp.forward(states);
+        self.head_batch_with(states, MatmulKernel::Blocked)
+    }
+
+    /// [`ActorSnapshot::head_batch`] with the fused MLP pass routed
+    /// through the chosen `amoeba-nn` matmul kernel. Bit-identical for
+    /// any [`MatmulKernel`] — the seam `amoeba-serve`'s SIMD inference
+    /// backend plugs into.
+    pub fn head_batch_with(&self, states: &Matrix, kernel: MatmulKernel) -> (Matrix, Matrix) {
+        let out = self.mlp.forward_with(states, kernel);
         let b = out.rows();
         let mut mean = Matrix::zeros(b, ACTION_DIM);
         let mut logstd = Matrix::zeros(b, ACTION_DIM);

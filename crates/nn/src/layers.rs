@@ -12,6 +12,7 @@ use rand::Rng;
 use crate::forward::Forward;
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
+use crate::simd::MatmulKernel;
 use crate::tensor::Tensor;
 
 /// Pointwise nonlinearity selector.
@@ -127,9 +128,18 @@ pub struct LinearSnapshot {
     pub b: Matrix,
 }
 
+impl LinearSnapshot {
+    /// Forward pass through an explicitly chosen matmul kernel —
+    /// bit-identical to [`Forward::forward`] for any
+    /// [`MatmulKernel`], which only trades speed.
+    pub fn forward_with(&self, x: &Matrix, kernel: MatmulKernel) -> Matrix {
+        x.matmul_with(&self.w, kernel).add_row_broadcast(&self.b)
+    }
+}
+
 impl Forward for LinearSnapshot {
     fn forward(&self, x: &Matrix) -> Matrix {
-        x.matmul(&self.w).add_row_broadcast(&self.b)
+        self.forward_with(x, MatmulKernel::Blocked)
     }
 }
 
@@ -236,12 +246,16 @@ pub struct MlpSnapshot {
     pub output_activation: Activation,
 }
 
-impl Forward for MlpSnapshot {
-    fn forward(&self, x: &Matrix) -> Matrix {
+impl MlpSnapshot {
+    /// Forward pass with every per-layer product routed through the
+    /// chosen matmul kernel. Bit-identical to [`Forward::forward`] for
+    /// any [`MatmulKernel`] (the kernels themselves are bit-identical);
+    /// [`MatmulKernel::Simd`] is the `amoeba-serve` SIMD backend's path.
+    pub fn forward_with(&self, x: &Matrix, kernel: MatmulKernel) -> Matrix {
         let mut h = x.clone();
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(&h);
+            h = layer.forward_with(&h, kernel);
             h = if i == last {
                 self.output_activation.apply_matrix(&h)
             } else {
@@ -249,6 +263,12 @@ impl Forward for MlpSnapshot {
             };
         }
         h
+    }
+}
+
+impl Forward for MlpSnapshot {
+    fn forward(&self, x: &Matrix) -> Matrix {
+        self.forward_with(x, MatmulKernel::Blocked)
     }
 
     /// Fused fast path: equal-width single-row inputs are stacked into one

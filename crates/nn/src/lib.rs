@@ -52,6 +52,7 @@ pub mod layers;
 pub mod matrix;
 pub mod optim;
 pub mod rnn;
+pub mod simd;
 pub mod tensor;
 
 pub use conv::{Conv1d, Conv1dSnapshot, MaxPool1d};
@@ -60,4 +61,5 @@ pub use layers::{Activation, Linear, LinearSnapshot, Mlp, MlpSnapshot};
 pub use matrix::Matrix;
 pub use optim::{clip_grad_norm, Adam, Optimizer, RmsProp, Sgd};
 pub use rnn::{Gru, GruCell, GruSnapshot, Lstm, LstmCell, LstmSnapshot};
+pub use simd::{MatmulKernel, SimdLevel};
 pub use tensor::Tensor;

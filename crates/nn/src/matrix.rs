@@ -17,6 +17,8 @@ use std::fmt;
 
 use rand::Rng;
 
+use crate::simd::{self, MatmulKernel, SimdLevel};
+
 /// A dense, row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -226,13 +228,21 @@ impl Matrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        /// Column-panel width: a full `K x NC` slab of `rhs` (`K` up to a
-        /// few hundred here) fits comfortably in L2.
-        const NC: usize = 256;
-        /// Micro-kernel height: each `rhs` row loaded from cache feeds
-        /// this many output rows.
-        const MR: usize = 4;
+        self.matmul_with(rhs, MatmulKernel::Blocked)
+    }
 
+    /// Matrix product through an explicitly chosen kernel: the scalar
+    /// blocked path ([`MatmulKernel::Blocked`], identical to
+    /// [`Matrix::matmul`]) or the runtime-dispatched SIMD micro-panel
+    /// ([`MatmulKernel::Simd`]). Both are **bit-identical** — the SIMD
+    /// path vectorises over output columns and never reorders an output
+    /// element's ascending-`k` summation or fuses its roundings (see
+    /// [`crate::simd`]) — so kernel choice is a pure throughput knob, the
+    /// property `amoeba-serve`'s pluggable inference backends rest on.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_with(&self, rhs: &Matrix, kernel: MatmulKernel) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: ({}x{}) * ({}x{})",
@@ -240,35 +250,11 @@ impl Matrix {
         );
         let (m, kk, n) = (self.rows, self.cols, rhs.cols);
         let mut out = Matrix::zeros(m, n);
-        if n == 0 || kk == 0 {
-            return out;
-        }
-        // Independent mutable views of the output rows, so the micro-
-        // kernel can interleave writes to MR rows without re-slicing.
-        let mut out_rows: Vec<&mut [f32]> = out.data.chunks_mut(n).collect();
-        let mut j0 = 0;
-        while j0 < n {
-            let j1 = (j0 + NC).min(n);
-            let mut i0 = 0;
-            while i0 < m {
-                let i1 = (i0 + MR).min(m);
-                for k in 0..kk {
-                    let b_panel = &rhs.data[k * n + j0..k * n + j1];
-                    for (r, out_row) in out_rows[i0..i1].iter_mut().enumerate() {
-                        let a = self.data[(i0 + r) * kk + k];
-                        if a == 0.0 {
-                            continue;
-                        }
-                        let out_panel = &mut out_row[j0..j1];
-                        for (o, &b) in out_panel.iter_mut().zip(b_panel) {
-                            *o += a * b;
-                        }
-                    }
-                }
-                i0 = i1;
-            }
-            j0 = j1;
-        }
+        let level = match kernel {
+            MatmulKernel::Blocked => SimdLevel::Scalar,
+            MatmulKernel::Simd => SimdLevel::detect(),
+        };
+        simd::matmul_into(level, &self.data, &rhs.data, &mut out.data, m, kk, n);
         out
     }
 

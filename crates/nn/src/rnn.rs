@@ -11,6 +11,7 @@ use rand::Rng;
 use crate::forward::Forward;
 use crate::init::xavier_uniform_shaped;
 use crate::matrix::Matrix;
+use crate::simd::MatmulKernel;
 use crate::tensor::Tensor;
 
 /// Single GRU cell.
@@ -130,9 +131,16 @@ impl GruCellSnapshot {
     /// formulation — the property the serving dataplane's batching and
     /// sharding rest on.
     pub fn step(&self, x: &Matrix, h: &Matrix) -> Matrix {
+        self.step_with(x, h, MatmulKernel::Blocked)
+    }
+
+    /// One inference step with the two gate matmuls routed through the
+    /// chosen kernel — bit-identical to [`GruCellSnapshot::step`] for any
+    /// [`MatmulKernel`] (the `amoeba-serve` SIMD backend's path).
+    pub fn step_with(&self, x: &Matrix, h: &Matrix, kernel: MatmulKernel) -> Matrix {
         let hs = self.hidden;
-        let gx = x.matmul(&self.wx).add_row_broadcast(&self.bx);
-        let gh = h.matmul(&self.wh).add_row_broadcast(&self.bh);
+        let gx = x.matmul_with(&self.wx, kernel).add_row_broadcast(&self.bx);
+        let gh = h.matmul_with(&self.wh, kernel).add_row_broadcast(&self.bh);
         let sig = |v: f32| 1.0 / (1.0 + (-v).exp());
         let mut out = Matrix::zeros(h.rows(), hs);
         for row in 0..h.rows() {
@@ -267,10 +275,21 @@ impl GruSnapshot {
     /// One inference step; `state` is updated in place, the top-layer hidden
     /// is returned by reference.
     pub fn step<'s>(&self, x: &Matrix, state: &'s mut [Matrix]) -> &'s Matrix {
+        self.step_with(x, state, MatmulKernel::Blocked)
+    }
+
+    /// One inference step through the chosen matmul kernel — bit-identical
+    /// to [`GruSnapshot::step`] for any [`MatmulKernel`].
+    pub fn step_with<'s>(
+        &self,
+        x: &Matrix,
+        state: &'s mut [Matrix],
+        kernel: MatmulKernel,
+    ) -> &'s Matrix {
         assert_eq!(state.len(), self.cells.len(), "Gru state depth mismatch");
         let mut input = x.clone();
         for (cell, h) in self.cells.iter().zip(state.iter_mut()) {
-            let h_new = cell.step(&input, h);
+            let h_new = cell.step_with(&input, h, kernel);
             input = h_new.clone();
             *h = h_new;
         }

@@ -1,0 +1,426 @@
+//! Runtime-dispatched SIMD micro-kernel for the blocked matmul — the
+//! second execution path behind [`crate::matrix::Matrix::matmul_with`].
+//!
+//! ## The bit-exactness obligation
+//!
+//! The serving dataplane (`amoeba-serve`) requires every inference kernel
+//! to produce results **bit-identical** to the naive reference
+//! ([`crate::matrix::Matrix::matmul_naive`]): wire output must be a pure
+//! function of `(seed, session_id, policy, censor)`, never of which
+//! kernel, batch size or shard count executed the math. The usual way a
+//! SIMD matmul breaks this is by re-associating the `k`-reduction
+//! (horizontal adds over lanes) or by fusing multiply and add into one
+//! rounding (`FMA`). This kernel does neither:
+//!
+//! * Vectorisation runs over the **output columns `j`**, not the
+//!   reduction dimension `k`. Each output element `out[i][j]` still
+//!   accumulates its `a[i][k] * b[k][j]` terms one `k` at a time, in
+//!   ascending-`k` order — lanes hold *different* output elements, so no
+//!   reduction is ever reordered.
+//! * Only `mul` then `add` intrinsics are used (`_mm256_mul_ps` +
+//!   `_mm256_add_ps`, never `_mm256_fmadd_ps`): two IEEE-754 roundings,
+//!   exactly like the scalar `o += a * b` (rustc performs no FP
+//!   contraction).
+//! * The `a == 0.0` skip of the reference kernel is preserved at the
+//!   caller (the blocked loop), so even non-finite inputs behave
+//!   identically.
+//!
+//! Together these make [`axpy`] — and therefore the whole SIMD matmul —
+//! bit-identical to the scalar path on every input, which the unit tests
+//! here and the property tests in `tests/algebra_props.rs` pin.
+//!
+//! ## Dispatch
+//!
+//! [`SimdLevel::detect`] picks the widest available instruction set once
+//! per process (AVX2 → SSE2 on x86-64, scalar elsewhere); the level can
+//! also be forced per call for testing. Detection uses
+//! `std::is_x86_feature_detected!`, so the same binary runs correctly on
+//! any host.
+
+use std::fmt;
+
+/// Which matmul execution path [`crate::matrix::Matrix::matmul_with`]
+/// takes. Both produce bit-identical results; they differ only in speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MatmulKernel {
+    /// The blocked cache-tiled scalar kernel
+    /// ([`crate::matrix::Matrix::matmul`]'s default path) — the reference
+    /// the serving dataplane shipped with.
+    #[default]
+    Blocked,
+    /// The blocked kernel with the [`SimdLevel::detect`]-dispatched
+    /// vectorised micro-panel (scalar fallback where no SIMD is
+    /// available). Bit-identical to [`MatmulKernel::Blocked`] by the
+    /// summation-order argument in the [module docs](self).
+    Simd,
+}
+
+/// The widest SIMD instruction set the running CPU offers for the f32
+/// axpy micro-kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimdLevel {
+    /// 256-bit AVX2 lanes (8 f32 per op).
+    Avx2,
+    /// 128-bit SSE2 lanes (4 f32 per op; baseline on x86-64).
+    Sse2,
+    /// No vector unit used; plain scalar loop.
+    Scalar,
+}
+
+impl fmt::Display for SimdLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Sse2 => "sse2",
+            SimdLevel::Scalar => "scalar",
+        })
+    }
+}
+
+impl SimdLevel {
+    /// Detects the widest level the running CPU supports (cached after
+    /// the first call). Non-x86-64 targets always report
+    /// [`SimdLevel::Scalar`].
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use std::sync::OnceLock;
+            static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+            *LEVEL.get_or_init(|| {
+                if std::arch::is_x86_feature_detected!("avx2") {
+                    SimdLevel::Avx2
+                } else if std::arch::is_x86_feature_detected!("sse2") {
+                    SimdLevel::Sse2
+                } else {
+                    SimdLevel::Scalar
+                }
+            })
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            SimdLevel::Scalar
+        }
+    }
+
+    /// True when this level is executable on the running CPU (scalar is
+    /// always available).
+    pub fn is_available(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Sse2 => std::arch::is_x86_feature_detected!("sse2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+}
+
+/// `out[j] += a * b[j]` for every `j`, at the given SIMD level — the
+/// micro-panel update of the blocked matmul. Each element sees exactly
+/// one `mul` rounding and one `add` rounding regardless of level, so all
+/// levels are bit-identical (pinned by this module's unit tests).
+///
+/// # Panics
+/// Panics if `out` and `b` differ in length, or if `level` is not
+/// available on this CPU.
+#[inline]
+pub fn axpy(level: SimdLevel, out: &mut [f32], a: f32, b: &[f32]) {
+    assert_eq!(out.len(), b.len(), "axpy: length mismatch");
+    assert!(level.is_available(), "axpy: {level} not available on host");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above; slices are equal-length.
+        SimdLevel::Avx2 => unsafe { axpy_avx2(out, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above; slices are equal-length.
+        SimdLevel::Sse2 => unsafe { axpy_sse2(out, a, b) },
+        _ => axpy_scalar(out, a, b),
+    }
+}
+
+/// The scalar reference micro-panel — identical code to the inner loop of
+/// the blocked [`crate::matrix::Matrix::matmul`].
+#[inline]
+fn axpy_scalar(out: &mut [f32], a: f32, b: &[f32]) {
+    for (o, &bv) in out.iter_mut().zip(b) {
+        *o += a * bv;
+    }
+}
+
+/// AVX2 micro-panel: 8-lane `mul` + `add` (no FMA — FMA's single rounding
+/// would diverge from the scalar path), scalar tail for the last
+/// `len % 8` columns.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn axpy_avx2(out: &mut [f32], a: f32, b: &[f32]) {
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+    let n = out.len().min(b.len());
+    let va = _mm256_set1_ps(a);
+    let mut j = 0;
+    while j + 8 <= n {
+        let vb = _mm256_loadu_ps(b.as_ptr().add(j));
+        let vo = _mm256_loadu_ps(out.as_ptr().add(j));
+        _mm256_storeu_ps(
+            out.as_mut_ptr().add(j),
+            _mm256_add_ps(vo, _mm256_mul_ps(va, vb)),
+        );
+        j += 8;
+    }
+    axpy_scalar(&mut out[j..], a, &b[j..]);
+}
+
+/// SSE2 micro-panel: 4-lane `mul` + `add`, scalar tail for the last
+/// `len % 4` columns.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+unsafe fn axpy_sse2(out: &mut [f32], a: f32, b: &[f32]) {
+    use std::arch::x86_64::{_mm_add_ps, _mm_loadu_ps, _mm_mul_ps, _mm_set1_ps, _mm_storeu_ps};
+    let n = out.len().min(b.len());
+    let va = _mm_set1_ps(a);
+    let mut j = 0;
+    while j + 4 <= n {
+        let vb = _mm_loadu_ps(b.as_ptr().add(j));
+        let vo = _mm_loadu_ps(out.as_ptr().add(j));
+        _mm_storeu_ps(out.as_mut_ptr().add(j), _mm_add_ps(vo, _mm_mul_ps(va, vb)));
+        j += 4;
+    }
+    axpy_scalar(&mut out[j..], a, &b[j..]);
+}
+
+/// Accumulates `lhs * rhs` into the zeroed `out` buffer using the whole
+/// blocked loop nest compiled for one SIMD level — the single entry
+/// point behind [`crate::matrix::Matrix::matmul_with`] (and therefore
+/// [`crate::matrix::Matrix::matmul`], which passes
+/// [`SimdLevel::Scalar`]). The nest is called once per matmul, so the
+/// per-call cost of crossing into `#[target_feature]` code is paid once
+/// instead of once per micro-panel (which at serving-sized operands
+/// would eat the vector win). `lhs` is `(m, kk)` row-major, `rhs` is
+/// `(kk, n)`, `out` is `(m, n)` and must start zeroed.
+///
+/// Every level shares the loop structure and per-element summation
+/// order, hence all levels produce bit-identical results.
+///
+/// # Panics
+/// Panics on slice/dimension mismatch or an unavailable level.
+pub(crate) fn matmul_into(
+    level: SimdLevel,
+    lhs: &[f32],
+    rhs: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+) {
+    assert_eq!(lhs.len(), m * kk, "matmul_into: lhs size");
+    assert_eq!(rhs.len(), kk * n, "matmul_into: rhs size");
+    assert_eq!(out.len(), m * n, "matmul_into: out size");
+    assert!(
+        level.is_available(),
+        "matmul_into: {level} not available on host"
+    );
+    if n == 0 || kk == 0 || m == 0 {
+        return;
+    }
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: sizes asserted above; availability asserted above.
+        SimdLevel::Avx2 => unsafe { matmul_blocked_avx2(lhs, rhs, out, m, kk, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: sizes asserted above; availability asserted above.
+        SimdLevel::Sse2 => unsafe { matmul_blocked_sse2(lhs, rhs, out, m, kk, n) },
+        _ => matmul_blocked_scalar(lhs, rhs, out, m, kk, n),
+    }
+}
+
+/// Column-panel width shared by every blocked kernel in this module (a
+/// full `K x NC` slab of the right operand stays L2-resident).
+const NC: usize = 256;
+/// Micro-kernel height: each loaded `rhs` row feeds this many output
+/// rows.
+const MR: usize = 4;
+
+/// Generates one monolithic blocked matmul per level from a **single**
+/// loop-nest definition — NC/MR tiling, ascending-`k` accumulation per
+/// output element, the `a == 0.0` skip — parameterised only by the
+/// micro-panel axpy and (for the vector variants) a `#[target_feature]`
+/// attribute, so the scalar and SIMD nests cannot drift apart. The axpy
+/// call is a same-feature call: inlined, and the slice arguments keep
+/// the noalias info LLVM needs to unroll the lane loop into independent
+/// add chains. Every variant is `unsafe fn`: the caller must guarantee
+/// `lhs.len() == m * kk` (the `a` load is unchecked — a panic path
+/// inside the hot nest defeats unrolling) — [`matmul_into`] asserts all
+/// three sizes up front. The scalar instantiation has no further
+/// requirements (see [`matmul_blocked_scalar`]).
+macro_rules! blocked_matmul_impl {
+    ($(#[$attr:meta])* $name:ident, $axpy:path) => {
+        $(#[$attr])*
+        unsafe fn $name(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, kk: usize, n: usize) {
+            debug_assert_eq!(lhs.len(), m * kk);
+            debug_assert_eq!(rhs.len(), kk * n);
+            debug_assert_eq!(out.len(), m * n);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + NC).min(n);
+                let mut i0 = 0;
+                while i0 < m {
+                    let i1 = (i0 + MR).min(m);
+                    for k in 0..kk {
+                        let b_panel = &rhs[k * n + j0..k * n + j1];
+                        for i in i0..i1 {
+                            let a = *lhs.get_unchecked(i * kk + k);
+                            if a == 0.0 {
+                                continue;
+                            }
+                            $axpy(&mut out[i * n + j0..i * n + j1], a, b_panel);
+                        }
+                    }
+                    i0 = i1;
+                }
+                j0 = j1;
+            }
+        }
+    };
+}
+
+blocked_matmul_impl!(matmul_blocked_scalar_impl, axpy_scalar);
+
+#[cfg(target_arch = "x86_64")]
+blocked_matmul_impl!(
+    #[target_feature(enable = "avx2")]
+    matmul_blocked_avx2,
+    axpy_avx2
+);
+
+#[cfg(target_arch = "x86_64")]
+blocked_matmul_impl!(
+    #[target_feature(enable = "sse2")]
+    matmul_blocked_sse2,
+    axpy_sse2
+);
+
+/// The scalar blocked loop nest — [`crate::matrix::Matrix::matmul`]'s
+/// kernel ([`SimdLevel::Scalar`]), and what non-x86-64 targets run for
+/// [`MatmulKernel::Simd`]. Safe wrapper over the shared
+/// `blocked_matmul_impl!` instantiation.
+fn matmul_blocked_scalar(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, kk: usize, n: usize) {
+    // SAFETY: the scalar instantiation carries no `#[target_feature]`;
+    // its only unchecked access is the `lhs` load, whose bound is
+    // enforced by `matmul_into`'s `lhs.len() == m * kk` assert (the
+    // sole caller besides it asserts the same).
+    assert_eq!(lhs.len(), m * kk, "matmul_blocked_scalar: lhs size");
+    unsafe { matmul_blocked_scalar_impl(lhs, rhs, out, m, kk, n) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn levels_on_host() -> Vec<SimdLevel> {
+        [SimdLevel::Avx2, SimdLevel::Sse2, SimdLevel::Scalar]
+            .into_iter()
+            .filter(|l| l.is_available())
+            .collect()
+    }
+
+    /// Every available level produces bit-identical axpy results to the
+    /// scalar reference, across lengths covering full lanes, partial
+    /// tails, 1 element and 0 elements.
+    #[test]
+    fn axpy_levels_are_bit_identical_across_tail_lengths() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 256, 257] {
+            let b: Vec<f32> = (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let base: Vec<f32> = (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let a: f32 = rng.gen_range(-2.0..2.0);
+            let mut reference = base.clone();
+            axpy_scalar(&mut reference, a, &b);
+            for level in levels_on_host() {
+                let mut out = base.clone();
+                axpy(level, &mut out, a, &b);
+                for (x, y) in out.iter().zip(&reference) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "len {len}, {level}");
+                }
+            }
+        }
+    }
+
+    /// The detected level is available, and on x86-64 it is never scalar
+    /// (SSE2 is architecturally guaranteed).
+    #[test]
+    fn detected_level_is_available() {
+        let level = SimdLevel::detect();
+        assert!(level.is_available());
+        #[cfg(target_arch = "x86_64")]
+        assert_ne!(level, SimdLevel::Scalar);
+    }
+
+    /// The full SIMD matmul against the naive reference on shapes that
+    /// straddle lane widths (8 for AVX2, 4 for SSE2), panel boundaries,
+    /// and the degenerate 1-row / empty cases.
+    #[test]
+    fn simd_matmul_matches_naive_on_edge_shapes() {
+        let mut rng = StdRng::seed_from_u64(47);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize), // single element
+            (1, 3, 7),                // 1 row, sub-lane width
+            (2, 2, 8),                // exactly one AVX2 lane
+            (3, 5, 9),                // one lane + 1 tail
+            (4, 4, 4),                // exactly one SSE2 lane
+            (5, 6, 12),               // SSE2 lanes, AVX2 tail
+            (4, 7, 255),              // panel minus 1
+            (5, 3, 256),              // exactly one column panel
+            (6, 2, 261),              // panel + sub-lane tail
+            (9, 64, 300),             // multi-panel
+        ] {
+            let mut a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            // Exact zeros exercise the shared skip path.
+            for v in a.as_mut_slice().iter_mut() {
+                if *v < -0.8 {
+                    *v = 0.0;
+                }
+            }
+            let simd = a.matmul_with(&b, MatmulKernel::Simd);
+            let naive = a.matmul_naive(&b);
+            assert_eq!(simd.shape(), naive.shape());
+            for (x, y) in simd.as_slice().iter().zip(naive.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k} * {k}x{n}");
+            }
+        }
+    }
+
+    /// Zero-sized operands short-circuit identically to the reference.
+    #[test]
+    fn simd_matmul_empty_dims_are_zero() {
+        let a = Matrix::zeros(2, 0);
+        let b = Matrix::zeros(0, 3);
+        let out = a.matmul_with(&b, MatmulKernel::Simd);
+        assert_eq!(out.shape(), (2, 3));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+        let c = Matrix::zeros(0, 4);
+        let d = Matrix::zeros(4, 5);
+        assert_eq!(c.matmul_with(&d, MatmulKernel::Simd).shape(), (0, 5));
+    }
+
+    /// Both kernel choices agree bit-for-bit (the contract
+    /// `amoeba-serve`'s backend-conformance suite leans on).
+    #[test]
+    fn kernel_choices_are_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let a = Matrix::randn(17, 33, 1.0, &mut rng);
+        let b = Matrix::randn(33, 129, 1.0, &mut rng);
+        let blocked = a.matmul_with(&b, MatmulKernel::Blocked);
+        let simd = a.matmul_with(&b, MatmulKernel::Simd);
+        for (x, y) in blocked.as_slice().iter().zip(simd.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        assert_eq!(MatmulKernel::default(), MatmulKernel::Blocked);
+    }
+}

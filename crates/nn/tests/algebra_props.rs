@@ -152,4 +152,59 @@ proptest! {
             prop_assert_eq!(x.to_bits(), y.to_bits());
         }
     }
+
+    /// The runtime-dispatched SIMD micro-kernel is bit-identical to the
+    /// naive reference on random shapes up to 512x512 — including
+    /// non-multiple-of-lane-width column tails (shapes are unconstrained,
+    /// so most draws straddle the 8-wide AVX2 / 4-wide SSE2 lanes), exact
+    /// zeros (the shared skip path), and the 1-row / 1-col edges.
+    #[test]
+    fn simd_matmul_is_bit_exact_up_to_512(
+        m in 1usize..=512,
+        k in 1usize..=512,
+        n in 1usize..=512,
+        seed in any::<u64>(),
+    ) {
+        use amoeba_nn::simd::MatmulKernel;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        for v in a.as_mut_slice().iter_mut() {
+            if *v > 1.0 {
+                *v = 0.0;
+            }
+        }
+        let simd = a.matmul_with(&b, MatmulKernel::Simd);
+        let naive = a.matmul_naive(&b);
+        prop_assert_eq!(simd.shape(), naive.shape());
+        for (x, y) in simd.as_slice().iter().zip(naive.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn simd_matmul_empty_and_single_row_edges_match_naive() {
+    use amoeba_nn::simd::MatmulKernel;
+    // Empty inner / outer dimensions short-circuit to zeros.
+    for (a, b) in [
+        (Matrix::zeros(3, 0), Matrix::zeros(0, 5)),
+        (Matrix::zeros(0, 4), Matrix::zeros(4, 2)),
+        (Matrix::zeros(2, 4), Matrix::zeros(4, 0)),
+    ] {
+        let simd = a.matmul_with(&b, MatmulKernel::Simd);
+        let naive = a.matmul_naive(&b);
+        assert_eq!(simd.shape(), naive.shape());
+        assert_eq!(simd.as_slice(), naive.as_slice());
+    }
+    // A 1-row product with a sub-lane-width tail.
+    let a = Matrix::row_vector(vec![0.5, -1.5, 0.0]);
+    let b = Matrix::from_vec(3, 5, (0..15).map(|i| i as f32 * 0.3 - 2.0).collect());
+    let simd = a.matmul_with(&b, MatmulKernel::Simd);
+    let naive = a.matmul_naive(&b);
+    for (x, y) in simd.as_slice().iter().zip(naive.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
 }

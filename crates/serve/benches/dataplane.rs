@@ -6,6 +6,12 @@
 //! shim on the same workload (budget: within 3%; since the shim
 //! delegates to the engine the comparison doubles as a delegation-cost
 //! check), and a 6-tenant engine run to size multi-tenant packing.
+//!
+//! The backend benches size the SIMD win: the raw matmul micro-kernel
+//! (blocked vs SIMD at serving-shaped operands) and the end-to-end
+//! engine at batch 1/64/256 under `CpuBackend` vs `SimdBackend` — the
+//! two backends are bit-identical (conformance-pinned), so any delta is
+//! pure throughput.
 
 #![allow(deprecated)]
 
@@ -21,8 +27,9 @@ use amoeba_core::policy::Actor;
 use amoeba_core::AmoebaConfig;
 use amoeba_nn::layers::{Activation, Mlp};
 use amoeba_nn::matrix::Matrix;
+use amoeba_nn::simd::MatmulKernel;
 use amoeba_nn::Forward;
-use amoeba_serve::{Dataplane, FrozenPolicy, ServeConfig, ServeEngine};
+use amoeba_serve::{BackendKind, Dataplane, FrozenPolicy, ServeConfig, ServeEngine};
 use amoeba_traffic::{Flow, Layer};
 
 fn policy() -> FrozenPolicy {
@@ -233,12 +240,66 @@ fn bench_engine_multi_tenant(c: &mut Criterion) {
     });
 }
 
+/// The raw micro-kernel at serving-shaped operands (a batch of
+/// concatenated encoder states against an actor layer): blocked scalar
+/// vs runtime-dispatched SIMD, bit-identical by construction.
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    for (m, k, n) in [(64usize, 64usize, 64usize), (256, 64, 192)] {
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        c.bench_function(&format!("matmul_{m}x{k}x{n}_blocked"), |bench| {
+            bench.iter(|| a.matmul_with(&b, MatmulKernel::Blocked))
+        });
+        c.bench_function(&format!("matmul_{m}x{k}x{n}_simd"), |bench| {
+            bench.iter(|| a.matmul_with(&b, MatmulKernel::Simd))
+        });
+    }
+}
+
+/// End-to-end engine throughput under each in-crate backend at batch
+/// 1/64/256 on the identical 200-flow workload — the SIMD acceptance
+/// numbers (wire output is backend-invariant, so rows differ only in
+/// wall clock).
+fn bench_backend_comparison(c: &mut Criterion) {
+    let flows = workload(200);
+    let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+        fixed_score: 0.1,
+        as_kind: CensorKind::Dt,
+    });
+    for batch in [1usize, 64, 256] {
+        for kind in [BackendKind::Cpu, BackendKind::Simd] {
+            let name = format!("engine_200flows_batch{batch}_{kind}");
+            c.bench_function(&name, |b| {
+                b.iter_batched(
+                    || {
+                        let mut engine = ServeEngine::new(
+                            ServeConfig::new(Layer::Tcp)
+                                .with_seed(5)
+                                .with_batch(batch)
+                                .with_backend_kind(kind),
+                        );
+                        let p = engine.register_policy(policy());
+                        let cc = engine.register_censor(Arc::clone(&censor));
+                        engine.admit_all(flows.iter(), p, cc);
+                        engine
+                    },
+                    |engine| engine.run(),
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_forward_batch,
+    bench_matmul_kernels,
     bench_dataplane_batching,
     bench_dataplane_sharding,
     bench_engine_vs_dataplane,
-    bench_engine_multi_tenant
+    bench_engine_multi_tenant,
+    bench_backend_comparison
 );
 criterion_main!(benches);

@@ -4,23 +4,60 @@
 //! The scheduler only ever needs two operations per tick — advance a
 //! batch of per-session encoder states by one observation each, and run
 //! the actor heads over a batch of concatenated states. [`InferenceBackend`]
-//! names exactly that contract; [`CpuBackend`] is the current
-//! implementation (the blocked-matmul snapshot fast path), and the
-//! ROADMAP's SIMD and async backends slot in behind the same trait
-//! without another serving-API break.
+//! names exactly that contract; [`CpuBackend`] is the reference
+//! implementation (the blocked-matmul snapshot fast path) and
+//! [`SimdBackend`] routes the same passes through the runtime-dispatched
+//! `amoeba-nn` SIMD micro-kernel. Future backends (async, GPU) slot in
+//! behind the same trait without another serving-API break.
 //!
-//! ## Backend obligations
+//! ## Backend obligations: bit-exactness and summation order
 //!
-//! Any backend must preserve the dataplane's grouping-invariance
-//! contract: both operations must be **row-independent and bit-exact
-//! per row** — the result for a session must not depend on which other
-//! sessions share the batch, the batch size, or the call order. A backend
-//! that reorders reductions per row (e.g. a SIMD kernel with a different
-//! summation tree) changes wire output and must keep the reference
-//! summation order instead.
+//! Any backend must preserve the dataplane's grouping- and
+//! tenancy-invariance contract — wire output is a pure function of
+//! `(seed, session_id, policy, censor)` — which reduces to two
+//! obligations on the math:
+//!
+//! 1. **Row independence**: both operations must be bit-exact per row;
+//!    the result for a session must not depend on which other sessions
+//!    share the batch, the batch size, or the call order.
+//! 2. **Summation order**: every output element must accumulate its
+//!    `a[k] * b[k]` terms in the reference's ascending-`k` order, with
+//!    one `mul` rounding and one `add` rounding per term. A kernel that
+//!    re-associates the reduction (lane-wise horizontal adds) or fuses
+//!    the roundings (FMA) changes wire output and is **not** a valid
+//!    backend, however fast. [`SimdBackend`] satisfies this by
+//!    vectorising over output *columns* only — see `amoeba_nn::simd`.
+//!
+//! ## Plugging in a new backend
+//!
+//! Implement [`InferenceBackend`] (usually by delegating to the
+//! `*_with`-kernel snapshot paths, as [`SimdBackend`] does), then run the
+//! crate's backend-conformance suite against it before trusting it with
+//! traffic: add one `backend_conformance_suite!(my_backend, MyBackend::new());`
+//! line in `tests/backend_conformance.rs` (pinned batch-op and engine
+//! checks) and one entry in that file's end-to-end proptest backend list.
+//! The suite is generic over `dyn InferenceBackend`, so every obligation
+//! above is checked mechanically — per-flow vs batched bit-identity,
+//! pinned multi-tenant engine runs against the [`CpuBackend`] reference,
+//! and random flows × policies × censors × shards × batch sizes end to
+//! end. Wire the backend into configs by extending [`BackendKind`].
+//!
+//! ## Selection
+//!
+//! [`BackendKind`] is the config-friendly selector carried by
+//! [`crate::ServeConfig`] (builder: `.backend(BackendKind::Simd)`;
+//! default [`BackendKind::Cpu`], overridable process-wide with the
+//! `AMOEBA_SERVE_BACKEND=cpu|simd` environment variable — the hook CI
+//! uses to force the whole `amoeba-serve` test suite through each
+//! backend). [`crate::ServeEngine::with_backend`] accepts an arbitrary
+//! `Arc<dyn InferenceBackend>` for backends that live outside this crate.
+
+use std::str::FromStr;
+use std::sync::Arc;
 
 use amoeba_core::encoder::EncoderState;
 use amoeba_nn::matrix::Matrix;
+use amoeba_nn::simd::{MatmulKernel, SimdLevel};
 
 use crate::FrozenPolicy;
 
@@ -85,6 +122,121 @@ impl InferenceBackend for CpuBackend {
     }
 }
 
+/// The SIMD backend: the same fused snapshot passes as [`CpuBackend`],
+/// with every matmul routed through the runtime-dispatched
+/// `amoeba_nn::simd` micro-kernel (`MatmulKernel::Simd`: AVX2 → SSE2 on
+/// x86-64, scalar fallback elsewhere). Bit-identical to [`CpuBackend`]
+/// on every input — the kernel vectorises across output columns only and
+/// never reorders an element's ascending-`k` summation or fuses its
+/// roundings — so switching backends is a pure throughput knob, pinned
+/// by the crate's backend-conformance suite.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdBackend;
+
+impl SimdBackend {
+    /// A SIMD backend (dispatch level is detected at first use and
+    /// cached process-wide).
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// The SIMD level this host dispatches to.
+    pub fn level(&self) -> SimdLevel {
+        SimdLevel::detect()
+    }
+}
+
+impl InferenceBackend for SimdBackend {
+    fn push_batch(
+        &self,
+        policy: &FrozenPolicy,
+        states: &mut [EncoderState],
+        indices: &[usize],
+        obs: &Matrix,
+    ) {
+        policy
+            .encoder
+            .push_batch_with(states, indices, obs, MatmulKernel::Simd);
+    }
+
+    fn head_batch(&self, policy: &FrozenPolicy, states: &Matrix) -> (Matrix, Matrix) {
+        policy.actor.head_batch_with(states, MatmulKernel::Simd)
+    }
+
+    fn name(&self) -> &'static str {
+        match SimdLevel::detect() {
+            SimdLevel::Avx2 => "simd-avx2",
+            SimdLevel::Sse2 => "simd-sse2",
+            SimdLevel::Scalar => "simd-scalar",
+        }
+    }
+}
+
+/// Config-friendly backend selector carried by [`crate::ServeConfig`]
+/// (`Copy`, parseable, env-overridable) — the one-line switch between the
+/// in-crate [`InferenceBackend`] implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// The reference [`CpuBackend`].
+    #[default]
+    Cpu,
+    /// The [`SimdBackend`] (runtime-detected, scalar fallback).
+    Simd,
+}
+
+impl BackendKind {
+    /// Environment variable consulted by [`BackendKind::from_env_or_default`]
+    /// (values: `cpu` | `simd`).
+    pub const ENV: &'static str = "AMOEBA_SERVE_BACKEND";
+
+    /// Instantiates the selected backend.
+    pub fn instantiate(self) -> Arc<dyn InferenceBackend> {
+        match self {
+            BackendKind::Cpu => Arc::new(CpuBackend),
+            BackendKind::Simd => Arc::new(SimdBackend::new()),
+        }
+    }
+
+    /// The kind named by [`BackendKind::ENV`], or the default
+    /// ([`BackendKind::Cpu`]) when unset. Backends are bit-identical, so
+    /// the override re-routes every engine in the process without
+    /// changing any output — which is exactly how CI forces the whole
+    /// test suite through each backend.
+    ///
+    /// # Panics
+    /// Panics if the variable is set to an unrecognised value (silently
+    /// falling back would defeat the CI forcing).
+    pub fn from_env_or_default() -> Self {
+        match std::env::var(Self::ENV) {
+            Ok(v) => v
+                .parse()
+                .unwrap_or_else(|e: String| panic!("{}: {e}", Self::ENV)),
+            Err(_) => Self::default(),
+        }
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cpu" => Ok(BackendKind::Cpu),
+            "simd" => Ok(BackendKind::Simd),
+            other => Err(format!("unknown backend {other:?} (expected cpu|simd)")),
+        }
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            BackendKind::Cpu => "cpu",
+            BackendKind::Simd => "simd",
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,5 +267,53 @@ mod tests {
         let (m2, s2) = p.actor.head_batch(&states);
         assert_eq!(m1.as_slice(), m2.as_slice());
         assert_eq!(s1.as_slice(), s2.as_slice());
+    }
+
+    /// The SIMD backend must agree bit-for-bit with the CPU backend on
+    /// both operations (the module-level obligation, checked exhaustively
+    /// by the conformance suite; this is the smoke version).
+    #[test]
+    fn simd_backend_matches_cpu_backend_bit_exact() {
+        let p = tiny_policy(13);
+        let cpu = CpuBackend;
+        let simd = SimdBackend::new();
+        assert!(simd.name().starts_with("simd"));
+        assert!(simd.level().is_available());
+
+        let mut a: Vec<EncoderState> = (0..4).map(|_| p.encoder.begin()).collect();
+        let mut b: Vec<EncoderState> = (0..4).map(|_| p.encoder.begin()).collect();
+        let obs = Matrix::from_vec(3, 2, vec![0.25, -0.5, 0.75, 0.1, -0.9, 0.6]);
+        cpu.push_batch(&p, &mut a, &[0, 1, 3], &obs);
+        simd.push_batch(&p, &mut b, &[0, 1, 3], &obs);
+        for (x, y) in a.iter().zip(&b) {
+            let xb: Vec<u32> = x.representation().iter().map(|v| v.to_bits()).collect();
+            let yb: Vec<u32> = y.representation().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(xb, yb);
+        }
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let states = Matrix::randn(6, 2 * p.encoder.hidden_size(), 1.0, &mut rng);
+        let (m1, s1) = cpu.head_batch(&p, &states);
+        let (m2, s2) = simd.head_batch(&p, &states);
+        for (x, y) in m1.as_slice().iter().zip(m2.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in s1.as_slice().iter().zip(s2.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Kind parsing round-trips, rejects junk, and instantiates matching
+    /// backends.
+    #[test]
+    fn backend_kind_parses_and_instantiates() {
+        assert_eq!("cpu".parse::<BackendKind>(), Ok(BackendKind::Cpu));
+        assert_eq!("SIMD".parse::<BackendKind>(), Ok(BackendKind::Simd));
+        assert!("gpu".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::Cpu);
+        assert_eq!(BackendKind::Cpu.to_string(), "cpu");
+        assert_eq!(BackendKind::Simd.to_string(), "simd");
+        assert_eq!(BackendKind::Cpu.instantiate().name(), "cpu");
+        assert!(BackendKind::Simd.instantiate().name().starts_with("simd"));
     }
 }

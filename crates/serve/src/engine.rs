@@ -48,7 +48,7 @@ use std::time::Instant;
 use amoeba_classifiers::Censor;
 use amoeba_traffic::Flow;
 
-use crate::backend::{CpuBackend, InferenceBackend};
+use crate::backend::InferenceBackend;
 use crate::metrics::{ServeReport, SessionOutcome};
 use crate::registry::{CensorId, CensorRegistry, PolicyId, PolicyRegistry, Tenant};
 use crate::session::Session;
@@ -76,7 +76,7 @@ impl ServeEngine {
         Self {
             policies: PolicyRegistry::new(),
             censors: CensorRegistry::new(),
-            backend: Arc::new(CpuBackend),
+            backend: cfg.backend.instantiate(),
             cfg,
             sessions: Vec::new(),
             next_id: 0,
@@ -93,19 +93,25 @@ impl ServeEngine {
         Self {
             policies,
             censors,
-            backend: Arc::new(CpuBackend),
+            backend: cfg.backend.instantiate(),
             cfg,
             sessions: Vec::new(),
             next_id: 0,
         }
     }
 
-    /// Swaps the inference backend (default: the reference
-    /// [`CpuBackend`]). Backends must honour the bit-exactness
-    /// obligations in [`crate::backend`].
+    /// Swaps in an arbitrary inference backend, overriding the
+    /// [`crate::BackendKind`] the config selected (the escape hatch for
+    /// backends living outside this crate). Backends must honour the
+    /// bit-exactness obligations in [`crate::backend`].
     pub fn with_backend(mut self, backend: Arc<dyn InferenceBackend>) -> Self {
         self.backend = backend;
         self
+    }
+
+    /// The label of the backend this engine will run inference on.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
     }
 
     /// Registers a frozen policy, returning its cheap `Copy` handle.

@@ -99,8 +99,7 @@ pub mod metrics;
 pub mod registry;
 pub mod session;
 pub mod shard;
-#[cfg(test)]
-pub(crate) mod testutil;
+pub mod testutil;
 
 use std::sync::Arc;
 
@@ -110,7 +109,7 @@ use amoeba_core::ppo::PolicySnapshots;
 use amoeba_core::{ActionSpace, AmoebaAgent, AmoebaConfig, ShapingKernel};
 use amoeba_traffic::{Layer, NetEm};
 
-pub use backend::{CpuBackend, InferenceBackend};
+pub use backend::{BackendKind, CpuBackend, InferenceBackend, SimdBackend};
 #[allow(deprecated)]
 pub use dataplane::Dataplane;
 pub use engine::{Admission, ServeEngine};
@@ -222,6 +221,13 @@ pub struct ServeConfig {
     pub verify_streams: bool,
     /// Master seed for per-session payload generation, sampling and NetEm.
     pub seed: u64,
+    /// Which in-crate [`backend::InferenceBackend`] the engine
+    /// instantiates — a pure throughput knob: all backends are
+    /// bit-identical (the [`backend`] module's conformance obligation).
+    /// Defaults to [`BackendKind::Cpu`], overridable process-wide via the
+    /// `AMOEBA_SERVE_BACKEND` environment variable; out-of-crate backends
+    /// go through [`ServeEngine::with_backend`] instead.
+    pub backend: BackendKind,
 }
 
 impl ServeConfig {
@@ -243,6 +249,7 @@ impl ServeConfig {
             verdicts: VerdictPolicy::Final,
             verify_streams: true,
             seed: 0,
+            backend: BackendKind::from_env_or_default(),
         }
     }
 
@@ -318,6 +325,12 @@ impl ServeConfig {
         self
     }
 
+    /// Selects the in-crate inference backend.
+    pub fn with_backend_kind(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
     /// The shaping kernel this configuration induces — shared §4.2
     /// constraint logic with the training gym.
     pub fn kernel(&self) -> ShapingKernel {
@@ -389,6 +402,13 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// In-crate inference backend the engine instantiates (bit-identical
+    /// choices; a pure throughput knob).
+    pub fn backend(mut self, backend: BackendKind) -> Self {
+        self.cfg.backend = backend;
+        self
+    }
+
     /// Maximum agent-added delay per frame (ms).
     pub fn max_delay_ms(mut self, ms: f32) -> Self {
         self.cfg.max_delay_ms = ms;
@@ -442,6 +462,46 @@ mod tests {
             .with_seed(99);
         chained.verify_streams = false;
         assert_eq!(format!("{built:?}"), format!("{chained:?}"));
+    }
+
+    /// Every `ServeConfig::builder()` default, pinned field by field
+    /// (the builder starts from `ServeConfig::new`'s values, so this is
+    /// the one place the documented defaults are asserted directly).
+    #[test]
+    fn builder_defaults_match_documented_values() {
+        let cfg = ServeConfig::builder(Layer::Tcp).build();
+        assert_eq!(cfg.layer, Layer::Tcp);
+        assert_eq!(cfg.max_delay_ms, 100.0);
+        assert_eq!(cfg.min_packet, 1);
+        assert_eq!(cfg.action_space, ActionSpace::Both);
+        assert_eq!(cfg.max_len_factor, 3);
+        assert_eq!(cfg.max_len_slack, 16);
+        assert_eq!(cfg.max_batch, 64);
+        assert_eq!(cfg.n_shards, 1);
+        assert_eq!(cfg.tick_ms, 5.0);
+        assert_eq!(cfg.mode, ActionMode::Deterministic);
+        assert!(cfg.netem.is_none());
+        assert_eq!(cfg.verdicts, VerdictPolicy::Final);
+        assert!(cfg.verify_streams);
+        assert_eq!(cfg.seed, 0);
+        // The backend default honours the process-wide CI forcing knob
+        // (`AMOEBA_SERVE_BACKEND`), falling back to the CPU reference.
+        assert_eq!(cfg.backend, BackendKind::from_env_or_default());
+        if std::env::var(BackendKind::ENV).is_err() {
+            assert_eq!(cfg.backend, BackendKind::Cpu);
+        }
+    }
+
+    /// Backend selection flows through both the builder and the
+    /// `with_*` chain.
+    #[test]
+    fn builder_backend_selects_simd() {
+        let built = ServeConfig::builder(Layer::Tcp)
+            .backend(BackendKind::Simd)
+            .build();
+        assert_eq!(built.backend, BackendKind::Simd);
+        let chained = ServeConfig::new(Layer::Tcp).with_backend_kind(BackendKind::Simd);
+        assert_eq!(chained.backend, BackendKind::Simd);
     }
 
     #[test]

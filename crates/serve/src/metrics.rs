@@ -340,6 +340,72 @@ mod tests {
         assert!(r.sub_reports().is_empty());
     }
 
+    /// `sub_reports()` orders cells ascending by `(policy, censor)` no
+    /// matter how outcomes and frame tags are interleaved in the parent —
+    /// the deterministic-merge contract the multi-tenant regression
+    /// tests and the serve_bench matrix rely on (previously only
+    /// exercised indirectly through engine runs).
+    #[test]
+    fn sub_reports_order_is_deterministic_and_insertion_independent() {
+        use crate::registry::{CensorId, PolicyId};
+        let tenants = [
+            Tenant::new(PolicyId(1), CensorId(1)),
+            Tenant::new(PolicyId(0), CensorId(1)),
+            Tenant::new(PolicyId(1), CensorId(0)),
+            Tenant::new(PolicyId(0), CensorId(0)),
+        ];
+        // Admit outcomes in a deliberately scrambled tenant order, with
+        // duplicates, and compare against a rotation of the same set.
+        let mk = |order: &[usize]| {
+            let outcomes: Vec<SessionOutcome> = order
+                .iter()
+                .enumerate()
+                .map(|(id, &t)| {
+                    let mut o = outcome(id, true);
+                    o.tenant = tenants[t];
+                    o
+                })
+                .collect();
+            ServeReport {
+                frame_tenants: outcomes.iter().map(|o| o.tenant).collect(),
+                frame_latency_us: vec![1.0; outcomes.len()],
+                frames: outcomes.len(),
+                outcomes,
+                ..ServeReport::default()
+            }
+        };
+        let a = mk(&[2, 0, 3, 1, 2, 0]);
+        let b = mk(&[0, 3, 1, 2, 2, 0]);
+        let expected = [
+            Tenant::new(PolicyId(0), CensorId(0)),
+            Tenant::new(PolicyId(0), CensorId(1)),
+            Tenant::new(PolicyId(1), CensorId(0)),
+            Tenant::new(PolicyId(1), CensorId(1)),
+        ];
+        for report in [&a, &b] {
+            let subs = report.sub_reports();
+            let order: Vec<Tenant> = subs.iter().map(|(t, _)| *t).collect();
+            assert_eq!(order, expected, "sub_reports must sort by (policy, censor)");
+            // Each cell's outcomes keep the parent's id order, and the
+            // cells partition the parent exactly.
+            for (t, sub) in &subs {
+                assert!(sub.outcomes.windows(2).all(|w| w[0].id < w[1].id));
+                assert!(sub.outcomes.iter().all(|o| o.tenant == *t));
+                assert_eq!(sub.frame_latency_us.len(), sub.outcomes.len());
+            }
+            let total: usize = subs.iter().map(|(_, r)| r.outcomes.len()).sum();
+            assert_eq!(total, report.outcomes.len());
+        }
+        // The two insertion orders expose identical per-tenant counts.
+        let counts = |r: &ServeReport| -> Vec<(Tenant, usize)> {
+            r.sub_reports()
+                .into_iter()
+                .map(|(t, s)| (t, s.outcomes.len()))
+                .collect()
+        };
+        assert_eq!(counts(&a), counts(&b));
+    }
+
     #[test]
     fn sub_reports_partition_outcomes_and_latencies_by_tenant() {
         use crate::registry::{CensorId, PolicyId};

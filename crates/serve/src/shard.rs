@@ -160,10 +160,7 @@ impl Shard {
                 }
             }
             for (p, bucket) in buckets.iter_mut().enumerate() {
-                // `std::mem::take` empties the bucket for refilling next
-                // tick without fighting the borrow on `self`.
-                let due = std::mem::take(bucket);
-                for chunk in due.chunks(self.cfg.max_batch.max(1)) {
+                for chunk in bucket.chunks(self.cfg.max_batch.max(1)) {
                     let t0 = Instant::now();
                     self.process_chunk(PolicyId(p), chunk);
                     let us = (t0.elapsed().as_nanos() as f64 / 1e3) as f32;
@@ -172,6 +169,9 @@ impl Shard {
                     batches += 1;
                     frames += chunk.len();
                 }
+                // Empty for the next tick's refill, keeping the
+                // allocation.
+                bucket.clear();
             }
             active.retain(|&i| !self.sessions[i].is_done());
         }

@@ -1,43 +1,18 @@
-//! Shared fixtures for the serve crate's integration tests (the
-//! grouping- and tenancy-invariance property suites): one definition of
-//! the tiny frozen policy, the constant-score censor and the random-flow
-//! strategy. (Unit tests inside `src/` use `crate::testutil` instead —
-//! `#[cfg(test)]` items are invisible from here.)
+//! Shared fixtures for the serve crate's integration tests: the
+//! library's `amoeba_serve::testutil` fixtures re-exported (one
+//! definition of the tiny frozen policy and the constant-score censor,
+//! shared with the unit tests and the conformance suite), plus the
+//! random-flow proptest strategy — proptest is a dev-dependency, so
+//! strategies live here rather than in the library module.
 
-use std::sync::Arc;
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(unused)]
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+pub use amoeba_serve::testutil::{scoring_censor, tiny_policy};
 
-use amoeba_classifiers::{Censor, CensorKind, ConstantCensor};
-use amoeba_core::encoder::StateEncoder;
-use amoeba_core::policy::Actor;
-use amoeba_core::AmoebaConfig;
-use amoeba_serve::FrozenPolicy;
 use amoeba_traffic::Flow;
-
-/// A small randomly initialised frozen policy (12-hidden encoder, one
-/// 24-wide actor layer); distinct seeds give distinct weights.
-pub fn tiny_policy(seed: u64) -> FrozenPolicy {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let encoder = StateEncoder::new(12, 2, &mut rng);
-    let cfg = AmoebaConfig {
-        encoder_hidden: 12,
-        actor_hidden: vec![24],
-        ..AmoebaConfig::fast()
-    };
-    let actor = Actor::new(&cfg, &mut rng);
-    FrozenPolicy::new(encoder.snapshot(), actor.snapshot())
-}
-
-/// A censor that scores every flow with the given constant.
-pub fn scoring_censor(score: f32) -> Arc<dyn Censor> {
-    Arc::new(ConstantCensor {
-        fixed_score: score,
-        as_kind: CensorKind::Dt,
-    })
-}
+use proptest::prelude::*;
 
 /// One random offered flow: a few packets with random sizes, signs and
 /// inter-packet delays.

@@ -8,23 +8,33 @@
 //! 2 policies × 3 censors), runs it at a random shard count (1 or 4) and
 //! batch size (1 or 64), and asserts every session is bit-identical to a
 //! fresh single-tenant engine run carrying only that session's
-//! `(id, flow)` under its `(policy, censor)` pair.
+//! `(id, flow)` under its `(policy, censor)` pair — and that re-running
+//! the same multi-tenant mix on the [`SimdBackend`] reproduces the
+//! [`CpuBackend`] run byte for byte (backend choice is a pure throughput
+//! knob, like sharding and batching).
 
 mod common;
 
 use common::{scoring_censor as censor, tiny_policy};
 use proptest::prelude::*;
 
-use amoeba_serve::{ActionMode, ServeConfig, ServeEngine};
+use amoeba_serve::{ActionMode, BackendKind, ServeConfig, ServeEngine};
 use amoeba_traffic::{Layer, NetEm};
 
-fn config(seed: u64, batch: usize, shards: usize, netem: Option<NetEm>) -> ServeConfig {
+fn config(
+    seed: u64,
+    batch: usize,
+    shards: usize,
+    netem: Option<NetEm>,
+    backend: BackendKind,
+) -> ServeConfig {
     ServeConfig::builder(Layer::Tcp)
         .seed(seed)
         .batch(batch)
         .shards(shards)
         .mode(ActionMode::Sample)
         .netem(netem)
+        .backend(backend)
         .build()
 }
 
@@ -58,26 +68,38 @@ proptest! {
         let batch = if big_batch { 64 } else { 1 };
         let policies = [tiny_policy(7), tiny_policy(19)];
 
-        let mut engine = ServeEngine::new(config(seed, batch, shards, netem));
-        let pids: Vec<_> = policies
-            .iter()
-            .map(|p| engine.register_policy(p.clone()))
-            .collect();
-        let cids: Vec<_> = CENSOR_SCORES
-            .iter()
-            .map(|&s| engine.register_censor(censor(s)))
-            .collect();
-        for (i, f) in flows.iter().enumerate() {
-            let (p, c) = assignment[i];
-            engine.admit(f).id(i).policy(pids[p]).censor(cids[c]).submit();
-        }
-        let multi = engine.run();
+        let run_mix = |backend: BackendKind| {
+            let mut engine = ServeEngine::new(config(seed, batch, shards, netem, backend));
+            let pids: Vec<_> = policies
+                .iter()
+                .map(|p| engine.register_policy(p.clone()))
+                .collect();
+            let cids: Vec<_> = CENSOR_SCORES
+                .iter()
+                .map(|&s| engine.register_censor(censor(s)))
+                .collect();
+            for (i, f) in flows.iter().enumerate() {
+                let (p, c) = assignment[i];
+                engine.admit(f).id(i).policy(pids[p]).censor(cids[c]).submit();
+            }
+            engine.run()
+        };
+        let multi = run_mix(BackendKind::Cpu);
         prop_assert_eq!(multi.outcomes.len(), flows.len());
         let multi_bits = multi.wire_bits();
 
+        // The same random tenant mix on the SIMD backend: byte-identical
+        // wire and verdicts (backend choice is a pure throughput knob).
+        let simd = run_mix(BackendKind::Simd);
+        prop_assert_eq!(&multi_bits, &simd.wire_bits(), "SimdBackend diverged from CpuBackend");
+        for (a, b) in multi.outcomes.iter().zip(&simd.outcomes) {
+            prop_assert_eq!(a.final_score.to_bits(), b.final_score.to_bits());
+            prop_assert_eq!(a.evaded, b.evaded);
+        }
+
         for (i, f) in flows.iter().enumerate() {
             let (p, c) = assignment[i];
-            let mut solo = ServeEngine::new(config(seed, 1, 1, netem));
+            let mut solo = ServeEngine::new(config(seed, 1, 1, netem, BackendKind::Cpu));
             let pid = solo.register_policy(policies[p].clone());
             let cid = solo.register_censor(censor(CENSOR_SCORES[c]));
             solo.admit(f).id(i).policy(pid).censor(cid).submit();

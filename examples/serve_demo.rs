@@ -15,8 +15,9 @@
 //! `AMOEBA_SERVE_FLOWS` / `AMOEBA_STEPS` bound the run (CI uses the
 //! defaults: 1 000 sessions — 500 offered flows × 2 censors — and 8 192
 //! PPO timesteps); `AMOEBA_SERVE_SHARDS` sets the engine worker-thread
-//! count (default 0 = one per core — wire output is shard-count- and
-//! tenancy-invariant).
+//! count (default 0 = one per core) and `AMOEBA_SERVE_BACKEND` the
+//! inference backend (`cpu` | `simd`) — wire output is shard-count-,
+//! tenancy- and backend-invariant.
 
 use std::sync::Arc;
 
@@ -96,9 +97,10 @@ fn main() {
         engine.admit(flow).policy(p).censor(c_dt).submit();
         engine.admit(flow).policy(p).censor(c_lstm).submit();
     }
+    let backend = engine.backend_name();
     let r = engine.run();
 
-    println!("serve: {}", r.summary());
+    println!("serve ({backend} backend): {}", r.summary());
     assert!(
         r.stream_ok_rate() == 1.0,
         "every session must reassemble its byte streams bit-exact"
