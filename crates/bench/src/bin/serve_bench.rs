@@ -7,15 +7,28 @@
 //!   `AMOEBA_SERVE_BACKEND` env var, else `cpu`). Backends are
 //!   bit-identical — the flag is a pure throughput knob, and the smoke
 //!   mode cross-checks the other backend's wire output to prove it.
+//! * `--steal {on,off}` toggles work stealing between shards (default
+//!   on). Also a pure throughput knob: the smoke modes cross-check both
+//!   settings bit-for-bit.
+//! * `--pipeline {on,off}` toggles the per-shard two-stage pipeline
+//!   (default on; the overlap needs a spare core per shard to pay off,
+//!   so turn it off when benchmarking on a 1-core box).
+//! * `--skew` switches to the 90/10 skewed tenant mix (90% of sessions
+//!   on the trained policy, 10% on a tiny one) — the load-imbalanced
+//!   workload work stealing exists for.
+//! * `--scaling` runs the 4-core CI gate: 1 shard vs 4 shards, best of
+//!   3 alternating runs, failing unless 4 shards clear
+//!   `AMOEBA_SERVE_MIN_SPEEDUP`× (default 2×) on a ≥4-core machine.
 //! * `--matrix` switches to the cross-censor evaluation table: one
 //!   `ServeEngine` run over 2 policies (trained vs DT and RF) × 3
 //!   censors (DT, RF, CUMUL), printing evasion per `(policy, censor)`
 //!   cell.
 //! * `AMOEBA_SERVE_SMOKE=1` switches to the CI smoke mode: a small run
 //!   (default 96 flows, override via `AMOEBA_SERVE_FLOWS`) at 1 vs 4
-//!   shards with the wire outputs cross-checked bit-for-bit — or, with
-//!   `--matrix`, the 2×3 tenant matrix with every cell cross-checked
-//!   against its single-tenant run.
+//!   shards and steal on vs off with the wire outputs cross-checked
+//!   bit-for-bit — or, with `--matrix`, the 2×3 tenant matrix with every
+//!   cell cross-checked against its single-tenant run; with `--skew`,
+//!   the skewed mix across steal on/off × shards 1/4.
 use amoeba_bench::{serve, Context, Scale};
 use amoeba_classifiers::CensorKind;
 use amoeba_serve::BackendKind;
@@ -23,6 +36,8 @@ use amoeba_serve::BackendKind;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let matrix = args.iter().any(|a| a == "--matrix");
+    let skew = args.iter().any(|a| a == "--skew");
+    let scaling = args.iter().any(|a| a == "--scaling");
     let backend = args
         .iter()
         .position(|a| a == "--backend")
@@ -33,19 +48,39 @@ fn main() {
                 .expect("--backend value")
         })
         .unwrap_or_else(BackendKind::from_env_or_default);
+    let on_off = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .map(|i| match args.get(i + 1).map(String::as_str) {
+                Some("on") => true,
+                Some("off") => false,
+                other => panic!("{flag} needs on|off, got {other:?}"),
+            })
+            .unwrap_or(true)
+    };
+    let steal = on_off("--steal");
+    let pipeline = on_off("--pipeline");
     let smoke = std::env::var("AMOEBA_SERVE_SMOKE").is_ok_and(|v| v != "0");
     let n_flows = std::env::var("AMOEBA_SERVE_FLOWS")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 96 } else { 1000 });
     let mut ctx = Context::new(Scale::from_env());
-    match (smoke, matrix) {
-        (true, true) => print!(
+    if scaling {
+        print!("{}", serve::serve_scaling_gate(&mut ctx, n_flows, 64));
+        return;
+    }
+    match (smoke, matrix, skew) {
+        (_, _, true) => print!(
+            "{}",
+            serve::serve_skew_smoke(&mut ctx, n_flows, 64, backend)
+        ),
+        (true, true, _) => print!(
             "{}",
             serve::serve_matrix_smoke(&mut ctx, n_flows, 64, backend)
         ),
-        (true, false) => print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64, backend)),
-        (false, true) => print!(
+        (true, false, _) => print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64, backend)),
+        (false, true, _) => print!(
             "{}",
             serve::serve_matrix(
                 &mut ctx,
@@ -56,14 +91,29 @@ fn main() {
                 &[CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul],
             )
         ),
-        (false, false) => {
+        (false, false, _) => {
             print!(
                 "{}",
-                serve::serve_throughput(&mut ctx, n_flows, &[1, 16, 64, 256], backend)
+                serve::serve_throughput(
+                    &mut ctx,
+                    n_flows,
+                    &[1, 16, 64, 256],
+                    backend,
+                    pipeline,
+                    steal
+                )
             );
             print!(
                 "{}",
-                serve::serve_shard_scaling(&mut ctx, n_flows, 64, &[1, 2, 4, 8], backend)
+                serve::serve_shard_scaling(
+                    &mut ctx,
+                    n_flows,
+                    64,
+                    &[1, 2, 4, 8],
+                    backend,
+                    pipeline,
+                    steal
+                )
             );
         }
     }

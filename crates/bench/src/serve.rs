@@ -23,11 +23,15 @@ fn serve_config(
     batch: usize,
     shards: usize,
     backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
 ) -> ServeConfig {
     let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
     ServeConfig::builder_from_amoeba(agent.config(), DatasetKind::Tor.layer())
         .batch(batch)
         .shards(shards)
+        .pipeline(pipeline)
+        .steal(steal)
         .verdicts(VerdictPolicy::Every(8))
         .seed(ctx.scale.seed)
         .backend(backend)
@@ -51,14 +55,48 @@ pub fn run_serve(
     batch: usize,
     shards: usize,
     backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
 ) -> ServeReport {
     let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
     let censor = ctx.censor(DatasetKind::Tor, CensorKind::Dt);
     let flows = offered(ctx, n_flows);
-    let mut engine = ServeEngine::new(serve_config(ctx, batch, shards, backend));
+    let mut engine = ServeEngine::new(serve_config(ctx, batch, shards, backend, pipeline, steal));
     let p = engine.register_policy(FrozenPolicy::from_agent(&agent));
     let c = engine.register_censor(censor);
     engine.admit_all(flows.iter(), p, c);
+    engine.run()
+}
+
+/// Runs a **skewed** two-tenant engine pass: 90% of sessions land on the
+/// trained Tor policy (≤ [`PREFIX_CAP`]-packet prefixes), 10% on a tiny
+/// random policy serving 4-packet prefixes. With round-robin-by-id
+/// partitioning this leaves some shards with far more work per tick than
+/// others — the workload the work-stealing scheduler exists for.
+pub fn run_serve_skewed(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    shards: usize,
+    backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
+) -> ServeReport {
+    let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
+    let censor = ctx.censor(DatasetKind::Tor, CensorKind::Dt);
+    let flows = offered(ctx, n_flows);
+    let mut engine = ServeEngine::new(serve_config(ctx, batch, shards, backend, pipeline, steal));
+    let heavy = engine.register_policy(FrozenPolicy::from_agent(&agent));
+    let light = engine.register_policy(amoeba_serve::testutil::tiny_policy(ctx.scale.seed));
+    let c = engine.register_censor(censor);
+    for (i, f) in flows.iter().enumerate() {
+        if i % 10 == 9 {
+            let short = f.prefix(4);
+            engine.admit(&short).id(i).policy(light).censor(c).submit();
+        } else {
+            engine.admit(f).id(i).policy(heavy).censor(c).submit();
+        }
+    }
     engine.run()
 }
 
@@ -87,15 +125,20 @@ pub fn serve_throughput(
     n_flows: usize,
     batches: &[usize],
     backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
 ) -> String {
     let mut md = String::from("## amoeba-serve dataplane throughput\n\n");
     md += &format!(
         "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
-         DT censor inline every 8 frames, deterministic policy, {backend} backend.\n\n"
+         DT censor inline every 8 frames, deterministic policy, {backend} backend, \
+         pipelining {}, stealing {}.\n\n",
+        if pipeline { "on" } else { "off" },
+        if steal { "on" } else { "off" },
     );
     md += TABLE_HEADER;
     for &batch in batches {
-        let r = run_serve(ctx, n_flows, batch, 1, backend);
+        let r = run_serve(ctx, n_flows, batch, 1, backend, pipeline, steal);
         md += &throughput_row(&format!("batch {batch} ({backend})"), &r);
     }
     md
@@ -111,38 +154,52 @@ pub fn serve_shard_scaling(
     batch: usize,
     shard_counts: &[usize],
     backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
 ) -> String {
     let mut md = String::from("## amoeba-serve shard scaling\n\n");
     md += &format!(
         "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
          DT censor inline every 8 frames, batch {batch}, deterministic policy, \
-         {backend} backend; sessions sharded across worker threads.\n\n"
+         {backend} backend, pipelining {}, stealing {}; sessions sharded across \
+         worker threads.\n\n",
+        if pipeline { "on" } else { "off" },
+        if steal { "on" } else { "off" },
     );
     md += TABLE_HEADER;
     for &shards in shard_counts {
-        let r = run_serve(ctx, n_flows, batch, shards, backend);
+        let r = run_serve(ctx, n_flows, batch, shards, backend, pipeline, steal);
         md += &throughput_row(&format!("{shards} shard(s) ({backend})"), &r);
     }
     md
 }
 
-/// CI smoke pass: a small flow count served at 1 shard and 4 shards, with
-/// the wire outputs cross-checked frame-by-frame — exercises the sharded
-/// path on every push and fails loudly if the invariance contract breaks.
+/// CI smoke pass: a small flow count served at 1 shard and 4 shards
+/// (stealing on and off), with the wire outputs cross-checked
+/// frame-by-frame — exercises the sharded, pipelined and stealing paths
+/// on every push and fails loudly if the invariance contract breaks.
 pub fn serve_smoke(
     ctx: &mut Context,
     n_flows: usize,
     batch: usize,
     backend: BackendKind,
 ) -> String {
-    let one = run_serve(ctx, n_flows, batch, 1, backend);
-    let four = run_serve(ctx, n_flows, batch, 4, backend);
+    let one = run_serve(ctx, n_flows, batch, 1, backend, true, true);
+    let four = run_serve(ctx, n_flows, batch, 4, backend, true, true);
     assert_eq!(
         one.wire_bits(),
         four.wire_bits(),
         "smoke: 4-shard wire output diverged from 1-shard"
     );
     assert_eq!(one.stream_ok_rate(), 1.0, "smoke: streams failed to verify");
+    // Steal-off leg: work stealing is a pure throughput knob, so turning
+    // it off at 4 shards must not move a single wire bit.
+    let no_steal = run_serve(ctx, n_flows, batch, 4, backend, true, false);
+    assert_eq!(
+        one.wire_bits(),
+        no_steal.wire_bits(),
+        "smoke: steal-off wire output diverged from steal-on"
+    );
     // Cross-backend leg: the *other* in-crate backend must reproduce the
     // wire bit-for-bit (the conformance contract on real trained
     // policies and censors, on every push).
@@ -150,20 +207,146 @@ pub fn serve_smoke(
         BackendKind::Cpu => BackendKind::Simd,
         BackendKind::Simd => BackendKind::Cpu,
     };
-    let cross = run_serve(ctx, n_flows, batch, 1, other);
+    let cross = run_serve(ctx, n_flows, batch, 1, other, true, true);
     assert_eq!(
         one.wire_bits(),
         cross.wire_bits(),
         "smoke: {other} backend wire output diverged from {backend}"
     );
     let mut md = format!(
-        "## amoeba-serve smoke (shards 1 vs 4, {backend} vs {other} backend, \
-         bit-identical wire)\n\n"
+        "## amoeba-serve smoke (shards 1 vs 4, steal on vs off, {backend} vs \
+         {other} backend, bit-identical wire)\n\n"
     );
     md += TABLE_HEADER;
     md += &throughput_row(&format!("1 shard ({backend})"), &one);
     md += &throughput_row(&format!("4 shards ({backend})"), &four);
+    md += &throughput_row(&format!("4 shards, no steal ({backend})"), &no_steal);
     md += &throughput_row(&format!("1 shard ({other})"), &cross);
+    md
+}
+
+/// CI skew smoke: the 90/10 skewed tenant mix served at steal on/off ×
+/// shards 1/4, every combination cross-checked bit-for-bit against the
+/// single-shard steal-off run. Also reports how many batches the loaded
+/// shards lost to thieves at 4 shards.
+pub fn serve_skew_smoke(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    backend: BackendKind,
+) -> String {
+    let reference = run_serve_skewed(ctx, n_flows, batch, 1, backend, false, false);
+    assert_eq!(
+        reference.stream_ok_rate(),
+        1.0,
+        "skew smoke: streams failed to verify"
+    );
+    let mut md = format!(
+        "## amoeba-serve skew smoke (90/10 policy mix, steal on/off × shards 1/4, \
+         bit-identical wire, {backend} backend)\n\n"
+    );
+    md += TABLE_HEADER;
+    md += &throughput_row(&format!("1 shard, no steal ({backend})"), &reference);
+    let mut stolen_at_4 = 0;
+    for steal in [false, true] {
+        for shards in [1usize, 4] {
+            if !steal && shards == 1 {
+                continue; // the reference itself
+            }
+            let r = run_serve_skewed(ctx, n_flows, batch, shards, backend, true, steal);
+            assert_eq!(
+                reference.wire_bits(),
+                r.wire_bits(),
+                "skew smoke: steal {steal} x {shards} shards diverged on the skewed mix"
+            );
+            if steal && shards == 1 {
+                assert_eq!(r.stolen_batches, 0, "skew smoke: single shard stole work");
+            }
+            if steal && shards == 4 {
+                stolen_at_4 = r.stolen_batches;
+            }
+            md += &throughput_row(
+                &format!(
+                    "{shards} shard(s), steal {} ({backend})",
+                    if steal { "on" } else { "off" }
+                ),
+                &r,
+            );
+        }
+    }
+    md += &format!("\nbatches stolen at 4 shards with stealing on: {stolen_at_4}\n");
+    md
+}
+
+/// The 4-core CI scaling gate: serves the full workload at 1 shard and 4
+/// shards (pipelining and stealing on), best of `reps` alternating runs
+/// each, cross-checks the wire bit-for-bit, and — on machines with at
+/// least 4 cores — **fails** unless the 4-shard run clears
+/// `AMOEBA_SERVE_MIN_SPEEDUP`× (default 2×) the single-shard throughput.
+/// On smaller machines the measurement still runs and prints, but the
+/// gate is reported as skipped rather than enforced.
+pub fn serve_scaling_gate(ctx: &mut Context, n_flows: usize, batch: usize) -> String {
+    let backend = BackendKind::Simd;
+    let reps = 3;
+    let min_speedup: f64 = std::env::var("AMOEBA_SERVE_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let (mut best_one, mut best_four): (Option<ServeReport>, Option<ServeReport>) = (None, None);
+    for _ in 0..reps {
+        // Alternate the two configurations so cache warmth and frequency
+        // scaling bias neither side.
+        let one = run_serve(ctx, n_flows, batch, 1, backend, true, true);
+        let four = run_serve(ctx, n_flows, batch, 4, backend, true, true);
+        assert_eq!(
+            one.wire_bits(),
+            four.wire_bits(),
+            "scaling gate: 4-shard wire output diverged from 1-shard"
+        );
+        assert_eq!(
+            one.stream_ok_rate(),
+            1.0,
+            "scaling gate: streams failed to verify"
+        );
+        if best_one
+            .as_ref()
+            .is_none_or(|b| one.flows_per_sec() > b.flows_per_sec())
+        {
+            best_one = Some(one);
+        }
+        if best_four
+            .as_ref()
+            .is_none_or(|b| four.flows_per_sec() > b.flows_per_sec())
+        {
+            best_four = Some(four);
+        }
+    }
+    let (one, four) = (best_one.unwrap(), best_four.unwrap());
+    let speedup = four.flows_per_sec() / one.flows_per_sec();
+
+    let mut md = String::from("## amoeba-serve 4-core scaling gate\n\n");
+    md += &format!(
+        "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
+         batch {batch}, {backend} backend, pipelining + stealing on, best of {reps} \
+         alternating runs per shard count, {cores} cores visible.\n\n"
+    );
+    md += TABLE_HEADER;
+    md += &throughput_row("1 shard", &one);
+    md += &throughput_row("4 shards", &four);
+    md += &format!("\n**4-shard speedup: {speedup:.2}× (gate: ≥{min_speedup:.2}×)**\n");
+    if cores >= 4 {
+        assert!(
+            speedup >= min_speedup,
+            "scaling gate FAILED: 4 shards gave {speedup:.2}x over 1 shard on a \
+             {cores}-core machine (need >= {min_speedup:.2}x; override with \
+             AMOEBA_SERVE_MIN_SPEEDUP)"
+        );
+        md += "\ngate enforced: PASS\n";
+    } else {
+        md += &format!("\ngate skipped: only {cores} core(s) visible (need 4)\n");
+    }
     md
 }
 
@@ -195,8 +378,11 @@ fn run_matrix(
         .map(|&k| censors.register(ctx.censor(DatasetKind::Tor, k)))
         .collect();
     let flows = offered(ctx, n_flows);
-    let mut engine =
-        ServeEngine::with_registries(policies, censors, serve_config(ctx, batch, shards, backend));
+    let mut engine = ServeEngine::with_registries(
+        policies,
+        censors,
+        serve_config(ctx, batch, shards, backend, true, true),
+    );
     let cells = pids.len() * cids.len();
     for (i, f) in flows.iter().enumerate() {
         let cell = i % cells;
@@ -285,7 +471,7 @@ pub fn serve_matrix_smoke(
         let censor_kind = censor_kinds[tenant.censor.index()];
         let policy = FrozenPolicy::from_agent(&ctx.agent(DatasetKind::Tor, agent_kind).0);
         let censor = ctx.censor(DatasetKind::Tor, censor_kind);
-        let mut solo = ServeEngine::new(serve_config(ctx, batch, 1, backend));
+        let mut solo = ServeEngine::new(serve_config(ctx, batch, 1, backend, true, true));
         let p = solo.register_policy(policy);
         let c = solo.register_censor(censor);
         for &(id, f) in &pairs {

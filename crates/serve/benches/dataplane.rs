@@ -152,6 +152,51 @@ fn bench_dataplane_sharding(c: &mut Criterion) {
     }
 }
 
+/// Sizes the scheduler knobs in isolation on the 400-flow workload at
+/// batch 64: pipelining on/off at 1 shard (the inference/framing overlap
+/// win), and stealing on/off at 4 shards (the idle-core fill win). Wire
+/// output is knob-invariant, so rows differ only in wall clock.
+fn bench_scheduler_knobs(c: &mut Criterion) {
+    let flows = workload(400);
+    let censor: Arc<dyn Censor> = Arc::new(ConstantCensor {
+        fixed_score: 0.1,
+        as_kind: CensorKind::Dt,
+    });
+    let cases = [
+        (
+            "dataplane_400flows_shards1_pipeline_off",
+            1usize,
+            false,
+            false,
+        ),
+        ("dataplane_400flows_shards1_pipeline_on", 1, true, false),
+        ("dataplane_400flows_shards4_steal_off", 4, true, false),
+        ("dataplane_400flows_shards4_steal_on", 4, true, true),
+    ];
+    for (name, shards, pipeline, steal) in cases {
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut dp = Dataplane::new(
+                        policy(),
+                        Arc::clone(&censor),
+                        ServeConfig::new(Layer::Tcp)
+                            .with_seed(5)
+                            .with_batch(64)
+                            .with_shards(shards)
+                            .with_pipeline(pipeline)
+                            .with_steal(steal),
+                    );
+                    dp.add_flows(flows.iter());
+                    dp
+                },
+                |dp| dp.run(),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
 /// The redesign's overhead gate: one-tenant `ServeEngine` vs the
 /// deprecated `Dataplane` shim on the identical 200-flow workload at
 /// batch 64 — the acceptance budget is ≤3% between these two rows.
@@ -298,6 +343,7 @@ criterion_group!(
     bench_matmul_kernels,
     bench_dataplane_batching,
     bench_dataplane_sharding,
+    bench_scheduler_knobs,
     bench_engine_vs_dataplane,
     bench_engine_multi_tenant,
     bench_backend_comparison

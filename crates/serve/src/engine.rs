@@ -19,13 +19,16 @@
 //! frame is emitted (`ready_at`); the frame itself leaves `delay_ms`
 //! later, which is when the following decision is taken — inference cost
 //! hides inside the frame delay, exactly the §5.6.1 deployment argument.
-//! Each [`crate::shard::Shard`]'s loop repeatedly takes the earliest
-//! ready time `t` among its sessions, collects every session ready within
-//! the scheduler quantum `[t, t + tick_ms]`, buckets them by [`PolicyId`]
-//! (sessions sharing a policy share weights, so their observations fuse
-//! into the same GRU/MLP pass no matter which censor they face), and
-//! processes each bucket in inference batches of at most `max_batch`
-//! flows through the pluggable [`InferenceBackend`].
+//! Each [`crate::shard::Shard`] keeps its sessions in a min-heap of
+//! `ready_at` times: every tick pops the earliest ready time `t` plus
+//! every session ready within the scheduler quantum `[t, t + tick_ms]`,
+//! buckets them by [`PolicyId`] (sessions sharing a policy share weights,
+//! so their observations fuse into the same GRU/MLP pass no matter which
+//! censor they face), and packages each bucket into inference batches of
+//! at most `max_batch` flows. The [`crate::scheduler`] executes those
+//! batches through the pluggable [`InferenceBackend`] — pipelined with a
+//! per-shard companion inference thread ([`ServeConfig::pipeline`]) and
+//! balanced across shards by work stealing ([`ServeConfig::steal`]).
 //!
 //! ## Sharding, tenancy and grouping invariance
 //!
@@ -34,9 +37,10 @@
 //! kernels), so *any* grouping of sessions — into inference batches
 //! within a tick, across [`crate::shard::Shard`] worker threads, or
 //! alongside any mix of co-tenants — produces bit-identical per-session
-//! output. `max_batch`, `tick_ms` and `n_shards` are pure throughput
-//! knobs, and multi-tenancy is a pure *packing* knob: a session's wire
-//! output depends only on `(seed, session_id, policy, censor)`. The
+//! output. `max_batch`, `tick_ms`, `n_shards`, `pipeline` and `steal`
+//! are pure throughput knobs, and multi-tenancy is a pure *packing*
+//! knob: a session's wire output depends only on
+//! `(seed, session_id, policy, censor)`. The
 //! regression tests below pin a 1 000-flow run split across 2 policies ×
 //! 3 censors against the corresponding single-tenant runs, and
 //! `tests/tenancy_invariance.rs` property-tests random tenant mixes ×
@@ -232,39 +236,37 @@ impl ServeEngine {
             })
             .collect();
 
-        let reports: Vec<ShardReport> = if n_shards == 1 {
-            shards.into_iter().map(Shard::run).collect()
-        } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .into_iter()
-                    .map(|shard| scope.spawn(move || shard.run()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard worker panicked"))
-                    .collect()
-            })
-        };
+        let reports: Vec<ShardReport> = crate::scheduler::run_shards(shards);
 
         Self::merge(reports, start.elapsed().as_secs_f64())
     }
 
     /// Deterministic merge: outcomes k-way-merged by session id (each
-    /// shard's list is already id-ascending), counters summed, latencies
-    /// (and their tenant tags) concatenated in shard order.
+    /// shard's list is already id-ascending), counters summed, per-frame
+    /// vectors (queue wait, compute, tenant tags) concatenated in shard
+    /// order.
     fn merge(reports: Vec<ShardReport>, wall_seconds: f64) -> ServeReport {
         let mut frames = 0usize;
         let mut batches = 0usize;
+        let mut stolen_batches = 0usize;
+        let mut infer_stage_us = 0f64;
+        let mut framing_stage_us = 0f64;
+        let mut max_queue_depth = 0usize;
         let total: usize = reports.iter().map(|r| r.outcomes.len()).sum();
         let mut outcomes: Vec<SessionOutcome> = Vec::with_capacity(total);
-        let mut latencies: Vec<f32> = Vec::new();
+        let mut frame_queue_us: Vec<f32> = Vec::new();
+        let mut frame_compute_us: Vec<f32> = Vec::new();
         let mut frame_tenants: Vec<Tenant> = Vec::new();
         let mut queues: Vec<std::vec::IntoIter<SessionOutcome>> = Vec::new();
         for r in reports {
             frames += r.frames;
             batches += r.batches;
-            latencies.extend(r.latencies);
+            stolen_batches += r.stolen_batches;
+            infer_stage_us += r.infer_us;
+            framing_stage_us += r.framing_us;
+            max_queue_depth = max_queue_depth.max(r.max_queue_depth);
+            frame_queue_us.extend(r.queue_us);
+            frame_compute_us.extend(r.compute_us);
             frame_tenants.extend(r.frame_tenants);
             queues.push(r.outcomes.into_iter());
         }
@@ -285,8 +287,13 @@ impl ServeEngine {
             wall_seconds,
             frames,
             inference_batches: batches,
-            frame_latency_us: latencies,
+            frame_queue_us,
+            frame_compute_us,
             frame_tenants,
+            stolen_batches,
+            infer_stage_us,
+            framing_stage_us,
+            max_queue_depth,
         }
     }
 }
@@ -504,9 +511,13 @@ mod tests {
         let policies = [tiny_policy(7), tiny_policy(19)];
         let scores = [0.1, 0.4, 0.9];
         let report = run_multi(&flows, &policies, &scores, 16, 2, ActionMode::Deterministic);
-        assert_eq!(report.frame_latency_us.len(), report.frames);
+        assert_eq!(report.frame_queue_us.len(), report.frames);
+        assert_eq!(report.frame_compute_us.len(), report.frames);
         assert_eq!(report.frame_tenants.len(), report.frames);
         assert!(report.inference_batches > 0);
+        assert!(report.max_queue_depth > 0);
+        assert!(report.infer_stage_us > 0.0);
+        assert!(report.framing_stage_us > 0.0);
         let subs = report.sub_reports();
         assert_eq!(subs.len(), 6);
         assert_eq!(
@@ -519,8 +530,114 @@ mod tests {
         );
         for (t, sub) in subs {
             assert!(sub.outcomes.iter().all(|o| o.tenant == t));
-            assert_eq!(sub.frame_latency_us.len(), sub.frames);
+            assert_eq!(sub.frame_queue_us.len(), sub.frames);
+            assert_eq!(sub.frame_compute_us.len(), sub.frames);
+            assert_eq!(sub.frame_latency_us().len(), sub.frames);
         }
+    }
+
+    /// FNV-1a 64 over `wire_bits()` in session order, packet order:
+    /// `size` then `delay_ms.to_bits()`, each little-endian.
+    fn wire_fingerprint(report: &ServeReport) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: [u8; 4]| {
+            for b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for session in report.wire_bits() {
+            for (size, delay_bits) in session {
+                eat(size.to_le_bytes());
+                eat(delay_bits.to_le_bytes());
+            }
+        }
+        h
+    }
+
+    /// Regression pin against the pre-pipeline scan scheduler: the exact
+    /// workload below produced this wire fingerprint under the original
+    /// fold-min + refill-scan tick selection (batch 16, 2 shards). The
+    /// heap scheduler, with pipelining and stealing at every shard/batch
+    /// combination, must reproduce it bit for bit.
+    #[test]
+    fn wire_output_is_pinned_to_scan_scheduler_fingerprint() {
+        const SCAN_FINGERPRINT: u64 = 0x49e0ec8f7a4bf3f9;
+        let flows = offered_flows(64, 3);
+        let policies = [tiny_policy(7), tiny_policy(19)];
+        let scores = [0.1, 0.9];
+        let netem = NetEm {
+            drop_rate: 0.08,
+            retransmit_timeout_ms: 50.0,
+            jitter_std: 0.2,
+        };
+        for shards in [1usize, 2, 4, 8] {
+            for batch in [1usize, 16, 64] {
+                for pipeline in [false, true] {
+                    for steal in [false, true] {
+                        let mut c = cfg(batch, shards, ActionMode::Sample)
+                            .with_verdicts(VerdictPolicy::Every(4))
+                            .with_pipeline(pipeline)
+                            .with_steal(steal);
+                        c.netem = Some(netem);
+                        let mut engine = ServeEngine::new(c);
+                        let pids: Vec<PolicyId> = policies
+                            .iter()
+                            .map(|p| engine.register_policy(p.clone()))
+                            .collect();
+                        let cids: Vec<CensorId> = scores
+                            .iter()
+                            .map(|&s| engine.register_censor(scoring_censor(s)))
+                            .collect();
+                        for (i, f) in flows.iter().enumerate() {
+                            engine
+                                .admit(f)
+                                .id(i)
+                                .policy(pids[i % 2])
+                                .censor(cids[i % 2])
+                                .submit();
+                        }
+                        let report = engine.run();
+                        assert_eq!(
+                            wire_fingerprint(&report),
+                            SCAN_FINGERPRINT,
+                            "wire diverged from the scan scheduler at \
+                             shards={shards} batch={batch} \
+                             pipeline={pipeline} steal={steal}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A single shard has nobody to steal from: the counter must stay
+    /// zero even with stealing enabled.
+    #[test]
+    fn single_shard_reports_zero_stolen_batches() {
+        let flows = offered_flows(40, 5);
+        let policies = [tiny_policy(7), tiny_policy(19)];
+        let scores = [0.1, 0.9];
+        let mut engine = ServeEngine::new(cfg(8, 1, ActionMode::Deterministic).with_steal(true));
+        let pids: Vec<PolicyId> = policies
+            .iter()
+            .map(|p| engine.register_policy(p.clone()))
+            .collect();
+        let cids: Vec<CensorId> = scores
+            .iter()
+            .map(|&s| engine.register_censor(scoring_censor(s)))
+            .collect();
+        for (i, f) in flows.iter().enumerate() {
+            engine
+                .admit(f)
+                .id(i)
+                .policy(pids[i % 2])
+                .censor(cids[i % 2])
+                .submit();
+        }
+        let report = engine.run();
+        assert_eq!(report.stolen_batches, 0, "n_shards == 1 cannot steal");
+        assert!(report.frames > 0);
     }
 
     /// Different censors on identical sessions: wire identical (actions

@@ -97,6 +97,7 @@ pub mod dataplane;
 pub mod engine;
 pub mod metrics;
 pub mod registry;
+pub mod scheduler;
 pub mod session;
 pub mod shard;
 pub mod testutil;
@@ -228,6 +229,20 @@ pub struct ServeConfig {
     /// `AMOEBA_SERVE_BACKEND` environment variable; out-of-crate backends
     /// go through [`ServeEngine::with_backend`] instead.
     pub backend: BackendKind,
+    /// Two-stage software pipelining: each shard spawns a companion
+    /// inference thread so batch *t*'s fused GRU/MLP pass overlaps batch
+    /// *t−1*'s framing/impairment/verdict stage (default `true`; `false`
+    /// is the inline fallback with no extra threads). A pure throughput
+    /// knob — wire output is pipelining-invariant by the
+    /// [`shard`] module-docs argument.
+    pub pipeline: bool,
+    /// Work stealing between shards: idle shards execute due work items
+    /// stolen from loaded peers' deques, so one heavy tenant cannot idle
+    /// the other shards under skewed session mixes (default `true`; moot
+    /// at `n_shards == 1`). A pure throughput knob — stolen items carry
+    /// their global session ids, and results are absorbed in sequence
+    /// order, so wire output is steal-invariant.
+    pub steal: bool,
 }
 
 impl ServeConfig {
@@ -250,6 +265,8 @@ impl ServeConfig {
             verify_streams: true,
             seed: 0,
             backend: BackendKind::from_env_or_default(),
+            pipeline: true,
+            steal: true,
         }
     }
 
@@ -331,6 +348,18 @@ impl ServeConfig {
         self
     }
 
+    /// Enables or disables the per-shard inference/framing pipeline.
+    pub fn with_pipeline(mut self, pipeline: bool) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Enables or disables work stealing between shards.
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
     /// The shaping kernel this configuration induces — shared §4.2
     /// constraint logic with the training gym.
     pub fn kernel(&self) -> ShapingKernel {
@@ -409,6 +438,18 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Per-shard inference/framing pipelining (a pure throughput knob).
+    pub fn pipeline(mut self, pipeline: bool) -> Self {
+        self.cfg.pipeline = pipeline;
+        self
+    }
+
+    /// Work stealing between shards (a pure throughput knob).
+    pub fn steal(mut self, steal: bool) -> Self {
+        self.cfg.steal = steal;
+        self
+    }
+
     /// Maximum agent-added delay per frame (ms).
     pub fn max_delay_ms(mut self, ms: f32) -> Self {
         self.cfg.max_delay_ms = ms;
@@ -452,6 +493,8 @@ mod tests {
             .verdicts(VerdictPolicy::Every(8))
             .verify_streams(false)
             .seed(99)
+            .pipeline(false)
+            .steal(false)
             .build();
         let mut chained = ServeConfig::new(Layer::Tcp)
             .with_batch(32)
@@ -459,7 +502,9 @@ mod tests {
             .with_tick(2.0)
             .with_mode(ActionMode::Sample)
             .with_verdicts(VerdictPolicy::Every(8))
-            .with_seed(99);
+            .with_seed(99)
+            .with_pipeline(false)
+            .with_steal(false);
         chained.verify_streams = false;
         assert_eq!(format!("{built:?}"), format!("{chained:?}"));
     }
@@ -484,6 +529,8 @@ mod tests {
         assert_eq!(cfg.verdicts, VerdictPolicy::Final);
         assert!(cfg.verify_streams);
         assert_eq!(cfg.seed, 0);
+        assert!(cfg.pipeline, "pipelining defaults on");
+        assert!(cfg.steal, "work stealing defaults on");
         // The backend default honours the process-wide CI forcing knob
         // (`AMOEBA_SERVE_BACKEND`), falling back to the CPU reference.
         assert_eq!(cfg.backend, BackendKind::from_env_or_default());

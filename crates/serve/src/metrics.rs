@@ -68,14 +68,36 @@ pub struct ServeReport {
     pub frames: usize,
     /// Inference batches executed.
     pub inference_batches: usize,
-    /// Wall-clock latency of each frame's processing (µs): a frame's
-    /// latency is the duration of the batch that carried it, i.e. what a
-    /// flow actually waits for its next frame decision.
-    pub frame_latency_us: Vec<f32>,
+    /// Per-frame **queue wait** (µs): how long the frame's work item sat
+    /// between being formed (its session became due) and the start of its
+    /// batch's inference — scheduler pressure, shared by every frame of
+    /// the batch. Parallel to [`ServeReport::frame_tenants`].
+    pub frame_queue_us: Vec<f32>,
+    /// Per-frame **compute** time (µs): the wall-clock its batch spent in
+    /// the inference (fused GRU/MLP) and framing/impairment/verdict
+    /// stages combined. Every frame of a batch is charged the batch's
+    /// total — the batch is the unit a flow actually waits on for its
+    /// next frame decision. Parallel to [`ServeReport::frame_tenants`].
+    pub frame_compute_us: Vec<f32>,
     /// The tenant that owned each frame, parallel to
-    /// [`ServeReport::frame_latency_us`] — what lets [`ServeReport::sub_report`]
-    /// attribute latencies per `(policy, censor)` cell.
+    /// [`ServeReport::frame_queue_us`] / [`ServeReport::frame_compute_us`]
+    /// — what lets [`ServeReport::sub_report`] attribute latencies per
+    /// `(policy, censor)` cell.
     pub frame_tenants: Vec<Tenant>,
+    /// Inference batches executed by a shard *other* than the sessions'
+    /// home shard (the work-stealing scheduler's activity counter; always
+    /// 0 when `n_shards == 1` or stealing is disabled).
+    pub stolen_batches: usize,
+    /// Total wall-clock spent in the fused inference stages, summed over
+    /// batches and shards (µs). With pipelining, stages overlap — the
+    /// per-stage totals can exceed `wall_seconds`.
+    pub infer_stage_us: f64,
+    /// Total wall-clock spent in the framing/impairment/verdict stage,
+    /// summed over batches and shards (µs).
+    pub framing_stage_us: f64,
+    /// Largest number of work items any one shard had simultaneously
+    /// queued or in flight.
+    pub max_queue_depth: usize,
 }
 
 impl ServeReport {
@@ -143,17 +165,22 @@ impl ServeReport {
     /// the latencies of exactly the batches that carried its frames.
     ///
     /// `wall_seconds` is copied from the parent (tenants share the
-    /// process), and `inference_batches` is reported as 0: batches are
-    /// fused across tenants sharing a policy, so a per-tenant batch count
-    /// has no meaning — read it off the parent report.
+    /// process), and the batch-level counters (`inference_batches`,
+    /// `stolen_batches`, the per-stage totals, `max_queue_depth`) are
+    /// reported as 0: batches are fused across tenants sharing a policy,
+    /// so per-tenant batch accounting has no meaning — read it off the
+    /// parent report.
     pub fn sub_report(&self, tenant: Tenant) -> ServeReport {
-        let (latencies, tags): (Vec<f32>, Vec<Tenant>) = self
-            .frame_latency_us
-            .iter()
-            .zip(&self.frame_tenants)
-            .filter(|(_, &t)| t == tenant)
-            .map(|(&l, &t)| (l, t))
-            .unzip();
+        let mut queue = Vec::new();
+        let mut compute = Vec::new();
+        let mut tags = Vec::new();
+        for (i, &t) in self.frame_tenants.iter().enumerate() {
+            if t == tenant {
+                queue.push(self.frame_queue_us[i]);
+                compute.push(self.frame_compute_us[i]);
+                tags.push(t);
+            }
+        }
         let outcomes: Vec<SessionOutcome> = self
             .outcomes
             .iter()
@@ -165,8 +192,13 @@ impl ServeReport {
             outcomes,
             wall_seconds: self.wall_seconds,
             inference_batches: 0,
-            frame_latency_us: latencies,
+            frame_queue_us: queue,
+            frame_compute_us: compute,
             frame_tenants: tags,
+            stolen_batches: 0,
+            infer_stage_us: 0.0,
+            framing_stage_us: 0.0,
+            max_queue_depth: 0,
         }
     }
 
@@ -198,19 +230,41 @@ impl ServeReport {
             .collect()
     }
 
-    /// Per-frame latency percentiles in µs (one sort for all requested
-    /// `qs`, each in `[0, 1]`).
+    /// Per-frame end-to-end latency (µs): the elementwise sum of
+    /// [`ServeReport::frame_queue_us`] and
+    /// [`ServeReport::frame_compute_us`] — what a frame waited from its
+    /// session becoming due to its batch fully processed. This is the
+    /// vector every `latency_*` percentile below ranks over.
+    pub fn frame_latency_us(&self) -> Vec<f32> {
+        self.frame_queue_us
+            .iter()
+            .zip(&self.frame_compute_us)
+            .map(|(&q, &c)| q + c)
+            .collect()
+    }
+
+    /// Percentiles of an arbitrary per-frame vector in µs (one sort for
+    /// all requested `qs`, each in `[0, 1]`).
+    ///
+    /// ## Percentile semantics
     ///
     /// Uses linear interpolation between closest ranks (the "type 7"
     /// estimator of numpy/R): rank `(len - 1) * q` is split into its
-    /// integer neighbours and blended by the fractional part. The earlier
+    /// integer neighbours and blended by the fractional part (the earlier
     /// nearest-rank `.round()` scheme was biased for small samples — p50
-    /// of `[1, 2, 3, 4]` came out as 2 or 3 instead of 2.5.
-    pub fn latency_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
-        if self.frame_latency_us.is_empty() {
+    /// of `[1, 2, 3, 4]` came out as 2 or 3 instead of 2.5). The samples
+    /// are **per frame, valued per batch**: every frame of a batch
+    /// carries its batch's queue wait and compute total, so percentiles
+    /// are frame-weighted — a 64-flow batch contributes 64 identical
+    /// samples, one per frame a flow actually waited on. Queue and
+    /// compute percentiles do **not** sum to the end-to-end latency
+    /// percentile at the same `q` (percentiles are not additive); rank
+    /// [`ServeReport::frame_latency_us`] for end-to-end figures.
+    fn percentiles_of(values: &[f32], qs: &[f64]) -> Vec<f32> {
+        if values.is_empty() {
             return vec![0.0; qs.len()];
         }
-        let mut sorted = self.frame_latency_us.clone();
+        let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
         qs.iter()
             .map(|q| {
@@ -221,6 +275,22 @@ impl ServeReport {
                 sorted[lo] + (sorted[hi] - sorted[lo]) * frac
             })
             .collect()
+    }
+
+    /// End-to-end (queue + compute) per-frame latency percentiles in µs;
+    /// see the percentile-semantics note on the internal estimator above.
+    pub fn latency_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
+        Self::percentiles_of(&self.frame_latency_us(), qs)
+    }
+
+    /// Queue-wait percentiles in µs (scheduler pressure alone).
+    pub fn queue_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
+        Self::percentiles_of(&self.frame_queue_us, qs)
+    }
+
+    /// Compute-time percentiles in µs (inference + framing alone).
+    pub fn compute_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
+        Self::percentiles_of(&self.frame_compute_us, qs)
     }
 
     /// Per-frame latency percentile in µs (`q` in `[0, 1]`).
@@ -286,13 +356,17 @@ mod tests {
 
     #[test]
     fn aggregates_rates_and_throughput() {
+        // queue = i/4, compute = 3i/4 → end-to-end latency = i, exactly
+        // (both addends are exactly representable for i ≤ 30).
         let report = ServeReport {
             outcomes: vec![outcome(0, true), outcome(1, true), outcome(2, false)],
             wall_seconds: 0.5,
             frames: 30,
             inference_batches: 3,
-            frame_latency_us: (1..=30).map(|i| i as f32).collect(),
+            frame_queue_us: (1..=30).map(|i| i as f32 * 0.25).collect(),
+            frame_compute_us: (1..=30).map(|i| i as f32 * 0.75).collect(),
             frame_tenants: vec![Tenant::default(); 30],
+            ..ServeReport::default()
         };
         assert!((report.evasion_rate() - 2.0 / 3.0).abs() < 1e-6);
         assert_eq!(report.stream_ok_rate(), 1.0);
@@ -303,6 +377,9 @@ mod tests {
         // Interpolated ranks over [1, 30]: p50 = 15.5, p99 = 29 + 0.71.
         assert_eq!(report.p50_latency_us(), 15.5);
         assert!((report.p99_latency_us() - 29.71).abs() < 1e-4);
+        // The queue/compute split ranks each component alone.
+        assert_eq!(report.queue_percentiles_us(&[0.5])[0], 15.5 * 0.25);
+        assert_eq!(report.compute_percentiles_us(&[0.5])[0], 15.5 * 0.75);
         assert!(report.summary().contains("flows/s"));
     }
 
@@ -311,19 +388,25 @@ mod tests {
     #[test]
     fn percentiles_interpolate_between_ranks() {
         let report = ServeReport {
-            frame_latency_us: vec![4.0, 1.0, 3.0, 2.0],
+            frame_queue_us: vec![4.0, 1.0, 3.0, 2.0],
+            frame_compute_us: vec![0.0; 4],
             ..ServeReport::default()
         };
+        assert_eq!(report.frame_latency_us(), vec![4.0, 1.0, 3.0, 2.0]);
         assert_eq!(report.p50_latency_us(), 2.5);
         assert_eq!(report.latency_percentile_us(0.0), 1.0);
         assert_eq!(report.latency_percentile_us(1.0), 4.0);
         assert_eq!(report.latency_percentile_us(0.25), 1.75);
+        // With zero compute, queue percentiles equal end-to-end ones.
+        assert_eq!(report.queue_percentiles_us(&[0.5])[0], 2.5);
+        assert_eq!(report.compute_percentiles_us(&[0.5])[0], 0.0);
         // Out-of-range quantiles clamp to the extremes.
         assert_eq!(report.latency_percentile_us(-0.5), 1.0);
         assert_eq!(report.latency_percentile_us(2.0), 4.0);
         // A single sample is every percentile.
         let one = ServeReport {
-            frame_latency_us: vec![7.0],
+            frame_queue_us: vec![3.0],
+            frame_compute_us: vec![4.0],
             ..ServeReport::default()
         };
         assert_eq!(one.p50_latency_us(), 7.0);
@@ -368,7 +451,8 @@ mod tests {
                 .collect();
             ServeReport {
                 frame_tenants: outcomes.iter().map(|o| o.tenant).collect(),
-                frame_latency_us: vec![1.0; outcomes.len()],
+                frame_queue_us: vec![1.0; outcomes.len()],
+                frame_compute_us: vec![2.0; outcomes.len()],
                 frames: outcomes.len(),
                 outcomes,
                 ..ServeReport::default()
@@ -391,7 +475,8 @@ mod tests {
             for (t, sub) in &subs {
                 assert!(sub.outcomes.windows(2).all(|w| w[0].id < w[1].id));
                 assert!(sub.outcomes.iter().all(|o| o.tenant == *t));
-                assert_eq!(sub.frame_latency_us.len(), sub.outcomes.len());
+                assert_eq!(sub.frame_queue_us.len(), sub.outcomes.len());
+                assert_eq!(sub.frame_compute_us.len(), sub.outcomes.len());
             }
             let total: usize = subs.iter().map(|(_, r)| r.outcomes.len()).sum();
             assert_eq!(total, report.outcomes.len());
@@ -422,8 +507,13 @@ mod tests {
             wall_seconds: 2.0,
             frames: 30,
             inference_batches: 5,
-            frame_latency_us: vec![1.0, 2.0, 3.0, 4.0],
+            frame_queue_us: vec![1.0, 2.0, 3.0, 4.0],
+            frame_compute_us: vec![10.0, 20.0, 30.0, 40.0],
             frame_tenants: vec![ta, tb, ta, tb],
+            stolen_batches: 2,
+            infer_stage_us: 100.0,
+            framing_stage_us: 50.0,
+            max_queue_depth: 4,
         };
         assert_eq!(report.tenants(), vec![ta, tb]);
         let subs = report.sub_reports();
@@ -434,11 +524,18 @@ mod tests {
         assert_eq!(rb.outcomes.len(), 2);
         assert_eq!(ra.frames, 10);
         assert_eq!(rb.frames, 20);
-        assert_eq!(ra.frame_latency_us, vec![1.0, 3.0]);
-        assert_eq!(rb.frame_latency_us, vec![2.0, 4.0]);
+        assert_eq!(ra.frame_queue_us, vec![1.0, 3.0]);
+        assert_eq!(ra.frame_compute_us, vec![10.0, 30.0]);
+        assert_eq!(rb.frame_queue_us, vec![2.0, 4.0]);
+        assert_eq!(rb.frame_compute_us, vec![20.0, 40.0]);
+        assert_eq!(ra.frame_latency_us(), vec![11.0, 33.0]);
         assert_eq!(ra.wall_seconds, 2.0);
-        // Batches fuse across tenants; sub-reports do not claim them.
+        // Batch-level counters fuse across tenants; sub-reports do not
+        // claim them.
         assert_eq!(ra.inference_batches, 0);
+        assert_eq!(ra.stolen_batches, 0);
+        assert_eq!(ra.infer_stage_us, 0.0);
+        assert_eq!(ra.max_queue_depth, 0);
         assert_eq!(ra.evasion_rate(), 1.0);
         assert_eq!(rb.evasion_rate(), 0.5);
         // The union of sub-report outcomes is the parent's outcome set.

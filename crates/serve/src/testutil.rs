@@ -189,6 +189,10 @@ pub struct BackendWorkload<'a> {
     pub batch: usize,
     /// Shard (worker thread) count.
     pub shards: usize,
+    /// Overlap inference and framing in a two-stage pipeline.
+    pub pipeline: bool,
+    /// Let idle shards steal due chunks from loaded ones.
+    pub steal: bool,
     /// Optional path impairment.
     pub netem: Option<NetEm>,
 }
@@ -201,6 +205,8 @@ pub fn run_workload(w: &BackendWorkload<'_>, backend: Arc<dyn InferenceBackend>)
         .seed(w.seed)
         .batch(w.batch)
         .shards(w.shards)
+        .pipeline(w.pipeline)
+        .steal(w.steal)
         .mode(ActionMode::Sample)
         .netem(w.netem)
         .verdicts(VerdictPolicy::Every(4))
@@ -256,9 +262,10 @@ pub fn assert_reports_wire_identical(a: &ServeReport, b: &ServeReport, what: &st
 
 /// Conformance check 2: a pinned multi-tenant engine run (60 flows, 2
 /// policies × 3 censors, sampled actions, NetEm impairment, batch 16 ×
-/// 2 shards) against the [`CpuBackend`] reference at batch 1 × 1 shard —
-/// the candidate backend must reproduce the reference wire output and
-/// verdicts bit-for-bit even though *both* the backend and the grouping
+/// 2 shards with pipelining and stealing on) against the [`CpuBackend`]
+/// reference at batch 1 × 1 shard with both off — the candidate backend
+/// must reproduce the reference wire output and verdicts bit-for-bit
+/// even though the backend, the grouping *and* the scheduler mode all
 /// changed.
 ///
 /// # Panics
@@ -273,7 +280,7 @@ pub fn check_engine_matches_cpu_reference(backend: Arc<dyn InferenceBackend>) {
         retransmit_timeout_ms: 50.0,
         jitter_std: 0.2,
     });
-    let workload = |batch: usize, shards: usize| BackendWorkload {
+    let workload = |batch: usize, shards: usize, pipeline: bool, steal: bool| BackendWorkload {
         flows: &flows,
         assignment: &assignment,
         policies: &policies,
@@ -281,10 +288,12 @@ pub fn check_engine_matches_cpu_reference(backend: Arc<dyn InferenceBackend>) {
         seed: 23,
         batch,
         shards,
+        pipeline,
+        steal,
         netem,
     };
-    let reference = run_workload(&workload(1, 1), Arc::new(CpuBackend));
-    let candidate = run_workload(&workload(16, 2), backend);
+    let reference = run_workload(&workload(1, 1, false, false), Arc::new(CpuBackend));
+    let candidate = run_workload(&workload(16, 2, true, true), backend);
     assert_reports_wire_identical(
         &reference,
         &candidate,

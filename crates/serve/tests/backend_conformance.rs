@@ -49,15 +49,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Random flows across 2 policies × 3 censors at shards 1/4 × batch
-    /// 1/64 (sampled actions, optional NetEm): every candidate backend's
-    /// run is bit-identical — wire, verdicts, evasion — to the
-    /// `CpuBackend` run of the same workload.
+    /// 1/64 × pipelining on/off × stealing on/off (sampled actions,
+    /// optional NetEm): every candidate backend's run is bit-identical —
+    /// wire, verdicts, evasion — to the `CpuBackend` run of the same
+    /// workload.
     #[test]
     fn backends_produce_identical_wire_end_to_end(
         flows in prop::collection::vec(arb_flow(), 6..18),
         seed in any::<u64>(),
         four_shards in any::<bool>(),
         big_batch in any::<bool>(),
+        pipeline in any::<bool>(),
+        steal in any::<bool>(),
         with_netem in any::<bool>(),
         assignment in prop::collection::vec((0usize..2, 0usize..3), 18),
     ) {
@@ -75,6 +78,8 @@ proptest! {
             seed,
             batch: if big_batch { 64 } else { 1 },
             shards: if four_shards { 4 } else { 1 },
+            pipeline,
+            steal,
             netem,
         };
         let reference = run_workload(&workload, Arc::new(CpuBackend));

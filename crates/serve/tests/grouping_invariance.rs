@@ -24,12 +24,16 @@ fn run(
     seed: u64,
     batch: usize,
     shards: usize,
+    pipeline: bool,
+    steal: bool,
     netem: Option<NetEm>,
 ) -> ServeReport {
     let mut cfg = ServeConfig::new(Layer::Tcp)
         .with_seed(seed)
         .with_batch(batch)
         .with_shards(shards)
+        .with_pipeline(pipeline)
+        .with_steal(steal)
         .with_mode(ActionMode::Sample);
     cfg.netem = netem;
     let mut dp = Dataplane::new(tiny_policy(7), scoring_censor(0.1), cfg);
@@ -46,13 +50,17 @@ proptest! {
     // Each case runs the full dataplane three times; keep the count low.
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Random flows, random shard count, batch 1 vs 64: identical
-    /// `ServeReport` frame streams.
+    /// Random flows, random shard count, random pipelining/stealing,
+    /// batch 1 vs 64: identical `ServeReport` frame streams. The
+    /// reference run is always the inline scheduler (pipeline and
+    /// stealing off) at batch 1 × 1 shard.
     #[test]
     fn shard_count_and_batch_size_never_change_wire_output(
         flows in prop::collection::vec(arb_flow(), 4..24),
         seed in any::<u64>(),
         n_shards in 1usize..=8,
+        pipeline in any::<bool>(),
+        steal in any::<bool>(),
         with_netem in any::<bool>(),
     ) {
         let netem = with_netem.then_some(NetEm {
@@ -60,18 +68,20 @@ proptest! {
             retransmit_timeout_ms: 50.0,
             jitter_std: 0.2,
         });
-        let reference = run(&flows, seed, 1, 1, netem);
+        let reference = run(&flows, seed, 1, 1, false, false, netem);
         prop_assert_eq!(reference.outcomes.len(), flows.len());
         let ref_bits = wire_bits(&reference);
         for batch in [1usize, 64] {
-            let sharded = run(&flows, seed, batch, n_shards, netem);
+            let sharded = run(&flows, seed, batch, n_shards, pipeline, steal, netem);
             prop_assert_eq!(sharded.frames, reference.frames);
             prop_assert_eq!(
                 wire_bits(&sharded),
                 ref_bits.clone(),
-                "{} shards x batch {} diverged",
+                "{} shards x batch {} (pipeline {}, steal {}) diverged",
                 n_shards,
-                batch
+                batch,
+                pipeline,
+                steal
             );
         }
     }

@@ -5,8 +5,9 @@
 //! the order tenants were registered in.
 //!
 //! Each case builds one multi-tenant engine (random flows spread across
-//! 2 policies × 3 censors), runs it at a random shard count (1 or 4) and
-//! batch size (1 or 64), and asserts every session is bit-identical to a
+//! 2 policies × 3 censors), runs it at a random shard count (1 or 4),
+//! batch size (1 or 64), pipelining on/off and work-stealing on/off, and
+//! asserts every session is bit-identical to a
 //! fresh single-tenant engine run carrying only that session's
 //! `(id, flow)` under its `(policy, censor)` pair — and that re-running
 //! the same multi-tenant mix on the [`SimdBackend`] reproduces the
@@ -25,6 +26,8 @@ fn config(
     seed: u64,
     batch: usize,
     shards: usize,
+    pipeline: bool,
+    steal: bool,
     netem: Option<NetEm>,
     backend: BackendKind,
 ) -> ServeConfig {
@@ -32,6 +35,8 @@ fn config(
         .seed(seed)
         .batch(batch)
         .shards(shards)
+        .pipeline(pipeline)
+        .steal(steal)
         .mode(ActionMode::Sample)
         .netem(netem)
         .backend(backend)
@@ -55,6 +60,8 @@ proptest! {
         seed in any::<u64>(),
         four_shards in any::<bool>(),
         big_batch in any::<bool>(),
+        pipeline in any::<bool>(),
+        steal in any::<bool>(),
         with_netem in any::<bool>(),
         // Random tenant assignment per session.
         assignment in prop::collection::vec((0usize..2, 0usize..3), 18),
@@ -69,7 +76,8 @@ proptest! {
         let policies = [tiny_policy(7), tiny_policy(19)];
 
         let run_mix = |backend: BackendKind| {
-            let mut engine = ServeEngine::new(config(seed, batch, shards, netem, backend));
+            let mut engine =
+                ServeEngine::new(config(seed, batch, shards, pipeline, steal, netem, backend));
             let pids: Vec<_> = policies
                 .iter()
                 .map(|p| engine.register_policy(p.clone()))
@@ -99,7 +107,8 @@ proptest! {
 
         for (i, f) in flows.iter().enumerate() {
             let (p, c) = assignment[i];
-            let mut solo = ServeEngine::new(config(seed, 1, 1, netem, BackendKind::Cpu));
+            let mut solo =
+                ServeEngine::new(config(seed, 1, 1, false, false, netem, BackendKind::Cpu));
             let pid = solo.register_policy(policies[p].clone());
             let cid = solo.register_censor(censor(CENSOR_SCORES[c]));
             solo.admit(f).id(i).policy(pid).censor(cid).submit();
