@@ -19,6 +19,16 @@
 //! * `--scaling` runs the 4-core CI gate: 1 shard vs 4 shards, best of
 //!   3 alternating runs, failing unless 4 shards clear
 //!   `AMOEBA_SERVE_MIN_SPEEDUP`× (default 2×) on a ≥4-core machine.
+//! * `--overhead` runs the telemetry overhead gate: telemetry off vs on
+//!   at 4 shards, best of 3 alternating runs, failing if telemetry
+//!   costs more than `AMOEBA_TELEMETRY_MAX_OVERHEAD_PCT` percent
+//!   throughput (default 2%) on a ≥4-core machine.
+//! * `--telemetry <base>` runs one instrumented pass (4 shards, trace
+//!   ring on) and writes `<base>.prom` (Prometheus exposition) plus
+//!   `<base>.trace.json` (Chrome-trace / Perfetto).
+//! * `--json <path>` writes the machine-readable run report — config,
+//!   throughput, latency percentiles and the full telemetry snapshot —
+//!   from the same instrumented pass.
 //! * `--matrix` switches to the cross-censor evaluation table: one
 //!   `ServeEngine` run over 2 policies (trained vs DT and RF) × 3
 //!   censors (DT, RF, CUMUL), printing evasion per `(policy, censor)`
@@ -38,6 +48,16 @@ fn main() {
     let matrix = args.iter().any(|a| a == "--matrix");
     let skew = args.iter().any(|a| a == "--skew");
     let scaling = args.iter().any(|a| a == "--scaling");
+    let overhead = args.iter().any(|a| a == "--overhead");
+    let opt_value = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            args.get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} needs a value"))
+                .clone()
+        })
+    };
+    let telemetry_base = opt_value("--telemetry");
+    let json_path = opt_value("--json");
     let backend = args
         .iter()
         .position(|a| a == "--backend")
@@ -68,6 +88,31 @@ fn main() {
     let mut ctx = Context::new(Scale::from_env());
     if scaling {
         print!("{}", serve::serve_scaling_gate(&mut ctx, n_flows, 64));
+        return;
+    }
+    if overhead {
+        print!("{}", serve::serve_overhead_gate(&mut ctx, n_flows, 64));
+        return;
+    }
+    if telemetry_base.is_some() || json_path.is_some() {
+        // One instrumented pass (trace ring on) feeds every requested
+        // artifact so the figures in them agree with each other.
+        let (shards, batch) = (4, 64);
+        let report = serve::run_serve_instrumented(
+            &mut ctx, n_flows, batch, shards, backend, pipeline, steal,
+        );
+        if let Some(base) = &telemetry_base {
+            let (prom, trace) =
+                serve::write_telemetry_artifacts(&report, base).expect("write telemetry artifacts");
+            println!("telemetry artifacts: {prom} {trace}");
+        }
+        if let Some(path) = &json_path {
+            let json =
+                serve::report_json(&report, n_flows, batch, shards, backend, pipeline, steal);
+            std::fs::write(path, json).expect("write json report");
+            println!("json report: {path}");
+        }
+        println!("{}", report.summary());
         return;
     }
     match (smoke, matrix, skew) {

@@ -58,14 +58,54 @@ pub fn run_serve(
     pipeline: bool,
     steal: bool,
 ) -> ServeReport {
+    run_serve_with(
+        ctx, n_flows, batch, shards, backend, pipeline, steal, true, 0,
+    )
+}
+
+/// [`run_serve`] with the telemetry knobs exposed — the overhead gate
+/// compares `telemetry` on vs off, and the artifact dump turns the
+/// trace ring on.
+#[allow(clippy::too_many_arguments)]
+fn run_serve_with(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    shards: usize,
+    backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
+    telemetry: bool,
+    trace_ring: usize,
+) -> ServeReport {
     let (agent, _) = ctx.agent(DatasetKind::Tor, CensorKind::Dt);
     let censor = ctx.censor(DatasetKind::Tor, CensorKind::Dt);
     let flows = offered(ctx, n_flows);
-    let mut engine = ServeEngine::new(serve_config(ctx, batch, shards, backend, pipeline, steal));
+    let cfg = serve_config(ctx, batch, shards, backend, pipeline, steal)
+        .with_telemetry(telemetry)
+        .with_trace_ring(trace_ring);
+    let mut engine = ServeEngine::new(cfg);
     let p = engine.register_policy(FrozenPolicy::from_agent(&agent));
     let c = engine.register_censor(censor);
     engine.admit_all(flows.iter(), p, c);
     engine.run()
+}
+
+/// One fully instrumented engine pass: telemetry on with a 4096-event
+/// flight-recorder ring per shard, ready for [`write_telemetry_artifacts`]
+/// or [`report_json`].
+pub fn run_serve_instrumented(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    shards: usize,
+    backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
+) -> ServeReport {
+    run_serve_with(
+        ctx, n_flows, batch, shards, backend, pipeline, steal, true, 4096,
+    )
 }
 
 /// Runs a **skewed** two-tenant engine pass: 90% of sessions land on the
@@ -348,6 +388,175 @@ pub fn serve_scaling_gate(ctx: &mut Context, n_flows: usize, batch: usize) -> St
         md += &format!("\ngate skipped: only {cores} core(s) visible (need 4)\n");
     }
     md
+}
+
+/// The CI telemetry-overhead gate: serves the full workload at 4 shards
+/// with telemetry off and on (default config: counters + histograms, no
+/// trace ring), best of `reps` alternating runs each, cross-checks the
+/// wire bit-for-bit, and — on machines with at least 4 cores — **fails**
+/// if the telemetry-on run loses more than
+/// `AMOEBA_TELEMETRY_MAX_OVERHEAD_PCT` percent throughput (default 2%).
+/// On smaller machines the measurement still runs and prints, but the
+/// gate is reported as skipped rather than enforced.
+pub fn serve_overhead_gate(ctx: &mut Context, n_flows: usize, batch: usize) -> String {
+    let backend = BackendKind::Simd;
+    let shards = 4;
+    let reps = 3;
+    let max_overhead_pct: f64 = std::env::var("AMOEBA_TELEMETRY_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let (mut best_off, mut best_on): (Option<ServeReport>, Option<ServeReport>) = (None, None);
+    for _ in 0..reps {
+        // Alternate the two configurations so cache warmth and frequency
+        // scaling bias neither side.
+        let off = run_serve_with(ctx, n_flows, batch, shards, backend, true, true, false, 0);
+        let on = run_serve(ctx, n_flows, batch, shards, backend, true, true);
+        assert_eq!(
+            off.wire_bits(),
+            on.wire_bits(),
+            "overhead gate: telemetry-on wire output diverged from telemetry-off"
+        );
+        assert!(
+            off.telemetry.is_none() && on.telemetry.is_some(),
+            "overhead gate: snapshot attachment does not match the telemetry switch"
+        );
+        if best_off
+            .as_ref()
+            .is_none_or(|b| off.flows_per_sec() > b.flows_per_sec())
+        {
+            best_off = Some(off);
+        }
+        if best_on
+            .as_ref()
+            .is_none_or(|b| on.flows_per_sec() > b.flows_per_sec())
+        {
+            best_on = Some(on);
+        }
+    }
+    let (off, on) = (best_off.unwrap(), best_on.unwrap());
+    let overhead_pct = (1.0 - on.flows_per_sec() / off.flows_per_sec()) * 100.0;
+
+    let mut md = String::from("## amoeba-serve telemetry overhead gate\n\n");
+    md += &format!(
+        "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
+         batch {batch}, {shards} shards, {backend} backend, pipelining + stealing on, \
+         best of {reps} alternating runs per setting, {cores} cores visible.\n\n"
+    );
+    md += TABLE_HEADER;
+    md += &throughput_row("telemetry off", &off);
+    md += &throughput_row("telemetry on", &on);
+    md +=
+        &format!("\n**telemetry overhead: {overhead_pct:.2}% (gate: ≤{max_overhead_pct:.2}%)**\n");
+    if cores >= 4 {
+        assert!(
+            overhead_pct <= max_overhead_pct,
+            "telemetry overhead gate FAILED: {overhead_pct:.2}% throughput loss with \
+             telemetry on (limit {max_overhead_pct:.2}%; override with \
+             AMOEBA_TELEMETRY_MAX_OVERHEAD_PCT)"
+        );
+        md += "\ngate enforced: PASS\n";
+    } else {
+        md += &format!("\ngate skipped: only {cores} core(s) visible (need 4)\n");
+    }
+    md
+}
+
+/// Writes the run's telemetry artifacts next to `base`: the Prometheus
+/// exposition at `<base>.prom` and the flight recorder's Chrome-trace
+/// JSON (load into `chrome://tracing` or Perfetto) at
+/// `<base>.trace.json`. Returns the two paths written.
+pub fn write_telemetry_artifacts(
+    report: &ServeReport,
+    base: &str,
+) -> std::io::Result<(String, String)> {
+    let snap = report
+        .telemetry
+        .as_ref()
+        .expect("telemetry artifacts need a run with telemetry on");
+    let prom = format!("{base}.prom");
+    let trace = format!("{base}.trace.json");
+    std::fs::write(&prom, snap.to_prometheus_text())?;
+    std::fs::write(&trace, snap.trace_json())?;
+    Ok((prom, trace))
+}
+
+/// One JSON number, with non-finite values mapped to `null` (JSON has
+/// no NaN/Inf literals).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The machine-readable benchmark report: run configuration, throughput
+/// and latency figures, plus the full telemetry snapshot when the run
+/// carried one. Stable keys so CI diffs and dashboards can track runs
+/// over time.
+#[allow(clippy::too_many_arguments)]
+pub fn report_json(
+    report: &ServeReport,
+    n_flows: usize,
+    batch: usize,
+    shards: usize,
+    backend: BackendKind,
+    pipeline: bool,
+    steal: bool,
+) -> String {
+    let mut s = String::from("{\n  \"bench\": \"serve\",\n");
+    s += &format!("  \"n_flows\": {n_flows},\n");
+    s += &format!("  \"batch\": {batch},\n");
+    s += &format!("  \"shards\": {shards},\n");
+    s += &format!("  \"backend\": \"{backend}\",\n");
+    s += &format!("  \"pipeline\": {pipeline},\n");
+    s += &format!("  \"steal\": {steal},\n");
+    s += &format!("  \"wall_seconds\": {},\n", json_num(report.wall_seconds));
+    s += &format!(
+        "  \"flows_per_sec\": {},\n",
+        json_num(report.flows_per_sec())
+    );
+    s += &format!(
+        "  \"frames_per_sec\": {},\n",
+        json_num(report.frames_per_sec())
+    );
+    s += &format!(
+        "  \"payload_mb_per_sec\": {},\n",
+        json_num(report.payload_mb_per_sec())
+    );
+    s += &format!(
+        "  \"wire_mb_per_sec\": {},\n",
+        json_num(report.wire_mb_per_sec())
+    );
+    s += &format!(
+        "  \"p50_latency_us\": {},\n",
+        json_num(report.p50_latency_us() as f64)
+    );
+    s += &format!(
+        "  \"p99_latency_us\": {},\n",
+        json_num(report.p99_latency_us() as f64)
+    );
+    s += &format!(
+        "  \"evasion_rate\": {},\n",
+        json_num(report.evasion_rate() as f64)
+    );
+    s += &format!(
+        "  \"stream_ok_rate\": {},\n",
+        json_num(report.stream_ok_rate() as f64)
+    );
+    s += &format!("  \"frames\": {},\n", report.frames);
+    s += &format!("  \"inference_batches\": {},\n", report.inference_batches);
+    s += &format!("  \"stolen_batches\": {},\n", report.stolen_batches);
+    s += &format!("  \"max_queue_depth\": {},\n", report.max_queue_depth);
+    match &report.telemetry {
+        Some(snap) => s += &format!("  \"telemetry\": {}\n", snap.to_json()),
+        None => s += "  \"telemetry\": null\n",
+    }
+    s += "}\n";
+    s
 }
 
 /// Builds one multi-tenant engine over `policy_kinds × censor_kinds`

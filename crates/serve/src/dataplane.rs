@@ -158,11 +158,15 @@ mod tests {
         netem: Option<NetEm>,
     ) -> ServeReport {
         let policy = tiny_policy(7);
+        // Exact per-frame vectors on: the accounting test below asserts
+        // their lengths, and the invariance pins double as proof exact
+        // stats cannot perturb the wire.
         let mut cfg = ServeConfig::new(Layer::Tcp)
             .with_seed(11)
             .with_batch(batch)
             .with_shards(shards)
-            .with_mode(mode);
+            .with_mode(mode)
+            .with_exact_frame_stats(true);
         cfg.netem = netem;
         let mut dp = Dataplane::new(policy, allow_censor(), cfg);
         dp.add_flows(flows.iter());

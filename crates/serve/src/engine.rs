@@ -46,10 +46,11 @@
 //! `tests/tenancy_invariance.rs` property-tests random tenant mixes ×
 //! shard counts × batch sizes end-to-end.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use amoeba_classifiers::Censor;
+use amoeba_telemetry::{ShardTelemetry, TelemetrySnapshot};
 use amoeba_traffic::Flow;
 
 use crate::backend::InferenceBackend;
@@ -71,6 +72,29 @@ pub struct ServeEngine {
     sessions: Vec<Session>,
     /// Next auto-assigned session id (`max(assigned) + 1`).
     next_id: usize,
+    /// Where [`ServeEngine::run`] publishes the aggregated telemetry
+    /// snapshot; [`TelemetryHandle`]s obtained before the (consuming)
+    /// run read it afterwards.
+    telemetry_hub: Arc<Mutex<Option<TelemetrySnapshot>>>,
+}
+
+/// A handle onto an engine's telemetry snapshot, valid across
+/// [`ServeEngine::run`] (which consumes the engine). Obtain via
+/// [`ServeEngine::telemetry`] before the run; [`TelemetryHandle::get`]
+/// returns `Some` once the run completed with
+/// [`crate::ServeConfig::telemetry`] enabled. The hub mutex is touched
+/// only at publication time, after every shard has finished — never on
+/// the serving data path.
+#[derive(Clone)]
+pub struct TelemetryHandle {
+    hub: Arc<Mutex<Option<TelemetrySnapshot>>>,
+}
+
+impl TelemetryHandle {
+    /// The aggregated snapshot of the engine's completed run, if any.
+    pub fn get(&self) -> Option<TelemetrySnapshot> {
+        self.hub.lock().expect("telemetry hub poisoned").clone()
+    }
 }
 
 impl ServeEngine {
@@ -84,6 +108,7 @@ impl ServeEngine {
             cfg,
             sessions: Vec::new(),
             next_id: 0,
+            telemetry_hub: Arc::new(Mutex::new(None)),
         }
     }
 
@@ -101,6 +126,27 @@ impl ServeEngine {
             cfg,
             sessions: Vec::new(),
             next_id: 0,
+            telemetry_hub: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// A handle onto this engine's telemetry snapshot, usable after the
+    /// consuming [`ServeEngine::run`] call:
+    ///
+    /// ```text
+    /// let handle = engine.telemetry();
+    /// let report = engine.run();
+    /// let snapshot = handle.get().expect("telemetry enabled");
+    /// println!("{}", snapshot.to_prometheus_text());
+    /// ```
+    ///
+    /// Returns `None` from [`TelemetryHandle::get`] until the run
+    /// finishes, or always when [`crate::ServeConfig::telemetry`] is off.
+    /// The same snapshot also rides on
+    /// [`ServeReport::telemetry`](crate::metrics::ServeReport::telemetry).
+    pub fn telemetry(&self) -> TelemetryHandle {
+        TelemetryHandle {
+            hub: Arc::clone(&self.telemetry_hub),
         }
     }
 
@@ -238,14 +284,16 @@ impl ServeEngine {
 
         let reports: Vec<ShardReport> = crate::scheduler::run_shards(shards);
 
-        Self::merge(reports, start.elapsed().as_secs_f64())
+        let report = Self::merge(reports, start.elapsed().as_secs_f64(), self.cfg.telemetry);
+        *self.telemetry_hub.lock().expect("telemetry hub poisoned") = report.telemetry.clone();
+        report
     }
 
     /// Deterministic merge: outcomes k-way-merged by session id (each
     /// shard's list is already id-ascending), counters summed, per-frame
     /// vectors (queue wait, compute, tenant tags) concatenated in shard
-    /// order.
-    fn merge(reports: Vec<ShardReport>, wall_seconds: f64) -> ServeReport {
+    /// order, and shard telemetry aggregated in shard-index order.
+    fn merge(reports: Vec<ShardReport>, wall_seconds: f64, telemetry_on: bool) -> ServeReport {
         let mut frames = 0usize;
         let mut batches = 0usize;
         let mut stolen_batches = 0usize;
@@ -257,6 +305,7 @@ impl ServeEngine {
         let mut frame_queue_us: Vec<f32> = Vec::new();
         let mut frame_compute_us: Vec<f32> = Vec::new();
         let mut frame_tenants: Vec<Tenant> = Vec::new();
+        let mut shard_tel: Vec<ShardTelemetry> = Vec::new();
         let mut queues: Vec<std::vec::IntoIter<SessionOutcome>> = Vec::new();
         for r in reports {
             frames += r.frames;
@@ -268,8 +317,13 @@ impl ServeEngine {
             frame_queue_us.extend(r.queue_us);
             frame_compute_us.extend(r.compute_us);
             frame_tenants.extend(r.frame_tenants);
+            if telemetry_on {
+                shard_tel.push(r.telemetry);
+            }
             queues.push(r.outcomes.into_iter());
         }
+        let telemetry =
+            telemetry_on.then(|| TelemetrySnapshot::aggregate(&shard_tel, wall_seconds));
         let mut heads: Vec<Option<SessionOutcome>> =
             queues.iter_mut().map(Iterator::next).collect();
         while let Some(best) = heads
@@ -294,6 +348,7 @@ impl ServeEngine {
             infer_stage_us,
             framing_stage_us,
             max_queue_depth,
+            telemetry,
         }
     }
 }
@@ -383,11 +438,15 @@ mod tests {
     use amoeba_traffic::{Layer, NetEm};
 
     fn cfg(batch: usize, shards: usize, mode: ActionMode) -> ServeConfig {
+        // Exact per-frame vectors stay on in this suite: the accounting
+        // tests assert on them, and running the invariance pins with
+        // them enabled doubles as proof they cannot perturb the wire.
         ServeConfig::new(Layer::Tcp)
             .with_seed(11)
             .with_batch(batch)
             .with_shards(shards)
             .with_mode(mode)
+            .with_exact_frame_stats(true)
     }
 
     /// Admits `flows[i]` (id `i`) to tenant `tenants[i % tenants.len()]`.
@@ -534,6 +593,121 @@ mod tests {
             assert_eq!(sub.frame_compute_us.len(), sub.frames);
             assert_eq!(sub.frame_latency_us().len(), sub.frames);
         }
+    }
+
+    /// The telemetry snapshot agrees with the report's own accounting and
+    /// reaches the caller both on the report and through a pre-run
+    /// [`ServeEngine::telemetry`] handle.
+    #[test]
+    fn telemetry_snapshot_matches_report_accounting() {
+        let flows = offered_flows(60, 13);
+        let policies = [tiny_policy(7), tiny_policy(19)];
+        let scores = [0.1, 0.4, 0.9];
+        let mut engine =
+            ServeEngine::new(cfg(16, 2, ActionMode::Deterministic).with_trace_ring(256));
+        let pids: Vec<PolicyId> = policies
+            .iter()
+            .map(|p| engine.register_policy(p.clone()))
+            .collect();
+        let cids: Vec<CensorId> = scores
+            .iter()
+            .map(|&s| engine.register_censor(scoring_censor(s)))
+            .collect();
+        for (i, f) in flows.iter().enumerate() {
+            let t = i % 6;
+            engine
+                .admit(f)
+                .id(i)
+                .policy(pids[t / 3])
+                .censor(cids[t % 3])
+                .submit();
+        }
+        let handle = engine.telemetry();
+        assert!(handle.get().is_none(), "no snapshot before the run");
+        let report = engine.run();
+
+        let snap = report.telemetry.as_ref().expect("telemetry defaults on");
+        assert_eq!(snap.counters.frames as usize, report.frames);
+        assert_eq!(snap.counters.batches as usize, report.inference_batches);
+        assert_eq!(snap.counters.absorbs as usize, report.inference_batches);
+        assert_eq!(snap.counters.sessions as usize, report.outcomes.len());
+        assert_eq!(snap.counters.stolen_batches as usize, report.stolen_batches);
+        assert_eq!(
+            snap.counters.max_queue_depth as usize,
+            report.max_queue_depth
+        );
+        assert!(snap.counters.ticks > 0);
+        assert_eq!(snap.shards, 2);
+
+        // Histograms saw exactly one sample per frame.
+        assert_eq!(snap.queue_hist.count() as usize, report.frames);
+        assert_eq!(snap.compute_hist.count() as usize, report.frames);
+        assert_eq!(snap.latency_hist.count() as usize, report.frames);
+
+        // Per-tenant feedback partitions the totals and matches the
+        // sub-report evasion accounting.
+        assert_eq!(snap.tenants.len(), 6);
+        let tenant_frames: u64 = snap.tenants.values().map(|t| t.frames).sum();
+        let tenant_sessions: u64 = snap.tenants.values().map(|t| t.sessions).sum();
+        assert_eq!(tenant_frames as usize, report.frames);
+        assert_eq!(tenant_sessions as usize, report.outcomes.len());
+        for (key, cell) in &snap.tenants {
+            let evaded = report
+                .outcomes
+                .iter()
+                .filter(|o| {
+                    o.tenant.policy.index() == key.policy
+                        && o.tenant.censor.index() == key.censor
+                        && o.evaded
+                })
+                .count();
+            assert_eq!(cell.evasions as usize, evaded, "tenant {key:?}");
+            assert!(cell.verdicts >= cell.sessions, "≥ one final verdict each");
+        }
+
+        // Stage tracing captured real spans on the common epoch.
+        assert!(!snap.events.is_empty(), "trace ring was enabled");
+        let json = snap.trace_json();
+        assert!(json.contains("\"name\":\"infer\""));
+        assert!(json.contains("\"name\":\"frame\""));
+        assert!(json.contains("\"name\":\"emit\""));
+        assert!(
+            snap.events.windows(2).all(|w| w[0].t0_ns <= w[1].t0_ns),
+            "aggregated events are time-sorted"
+        );
+
+        // The pre-run handle sees the same snapshot after the run.
+        let via_handle = handle.get().expect("snapshot published");
+        assert_eq!(via_handle.to_prometheus_text(), snap.to_prometheus_text());
+    }
+
+    /// With telemetry off the engine reports no snapshot — and the wire
+    /// is bit-identical to the telemetry-on run (the zero-perturbation
+    /// contract, property-tested at scale in
+    /// `tests/telemetry_invariance.rs`).
+    #[test]
+    fn telemetry_off_omits_snapshot_and_keeps_wire_identical() {
+        let flows = offered_flows(24, 9);
+        let run = |telemetry: bool, trace_ring: usize| {
+            let mut engine = ServeEngine::new(
+                cfg(8, 2, ActionMode::Sample)
+                    .with_telemetry(telemetry)
+                    .with_trace_ring(trace_ring),
+            );
+            let p = engine.register_policy(tiny_policy(7));
+            let c = engine.register_censor(scoring_censor(0.4));
+            for (i, f) in flows.iter().enumerate() {
+                engine.admit(f).id(i).policy(p).censor(c).submit();
+            }
+            engine.run()
+        };
+        let on = run(true, 0);
+        let off = run(false, 0);
+        let traced = run(true, 32);
+        assert!(on.telemetry.is_some());
+        assert!(off.telemetry.is_none(), "telemetry off ⇒ no snapshot");
+        assert_eq!(on.wire_bits(), off.wire_bits());
+        assert_eq!(on.wire_bits(), traced.wire_bits());
     }
 
     /// FNV-1a 64 over `wire_bits()` in session order, packet order:

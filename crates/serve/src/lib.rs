@@ -51,6 +51,18 @@
 //!   per-frame latency percentiles (linearly interpolated between ranks),
 //!   evasion rate, overhead accounting — plus per-`(policy, censor)`
 //!   [`metrics::ServeReport::sub_reports`] with a deterministic merge.
+//! * Observability — the engine is instrumented by `amoeba_telemetry`
+//!   under the **zero-perturbation obligation**: counters, log-linear
+//!   latency histograms and the stage-trace flight recorder
+//!   ([`ServeConfig::trace_ring`]) must never move a wire bit or take
+//!   a lock a data-path thread can contend on. Telemetry is on by
+//!   default ([`ServeConfig::telemetry`]), publishes as
+//!   [`metrics::ServeReport::telemetry`] and through
+//!   [`engine::ServeEngine::telemetry`], and is priced by CI's
+//!   `telemetry-overhead` gate (≤2% throughput). The invariance is
+//!   pinned by `tests/telemetry_invariance.rs` and the fingerprint
+//!   sweep in `engine.rs`; exact per-frame latency vectors are opt-in
+//!   via [`ServeConfig::exact_frame_stats`].
 //! * [`dataplane::Dataplane`] — **deprecated** one-tenant shim over the
 //!   engine, kept so pre-engine callers compile. Migration: replace
 //!   `Dataplane::new(policy, censor, cfg)` + `add_flow*` with a
@@ -113,7 +125,7 @@ use amoeba_traffic::{Layer, NetEm};
 pub use backend::{BackendKind, CpuBackend, InferenceBackend, SimdBackend};
 #[allow(deprecated)]
 pub use dataplane::Dataplane;
-pub use engine::{Admission, ServeEngine};
+pub use engine::{Admission, ServeEngine, TelemetryHandle};
 pub use metrics::{ServeReport, SessionOutcome};
 pub use registry::{CensorId, CensorRegistry, PolicyId, PolicyRegistry, Tenant};
 pub use session::Session;
@@ -243,6 +255,29 @@ pub struct ServeConfig {
     /// their global session ids, and results are absorbed in sequence
     /// order, so wire output is steal-invariant.
     pub steal: bool,
+    /// Telemetry recording: shard-local counters, per-tenant feedback and
+    /// log-linear latency histograms, aggregated into the report's
+    /// [`metrics::ServeReport::telemetry`] snapshot (default `true`).
+    /// Zero-perturbation by contract: wire output is bit-identical with
+    /// telemetry on or off (pinned in `tests/telemetry_invariance.rs`),
+    /// and CI's overhead gate bounds the cost at 2% throughput.
+    pub telemetry: bool,
+    /// Flight-recorder capacity per shard driver, in stage-trace events
+    /// (0 = stage tracing off, the default). When non-zero, each shard
+    /// keeps the most recent `trace_ring` pipeline-stage spans in a
+    /// fixed-size ring, dumpable as Chrome-trace JSON via
+    /// [`amoeba_telemetry::TelemetrySnapshot::trace_json`] and to stderr
+    /// on panic. A pure observability knob — wire output is
+    /// ring-size-invariant.
+    pub trace_ring: usize,
+    /// Keep the exact per-frame latency sample vectors
+    /// ([`metrics::ServeReport::frame_queue_us`] /
+    /// [`metrics::ServeReport::frame_compute_us`]) for
+    /// exact-interpolation percentiles (default `false`: percentiles
+    /// come from the bounded-memory telemetry histograms, within 1/16
+    /// relative error). Unbounded memory per frame — intended for tests
+    /// and small calibration runs.
+    pub exact_frame_stats: bool,
 }
 
 impl ServeConfig {
@@ -267,6 +302,9 @@ impl ServeConfig {
             backend: BackendKind::from_env_or_default(),
             pipeline: true,
             steal: true,
+            telemetry: true,
+            trace_ring: 0,
+            exact_frame_stats: false,
         }
     }
 
@@ -360,6 +398,27 @@ impl ServeConfig {
         self
     }
 
+    /// Enables or disables telemetry recording (zero-perturbation
+    /// counters, histograms, per-tenant feedback).
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the per-shard flight-recorder capacity in trace events
+    /// (0 = stage tracing off).
+    pub fn with_trace_ring(mut self, trace_ring: usize) -> Self {
+        self.trace_ring = trace_ring;
+        self
+    }
+
+    /// Keeps exact per-frame latency sample vectors for
+    /// exact-interpolation percentiles (unbounded memory; tests only).
+    pub fn with_exact_frame_stats(mut self, exact: bool) -> Self {
+        self.exact_frame_stats = exact;
+        self
+    }
+
     /// The shaping kernel this configuration induces — shared §4.2
     /// constraint logic with the training gym.
     pub fn kernel(&self) -> ShapingKernel {
@@ -450,6 +509,25 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Telemetry recording (a pure observability knob: wire output is
+    /// telemetry-invariant).
+    pub fn telemetry(mut self, telemetry: bool) -> Self {
+        self.cfg.telemetry = telemetry;
+        self
+    }
+
+    /// Per-shard flight-recorder capacity in trace events (0 = off).
+    pub fn trace_ring(mut self, trace_ring: usize) -> Self {
+        self.cfg.trace_ring = trace_ring;
+        self
+    }
+
+    /// Keep exact per-frame latency vectors (unbounded memory).
+    pub fn exact_frame_stats(mut self, exact: bool) -> Self {
+        self.cfg.exact_frame_stats = exact;
+        self
+    }
+
     /// Maximum agent-added delay per frame (ms).
     pub fn max_delay_ms(mut self, ms: f32) -> Self {
         self.cfg.max_delay_ms = ms;
@@ -495,6 +573,9 @@ mod tests {
             .seed(99)
             .pipeline(false)
             .steal(false)
+            .telemetry(false)
+            .trace_ring(128)
+            .exact_frame_stats(true)
             .build();
         let mut chained = ServeConfig::new(Layer::Tcp)
             .with_batch(32)
@@ -504,7 +585,10 @@ mod tests {
             .with_verdicts(VerdictPolicy::Every(8))
             .with_seed(99)
             .with_pipeline(false)
-            .with_steal(false);
+            .with_steal(false)
+            .with_telemetry(false)
+            .with_trace_ring(128)
+            .with_exact_frame_stats(true);
         chained.verify_streams = false;
         assert_eq!(format!("{built:?}"), format!("{chained:?}"));
     }
@@ -531,6 +615,9 @@ mod tests {
         assert_eq!(cfg.seed, 0);
         assert!(cfg.pipeline, "pipelining defaults on");
         assert!(cfg.steal, "work stealing defaults on");
+        assert!(cfg.telemetry, "telemetry defaults on (zero-perturbation)");
+        assert_eq!(cfg.trace_ring, 0, "stage tracing defaults off");
+        assert!(!cfg.exact_frame_stats, "exact frame vectors default off");
         // The backend default honours the process-wide CI forcing knob
         // (`AMOEBA_SERVE_BACKEND`), falling back to the CPU reference.
         assert_eq!(cfg.backend, BackendKind::from_env_or_default());

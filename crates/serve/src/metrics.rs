@@ -4,6 +4,7 @@
 //! slices into (the cross-censor evaluation matrix of §5.4 from one
 //! dataplane pass).
 
+use amoeba_telemetry::TelemetrySnapshot;
 use amoeba_traffic::Flow;
 
 use crate::registry::Tenant;
@@ -98,6 +99,14 @@ pub struct ServeReport {
     /// Largest number of work items any one shard had simultaneously
     /// queued or in flight.
     pub max_queue_depth: usize,
+    /// The aggregated telemetry snapshot of this run (counters,
+    /// bounded-memory latency histograms, per-tenant feedback, trace
+    /// events), present when [`crate::ServeConfig::telemetry`] was on.
+    /// When the exact per-frame vectors above are disabled (the default —
+    /// [`crate::ServeConfig::exact_frame_stats`]), the `*_percentiles_us`
+    /// accessors fall back to the snapshot's histograms, accurate to one
+    /// log-linear bucket (≤ 1/16 relative error).
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl ServeReport {
@@ -199,6 +208,11 @@ impl ServeReport {
             infer_stage_us: 0.0,
             framing_stage_us: 0.0,
             max_queue_depth: 0,
+            // The snapshot's histograms fuse all tenants; a per-tenant
+            // latency split needs the exact vectors
+            // (`exact_frame_stats`). Per-tenant *counters* live in the
+            // parent snapshot's tenant map.
+            telemetry: None,
         }
     }
 
@@ -262,7 +276,10 @@ impl ServeReport {
     /// [`ServeReport::frame_latency_us`] for end-to-end figures.
     fn percentiles_of(values: &[f32], qs: &[f64]) -> Vec<f32> {
         if values.is_empty() {
-            return vec![0.0; qs.len()];
+            // A percentile of zero samples is undefined: return NaN per
+            // quantile (not 0.0, which would read as a zero-latency run).
+            // Pinned in `empty_percentiles_are_nan`.
+            return vec![f32::NAN; qs.len()];
         }
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.total_cmp(b));
@@ -277,20 +294,52 @@ impl ServeReport {
             .collect()
     }
 
+    /// Exact sample percentiles when the per-frame vectors were kept
+    /// ([`crate::ServeConfig::exact_frame_stats`]); otherwise the
+    /// telemetry histogram's nearest-rank quantile (bucket midpoints,
+    /// ≤ 1/16 relative error — pinned by
+    /// `histogram_percentiles_track_exact_ones` in
+    /// `tests/telemetry_invariance.rs`); NaN when neither source has a
+    /// sample.
+    fn percentiles_or_hist(
+        values: &[f32],
+        hist: Option<&amoeba_telemetry::Histogram>,
+        qs: &[f64],
+    ) -> Vec<f32> {
+        if values.is_empty() {
+            if let Some(h) = hist.filter(|h| !h.is_empty()) {
+                return qs.iter().map(|&q| h.quantile_us(q) as f32).collect();
+            }
+        }
+        Self::percentiles_of(values, qs)
+    }
+
     /// End-to-end (queue + compute) per-frame latency percentiles in µs;
     /// see the percentile-semantics note on the internal estimator above.
     pub fn latency_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
-        Self::percentiles_of(&self.frame_latency_us(), qs)
+        Self::percentiles_or_hist(
+            &self.frame_latency_us(),
+            self.telemetry.as_ref().map(|t| &t.latency_hist),
+            qs,
+        )
     }
 
     /// Queue-wait percentiles in µs (scheduler pressure alone).
     pub fn queue_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
-        Self::percentiles_of(&self.frame_queue_us, qs)
+        Self::percentiles_or_hist(
+            &self.frame_queue_us,
+            self.telemetry.as_ref().map(|t| &t.queue_hist),
+            qs,
+        )
     }
 
     /// Compute-time percentiles in µs (inference + framing alone).
     pub fn compute_percentiles_us(&self, qs: &[f64]) -> Vec<f32> {
-        Self::percentiles_of(&self.frame_compute_us, qs)
+        Self::percentiles_or_hist(
+            &self.frame_compute_us,
+            self.telemetry.as_ref().map(|t| &t.compute_hist),
+            qs,
+        )
     }
 
     /// Per-frame latency percentile in µs (`q` in `[0, 1]`).
@@ -308,13 +357,14 @@ impl ServeReport {
         self.latency_percentile_us(0.99)
     }
 
-    /// One-line human summary.
+    /// One-line human summary, scheduler counters included.
     pub fn summary(&self) -> String {
         let ps = self.latency_percentiles_us(&[0.50, 0.99]);
         format!(
             "{} flows, {} frames in {:.2}s | {:.0} flows/s, {:.0} frames/s, \
              {:.2} MB/s payload ({:.2} MB/s wire) | latency p50 {:.1}µs p99 {:.1}µs | \
-             evasion {:.1}%, streams ok {:.1}%, overhead {:.1}%",
+             evasion {:.1}%, streams ok {:.1}%, overhead {:.1}% | \
+             {} batches ({} stolen), depth ≤{}, infer {:.1}ms, framing {:.1}ms",
             self.outcomes.len(),
             self.frames,
             self.wall_seconds,
@@ -327,6 +377,11 @@ impl ServeReport {
             self.evasion_rate() * 100.0,
             self.stream_ok_rate() * 100.0,
             self.data_overhead() * 100.0,
+            self.inference_batches,
+            self.stolen_batches,
+            self.max_queue_depth,
+            self.infer_stage_us / 1e3,
+            self.framing_stage_us / 1e3,
         )
     }
 }
@@ -381,6 +436,8 @@ mod tests {
         assert_eq!(report.queue_percentiles_us(&[0.5])[0], 15.5 * 0.25);
         assert_eq!(report.compute_percentiles_us(&[0.5])[0], 15.5 * 0.75);
         assert!(report.summary().contains("flows/s"));
+        assert!(report.summary().contains("batches"), "scheduler counters");
+        assert!(report.summary().contains("stolen"));
     }
 
     /// The small-sample bias the nearest-rank scheme had: p50 of
@@ -417,10 +474,59 @@ mod tests {
     fn empty_report_is_all_zero() {
         let r = ServeReport::default();
         assert_eq!(r.evasion_rate(), 0.0);
-        assert_eq!(r.p99_latency_us(), 0.0);
+        assert!(r.p99_latency_us().is_nan(), "no samples ⇒ NaN, not 0");
         assert_eq!(r.data_overhead(), 0.0);
         assert!(r.tenants().is_empty());
         assert!(r.sub_reports().is_empty());
+    }
+
+    /// Percentiles of zero samples are NaN for every quantile and every
+    /// family — a report with no frames must not read as a zero-latency
+    /// run (it used to return 0.0, indistinguishable from "instant").
+    #[test]
+    fn empty_percentiles_are_nan() {
+        let r = ServeReport::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert!(r.latency_percentile_us(q).is_nan(), "latency q={q}");
+            assert!(r.queue_percentiles_us(&[q])[0].is_nan(), "queue q={q}");
+            assert!(r.compute_percentiles_us(&[q])[0].is_nan(), "compute q={q}");
+        }
+        assert!(r.p50_latency_us().is_nan());
+        // An empty telemetry snapshot doesn't change that: its histograms
+        // hold no samples either.
+        let with_tel = ServeReport {
+            telemetry: Some(TelemetrySnapshot::default()),
+            ..ServeReport::default()
+        };
+        assert!(with_tel.p99_latency_us().is_nan());
+        // The summary still renders (NaN prints, it doesn't panic).
+        assert!(r.summary().contains("flows"));
+    }
+
+    /// With exact vectors absent but telemetry present, percentiles come
+    /// from the histograms — within one log-linear bucket of the true
+    /// sample, and preferring the exact vectors whenever they exist.
+    #[test]
+    fn percentiles_fall_back_to_telemetry_histograms() {
+        let mut snap = TelemetrySnapshot::default();
+        for us in [100.0f32, 200.0, 300.0, 400.0] {
+            snap.queue_hist.record_us(us);
+        }
+        let hist_only = ServeReport {
+            telemetry: Some(snap.clone()),
+            ..ServeReport::default()
+        };
+        let p50 = hist_only.queue_percentiles_us(&[0.5])[0];
+        // Nearest-rank on 4 samples at q=0.5 rounds rank 1.5 up to the
+        // 3rd sample (300µs); bucket resolution bounds the error at 1/16.
+        assert!((p50 - 300.0).abs() <= 300.0 / 16.0, "p50 {p50}");
+        // Exact vectors win over the histogram when present.
+        let exact = ServeReport {
+            frame_queue_us: vec![5.0, 6.0, 7.0],
+            telemetry: Some(snap),
+            ..ServeReport::default()
+        };
+        assert_eq!(exact.queue_percentiles_us(&[1.0])[0], 7.0);
     }
 
     /// `sub_reports()` orders cells ascending by `(policy, censor)` no
@@ -514,6 +620,7 @@ mod tests {
             infer_stage_us: 100.0,
             framing_stage_us: 50.0,
             max_queue_depth: 4,
+            telemetry: None,
         };
         assert_eq!(report.tenants(), vec![ta, tb]);
         let subs = report.sub_reports();

@@ -45,6 +45,10 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use amoeba_nn::matrix::Matrix;
+use amoeba_telemetry::{
+    install_recorder, take_recorder, with_recorder, FlightRecorder, ShardTelemetry, StageKind,
+    TenantKey, TraceEvent,
+};
 
 use crate::registry::{PolicyId, Tenant};
 use crate::session::Session;
@@ -75,6 +79,22 @@ pub(crate) struct ChunkAcct {
     framing_us: f32,
     /// Executed by a peer shard rather than its home.
     stolen: bool,
+    /// Shard index of the thread that executed the stages (set by
+    /// [`Shared::steal`]; equals `home` otherwise).
+    pub(crate) executor: u32,
+    /// Censor verdicts issued per session this pass, parallel to
+    /// `sessions` (filled by stage 2 when telemetry is on; at most one
+    /// per pass — inline and final verdicts are mutually exclusive).
+    pub(crate) verdicts: Vec<u8>,
+    /// Stage-trace stamps, nanoseconds since the run epoch. Written only
+    /// when stage tracing is on; materialized into [`TraceEvent`]s at
+    /// absorb time on the home driver, where the flight recorder lives.
+    pub(crate) infer_t0_ns: u64,
+    pub(crate) infer_dur_ns: u64,
+    pub(crate) frame_t0_ns: u64,
+    pub(crate) frame_dur_ns: u64,
+    pub(crate) emit_t0_ns: u64,
+    pub(crate) emit_dur_ns: u64,
 }
 
 /// A self-contained unit of schedulable work: one `(policy, chunk)` of
@@ -124,6 +144,14 @@ impl WorkItem {
                 infer_us: 0.0,
                 framing_us: 0.0,
                 stolen: false,
+                executor: home as u32,
+                verdicts: Vec::new(),
+                infer_t0_ns: 0,
+                infer_dur_ns: 0,
+                frame_t0_ns: 0,
+                frame_dur_ns: 0,
+                emit_t0_ns: 0,
+                emit_dur_ns: 0,
             },
         }
     }
@@ -145,6 +173,11 @@ pub(crate) struct DriveAcct {
     pub(crate) infer_us: f64,
     pub(crate) framing_us: f64,
     pub(crate) max_queue_depth: usize,
+    /// Shard-local telemetry (counters, histograms, per-tenant feedback,
+    /// flight-recorder contents). Recorded only when
+    /// [`crate::ServeConfig::telemetry`] is on; folded deterministically
+    /// at the engine's k-way merge.
+    pub(crate) tel: ShardTelemetry,
 }
 
 /// State shared by every driver thread: one work deque per shard and the
@@ -185,6 +218,7 @@ impl Shared {
             let mut q = self.queues[victim].lock().expect("queue poisoned");
             if let Some(mut item) = q.pop_back() {
                 item.acct.stolen = true;
+                item.acct.executor = thief as u32;
                 return Some(item);
             }
         }
@@ -225,17 +259,29 @@ fn companion_loop(
         match job {
             Job::Analyze(mut item) => {
                 item.acct.queue_us = elapsed_us(item.acct.enqueued);
+                if proc.trace_on() {
+                    item.acct.infer_t0_ns = proc.now_ns();
+                }
                 let t0 = Instant::now();
                 let (means, logstds) = proc.infer(&mut item);
                 item.acct.infer_us += elapsed_us(t0);
+                if proc.trace_on() {
+                    item.acct.infer_dur_ns = proc.now_ns().saturating_sub(item.acct.infer_t0_ns);
+                }
                 if analyzed.send((item, means, logstds)).is_err() {
                     return; // driver gone
                 }
             }
             Job::Finish(mut item, emitted) => {
+                if proc.trace_on() {
+                    item.acct.emit_t0_ns = proc.now_ns();
+                }
                 let t0 = Instant::now();
                 proc.push_emitted(&mut item, &emitted);
                 item.acct.infer_us += elapsed_us(t0);
+                if proc.trace_on() {
+                    item.acct.emit_dur_ns = proc.now_ns().saturating_sub(item.acct.emit_t0_ns);
+                }
                 // The home driver holds its receiver for its whole run;
                 // a failed send means it already has every item it was
                 // owed, which this item contradicts — panic loudly.
@@ -266,9 +312,15 @@ impl Pipe {
         logstds: Matrix,
         proc: &ChunkProcessor,
     ) {
+        if proc.trace_on() {
+            item.acct.frame_t0_ns = proc.now_ns();
+        }
         let t0 = Instant::now();
         let emitted = proc.frame(&mut item, &means, &logstds);
         item.acct.framing_us = elapsed_us(t0);
+        if proc.trace_on() {
+            item.acct.frame_dur_ns = proc.now_ns().saturating_sub(item.acct.frame_t0_ns);
+        }
         self.jobs
             .send(Job::Finish(item, emitted))
             .expect("companion thread died");
@@ -325,16 +377,31 @@ impl Executor {
     fn feed(&mut self, mut item: WorkItem, proc: &ChunkProcessor, homes: &[Sender<WorkItem>]) {
         match self {
             Executor::Inline => {
+                let trace = proc.trace_on();
                 item.acct.queue_us = elapsed_us(item.acct.enqueued);
+                if trace {
+                    item.acct.infer_t0_ns = proc.now_ns();
+                }
                 let t0 = Instant::now();
                 let (means, logstds) = proc.infer(&mut item);
                 item.acct.infer_us += elapsed_us(t0);
+                if trace {
+                    item.acct.infer_dur_ns = proc.now_ns().saturating_sub(item.acct.infer_t0_ns);
+                    item.acct.frame_t0_ns = proc.now_ns();
+                }
                 let t1 = Instant::now();
                 let emitted = proc.frame(&mut item, &means, &logstds);
                 item.acct.framing_us = elapsed_us(t1);
+                if trace {
+                    item.acct.frame_dur_ns = proc.now_ns().saturating_sub(item.acct.frame_t0_ns);
+                    item.acct.emit_t0_ns = proc.now_ns();
+                }
                 let t2 = Instant::now();
                 proc.push_emitted(&mut item, &emitted);
                 item.acct.infer_us += elapsed_us(t2);
+                if trace {
+                    item.acct.emit_dur_ns = proc.now_ns().saturating_sub(item.acct.emit_t0_ns);
+                }
                 homes[item.home]
                     .send(item)
                     .expect("home shard dropped its return channel");
@@ -381,8 +448,12 @@ impl Executor {
 pub(crate) fn run_shards(mut shards: Vec<Shard>) -> Vec<ShardReport> {
     assert!(!shards.is_empty(), "run_shards needs at least one shard");
     let n = shards.len();
+    // One epoch for the whole fleet, so trace timestamps from different
+    // shards land on a common axis.
+    let epoch = Instant::now();
     for (i, s) in shards.iter_mut().enumerate() {
         s.set_index(i);
+        s.proc.epoch = epoch;
     }
     let steal = shards[0].proc.cfg.steal && n > 1;
     let shared = Arc::new(Shared::new(n));
@@ -426,6 +497,12 @@ fn absorb(
     next_absorb: &mut u64,
     item: WorkItem,
 ) {
+    let telemetry = shard.proc.cfg.telemetry;
+    let exact = shard.proc.cfg.exact_frame_stats;
+    let trace = shard.proc.trace_on();
+    if telemetry && item.seq != *next_absorb {
+        acct.tel.counters.absorbs_out_of_order += 1;
+    }
     parked.insert(item.seq, item);
     while let Some(item) = parked.remove(next_absorb) {
         *next_absorb += 1;
@@ -437,10 +514,68 @@ fn absorb(
         acct.infer_us += item.acct.infer_us as f64;
         acct.framing_us += item.acct.framing_us as f64;
         let compute = item.acct.infer_us + item.acct.framing_us;
-        for session in &item.sessions {
-            acct.queue_us.push(item.acct.queue_us);
-            acct.compute_us.push(compute);
-            acct.frame_tenants.push(session.tenant());
+        if telemetry {
+            let tel = &mut acct.tel;
+            tel.counters.absorbs += 1;
+            // End-to-end frame latency: item formed → absorbed home.
+            let latency_us = elapsed_us(item.acct.enqueued);
+            for (r, session) in item.sessions.iter().enumerate() {
+                tel.queue_hist.record_us(item.acct.queue_us);
+                tel.compute_hist.record_us(compute);
+                tel.latency_hist.record_us(latency_us);
+                let t = session.tenant();
+                let cell = tel.tenant_mut(TenantKey {
+                    policy: t.policy.index(),
+                    censor: t.censor.index(),
+                });
+                cell.frames += 1;
+                cell.verdicts += u64::from(item.acct.verdicts.get(r).copied().unwrap_or(0));
+                if session.is_done() {
+                    // Done sessions never re-enter the heap, so this pass
+                    // is the unique one that observes the finish.
+                    cell.sessions += 1;
+                    cell.evasions += u64::from(session.evaded());
+                }
+            }
+            if trace {
+                with_recorder(|rec| {
+                    let span = |stage, t0_ns, dur_ns| TraceEvent {
+                        stage,
+                        shard: item.home as u32,
+                        executor: item.acct.executor,
+                        seq: item.seq,
+                        t0_ns,
+                        dur_ns,
+                        batch: item.len() as u32,
+                    };
+                    if item.acct.stolen {
+                        // Instantaneous marker at the thief's stage-1 start.
+                        rec.push(span(StageKind::Steal, item.acct.infer_t0_ns, 0));
+                    }
+                    rec.push(span(
+                        StageKind::Infer,
+                        item.acct.infer_t0_ns,
+                        item.acct.infer_dur_ns,
+                    ));
+                    rec.push(span(
+                        StageKind::Frame,
+                        item.acct.frame_t0_ns,
+                        item.acct.frame_dur_ns,
+                    ));
+                    rec.push(span(
+                        StageKind::Emit,
+                        item.acct.emit_t0_ns,
+                        item.acct.emit_dur_ns,
+                    ));
+                });
+            }
+        }
+        if exact {
+            for session in &item.sessions {
+                acct.queue_us.push(item.acct.queue_us);
+                acct.compute_us.push(compute);
+                acct.frame_tenants.push(session.tenant());
+            }
         }
         shard.reclaim(item);
     }
@@ -463,8 +598,20 @@ fn drive(
     let mut next_seq = 0u64;
     let mut next_absorb = 0u64;
     let mut parked: BTreeMap<u64, WorkItem> = BTreeMap::new();
+    let telemetry = proc.cfg.telemetry;
+    let trace_on = proc.trace_on();
+    if trace_on {
+        // The ring lives in a thread-local so `absorb` (and the panic
+        // hook) can reach it without threading a parameter through every
+        // call; absorbs only ever run on the home driver, so one
+        // recorder per driver covers all of this shard's items.
+        install_recorder(FlightRecorder::new(proc.cfg.trace_ring));
+    }
 
     while shard.has_pending() {
+        if telemetry {
+            acct.tel.counters.ticks += 1;
+        }
         let items = shard.next_tick(&mut next_seq);
         let mut outstanding = items.len();
         acct.max_queue_depth = acct.max_queue_depth.max(outstanding);
@@ -517,6 +664,12 @@ fn drive(
         }
     }
     exec.shutdown(&proc);
+    if trace_on {
+        if let Some(rec) = take_recorder() {
+            acct.tel.dropped_events = rec.dropped();
+            acct.tel.events = rec.events();
+        }
+    }
     debug_assert!(parked.is_empty(), "absorbed all items in seq order");
     shard.into_report(acct)
 }

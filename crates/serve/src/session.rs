@@ -310,12 +310,19 @@ impl Session {
         self.stream_ok
     }
 
+    /// Whether the session finished evading: never blocked midstream and
+    /// final score below the 0.5 detection threshold. Meaningful once the
+    /// session is done; also what telemetry counts per tenant.
+    pub(crate) fn evaded(&self) -> bool {
+        !self.blocked_midstream && self.final_score < 0.5
+    }
+
     /// Consumes the session into its report row.
     pub(crate) fn into_outcome(self) -> crate::SessionOutcome {
         crate::SessionOutcome {
             id: self.id,
             tenant: self.tenant,
-            evaded: !self.blocked_midstream && self.final_score < 0.5,
+            evaded: self.evaded(),
             blocked_midstream: self.blocked_midstream,
             final_score: self.final_score,
             frames: self.frames,

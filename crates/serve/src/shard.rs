@@ -106,6 +106,10 @@ pub struct ShardReport {
     pub framing_us: f64,
     /// Largest number of work items simultaneously queued or in flight.
     pub max_queue_depth: usize,
+    /// Shard-local telemetry: counters, latency histograms, per-tenant
+    /// feedback and flight-recorder contents. Default-empty when
+    /// [`crate::ServeConfig::telemetry`] is off.
+    pub telemetry: amoeba_telemetry::ShardTelemetry,
 }
 
 /// One resident session with its incremental encoder states: the unit
@@ -187,9 +191,26 @@ pub(crate) struct ChunkProcessor {
     pub(crate) backend: Arc<dyn InferenceBackend>,
     pub(crate) cfg: ServeConfig,
     pub(crate) kernel: ShapingKernel,
+    /// Trace epoch — every stage timestamp is nanoseconds since this
+    /// instant. Set uniformly across the fleet by
+    /// [`crate::scheduler::run_shards`] so all shards share one axis.
+    pub(crate) epoch: std::time::Instant,
 }
 
 impl ChunkProcessor {
+    /// Whether stage tracing is active (telemetry on and a non-zero
+    /// flight-recorder capacity configured).
+    #[inline]
+    pub(crate) fn trace_on(&self) -> bool {
+        self.cfg.telemetry && self.cfg.trace_ring > 0
+    }
+
+    /// Nanoseconds since the run epoch.
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
     /// Stage 1: one fused observation push + actor-head pass over the
     /// item's sessions. Returns `(means, logstds)`, one row per session.
     pub(crate) fn infer(&self, item: &mut WorkItem) -> (Matrix, Matrix) {
@@ -225,6 +246,11 @@ impl ChunkProcessor {
     pub(crate) fn frame(&self, item: &mut WorkItem, means: &Matrix, logstds: &Matrix) -> Matrix {
         let b = item.sessions.len();
         let kernel = self.kernel;
+        let telemetry = self.cfg.telemetry;
+        if telemetry {
+            item.acct.verdicts.clear();
+            item.acct.verdicts.resize(b, 0);
+        }
         let mut emitted = Matrix::zeros(b, 2);
         for (r, session) in item.sessions.iter_mut().enumerate() {
             let action = match self.cfg.mode {
@@ -250,14 +276,18 @@ impl ChunkProcessor {
                 VerdictPolicy::EveryFrame => true,
                 VerdictPolicy::Every(n) => n > 0 && session.frames().is_multiple_of(n),
             };
-            if inline
-                && !event.done
-                && !session.blocked_midstream()
-                && censor.blocks(session.wire())
-            {
-                session.set_blocked_midstream();
+            if inline && !event.done && !session.blocked_midstream() {
+                if telemetry {
+                    item.acct.verdicts[r] += 1;
+                }
+                if censor.blocks(session.wire()) {
+                    session.set_blocked_midstream();
+                }
             }
             if event.done {
+                if telemetry {
+                    item.acct.verdicts[r] += 1;
+                }
                 let score = censor.score(session.wire());
                 session.set_final_score(score);
                 session.finish_streams(self.cfg.verify_streams);
@@ -362,6 +392,7 @@ impl Shard {
                 backend,
                 cfg,
                 kernel,
+                epoch: std::time::Instant::now(),
             },
             slots,
             heap,
@@ -452,17 +483,29 @@ impl Shard {
     }
 
     /// Consumes the shard into its report once every session finished.
-    pub(crate) fn into_report(self, acct: DriveAcct) -> ShardReport {
+    pub(crate) fn into_report(self, mut acct: DriveAcct) -> ShardReport {
+        let telemetry = self.proc.cfg.telemetry;
+        let outcomes: Vec<SessionOutcome> = self
+            .slots
+            .into_iter()
+            .map(|slot| {
+                slot.expect("all sessions resident at completion")
+                    .session
+                    .into_outcome()
+            })
+            .collect();
+        if telemetry {
+            // Scheduler quantities the drive loop already counted for the
+            // report proper; mirror them into the telemetry snapshot so
+            // it is self-contained.
+            acct.tel.counters.batches = acct.batches as u64;
+            acct.tel.counters.frames = acct.frames as u64;
+            acct.tel.counters.stolen_batches = acct.stolen_batches as u64;
+            acct.tel.counters.max_queue_depth = acct.max_queue_depth as u64;
+            acct.tel.counters.sessions = outcomes.len() as u64;
+        }
         ShardReport {
-            outcomes: self
-                .slots
-                .into_iter()
-                .map(|slot| {
-                    slot.expect("all sessions resident at completion")
-                        .session
-                        .into_outcome()
-                })
-                .collect(),
+            outcomes,
             frames: acct.frames,
             batches: acct.batches,
             queue_us: acct.queue_us,
@@ -472,6 +515,7 @@ impl Shard {
             infer_us: acct.infer_us,
             framing_us: acct.framing_us,
             max_queue_depth: acct.max_queue_depth,
+            telemetry: acct.tel,
         }
     }
 

@@ -2,7 +2,8 @@
 //! contract: for random offered flows, a fixed seed must produce
 //! bit-identical per-session wire output no matter how sessions are
 //! grouped — any shard count in `1..=8`, batch size 1 or 64, sampled
-//! actions, and NetEm impairment on or off.
+//! actions, NetEm impairment on or off, and telemetry/trace-ring
+//! settings varied (observability must never perturb the wire).
 //!
 //! Runs through the deprecated one-tenant [`Dataplane`] shim on purpose:
 //! it doubles as the regression net that the shim delegates to the
@@ -19,6 +20,7 @@ use proptest::prelude::*;
 use amoeba_serve::{ActionMode, Dataplane, ServeConfig, ServeReport};
 use amoeba_traffic::{Flow, Layer, NetEm};
 
+#[allow(clippy::too_many_arguments)]
 fn run(
     flows: &[Flow],
     seed: u64,
@@ -27,6 +29,8 @@ fn run(
     pipeline: bool,
     steal: bool,
     netem: Option<NetEm>,
+    telemetry: bool,
+    trace_ring: usize,
 ) -> ServeReport {
     let mut cfg = ServeConfig::new(Layer::Tcp)
         .with_seed(seed)
@@ -34,6 +38,8 @@ fn run(
         .with_shards(shards)
         .with_pipeline(pipeline)
         .with_steal(steal)
+        .with_telemetry(telemetry)
+        .with_trace_ring(trace_ring)
         .with_mode(ActionMode::Sample);
     cfg.netem = netem;
     let mut dp = Dataplane::new(tiny_policy(7), scoring_censor(0.1), cfg);
@@ -62,17 +68,25 @@ proptest! {
         pipeline in any::<bool>(),
         steal in any::<bool>(),
         with_netem in any::<bool>(),
+        telemetry in any::<bool>(),
+        ring_pick in 0usize..3,
     ) {
         let netem = with_netem.then_some(NetEm {
             drop_rate: 0.08,
             retransmit_timeout_ms: 50.0,
             jitter_std: 0.2,
         });
-        let reference = run(&flows, seed, 1, 1, false, false, netem);
+        let trace_ring = [0usize, 8, 256][ring_pick];
+        // Reference run: telemetry off entirely — the sharded runs vary
+        // the telemetry/trace knobs to prove observability never leaks
+        // into the wire.
+        let reference = run(&flows, seed, 1, 1, false, false, netem, false, 0);
         prop_assert_eq!(reference.outcomes.len(), flows.len());
         let ref_bits = wire_bits(&reference);
         for batch in [1usize, 64] {
-            let sharded = run(&flows, seed, batch, n_shards, pipeline, steal, netem);
+            let sharded = run(
+                &flows, seed, batch, n_shards, pipeline, steal, netem, telemetry, trace_ring,
+            );
             prop_assert_eq!(sharded.frames, reference.frames);
             prop_assert_eq!(
                 wire_bits(&sharded),

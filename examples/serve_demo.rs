@@ -6,7 +6,10 @@
 //! per censor tenant), batched inference fused across both tenants. The
 //! per-censor sub-reports print the §5.4 cross-censor transfer story
 //! (policy trained vs DT, evaluated vs DT *and* LSTM) from a single
-//! dataplane run.
+//! dataplane run. The demo ends by printing the run's telemetry
+//! snapshot — counters, histogram latency percentiles, per-tenant
+//! cells and flight-recorder occupancy — observability that never
+//! moves a wire bit.
 //!
 //! ```sh
 //! cargo run --release --example serve_demo
@@ -88,6 +91,11 @@ fn main() {
         .shards(env_or("AMOEBA_SERVE_SHARDS", 0))
         .verdicts(VerdictPolicy::Every(8))
         .seed(7)
+        // Keep the last 256 stage spans per shard for the trace dump,
+        // and the exact per-frame vectors so the per-censor sub-reports
+        // below can quote latency percentiles (histograms are engine-wide).
+        .trace_ring(256)
+        .exact_frame_stats(true)
         .build();
     let mut engine = ServeEngine::new(serve_cfg);
     let p = engine.register_policy(policy);
@@ -98,6 +106,9 @@ fn main() {
         engine.admit(flow).policy(p).censor(c_lstm).submit();
     }
     let backend = engine.backend_name();
+    // Grab the telemetry handle up front: `run()` consumes the engine,
+    // and the handle is populated when the run completes.
+    let telemetry = engine.telemetry();
     let r = engine.run();
 
     println!("serve ({backend} backend): {}", r.summary());
@@ -122,4 +133,27 @@ fn main() {
         r.flows_per_sec(),
         r.payload_mb_per_sec()
     );
+
+    // --- observe: the telemetry snapshot that rode along -------------------
+    let snap = telemetry.get().expect("telemetry is on by default");
+    println!(
+        "telemetry: {} ticks, {} batches ({} stolen), {} absorbs ({} out of order), \
+         latency p50 {:.0}µs p99 {:.0}µs from log-linear histograms, {} trace events \
+         ({} dropped by the ring)",
+        snap.counters.ticks,
+        snap.counters.batches,
+        snap.counters.stolen_batches,
+        snap.counters.absorbs,
+        snap.counters.absorbs_out_of_order,
+        snap.latency_hist.quantile_us(0.5),
+        snap.latency_hist.quantile_us(0.99),
+        snap.events.len(),
+        snap.dropped_events,
+    );
+    for (key, cell) in &snap.tenants {
+        println!(
+            "  tenant (policy {}, censor {}): {} frames, {} verdicts, {}/{} sessions evaded",
+            key.policy, key.censor, cell.frames, cell.verdicts, cell.evasions, cell.sessions
+        );
+    }
 }
