@@ -33,6 +33,14 @@
 //!   `ServeEngine` run over 2 policies (trained vs DT and RF) × 3
 //!   censors (DT, RF, CUMUL), printing evasion per `(policy, censor)`
 //!   cell.
+//! * `--scenario {classifier,warmup,hysteresis,hard-label,all}` picks
+//!   the censor-program family serving the matrix columns (default
+//!   `classifier`, the one-shot adapter path pinned bit-for-bit by
+//!   `CLASSIFIER_SMOKE_FINGERPRINT` in smoke mode). `warmup` and
+//!   `hysteresis` serve stateful programs (grace window / consecutive
+//!   verdict streak with mid-stream teardown), `hard-label` serves
+//!   verdict-only wrappers, `all` sweeps every scenario. Only meaningful
+//!   with `--matrix`.
 //! * `AMOEBA_SERVE_SMOKE=1` switches to the CI smoke mode: a small run
 //!   (default 96 flows, override via `AMOEBA_SERVE_FLOWS`) at 1 vs 4
 //!   shards and steal on vs off with the wire outputs cross-checked
@@ -40,7 +48,6 @@
 //!   cell cross-checked against its single-tenant run; with `--skew`,
 //!   the skewed mix across steal on/off × shards 1/4.
 use amoeba_bench::{serve, Context, Scale};
-use amoeba_classifiers::CensorKind;
 use amoeba_serve::BackendKind;
 
 fn main() {
@@ -58,6 +65,7 @@ fn main() {
     };
     let telemetry_base = opt_value("--telemetry");
     let json_path = opt_value("--json");
+    let scenario = opt_value("--scenario").unwrap_or_else(|| "classifier".into());
     let backend = args
         .iter()
         .position(|a| a == "--backend")
@@ -122,19 +130,12 @@ fn main() {
         ),
         (true, true, _) => print!(
             "{}",
-            serve::serve_matrix_smoke(&mut ctx, n_flows, 64, backend)
+            serve::serve_matrix_smoke_scenarios(&mut ctx, n_flows, 64, backend, &scenario)
         ),
         (true, false, _) => print!("{}", serve::serve_smoke(&mut ctx, n_flows, 64, backend)),
         (false, true, _) => print!(
             "{}",
-            serve::serve_matrix(
-                &mut ctx,
-                n_flows,
-                64,
-                backend,
-                &[CensorKind::Dt, CensorKind::Rf],
-                &[CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul],
-            )
+            serve::serve_matrix_scenarios(&mut ctx, n_flows, 64, backend, &scenario)
         ),
         (false, false, _) => {
             print!(

@@ -5,7 +5,11 @@
 //! evasion — the numbers the ROADMAP's "serve heavy traffic" scaling
 //! work steers by.
 
-use amoeba_classifiers::CensorKind;
+use std::sync::Arc;
+
+use amoeba_classifiers::{
+    Censor, CensorKind, CensorProgramFactory, HardLabelFactory, StatefulProgramFactory,
+};
 use amoeba_serve::{
     BackendKind, CensorId, CensorRegistry, FrozenPolicy, PolicyId, PolicyRegistry, ServeConfig,
     ServeEngine, ServeReport, VerdictPolicy,
@@ -17,6 +21,86 @@ use crate::Context;
 /// Offered-flow prefix cap: bounds per-session frame counts and payload
 /// memory so 1k+ concurrent sessions stay cheap on CI hardware.
 pub const PREFIX_CAP: usize = 20;
+
+/// Pinned wire fingerprint of the classifier-scenario matrix smoke under
+/// the exact CI smoke parameters (`AMOEBA_SERVE_SMOKE=1 AMOEBA_STEPS=8192`,
+/// small scale, 96 flows, batch 64, 4 shards, seed 42). Captured on the
+/// pre-refactor one-shot censor path; the streaming [`CensorProgram`]
+/// adapter must keep reproducing it bit-for-bit, on any backend.
+///
+/// [`CensorProgram`]: amoeba_classifiers::CensorProgram
+pub const CLASSIFIER_SMOKE_FINGERPRINT: u64 = 0xf396_37d3_c933_4b89;
+
+/// The censor-program scenario axis of the matrix modes: which program
+/// family serves the matrix's censor columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Degenerate adapter over the trained classifiers — bit-for-bit the
+    /// pre-refactor one-shot scoring path (pinned by
+    /// [`CLASSIFIER_SMOKE_FINGERPRINT`] under the CI smoke parameters).
+    Classifier,
+    /// Stateful programs that allow everything until they have observed
+    /// one flow snapshot — the "warmup" grace every real DPI box shows.
+    Warmup,
+    /// Stateful programs demanding 2 consecutive over-threshold scores
+    /// before acting, and acting by tearing the session down (`Reset`).
+    Hysteresis,
+    /// Verdict-only wrappers: `Block` or `Allow`, never a score — the
+    /// hard-label threat model.
+    HardLabel,
+}
+
+impl Scenario {
+    /// Every scenario, in the order `--scenario all` runs them.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::Classifier,
+        Scenario::Warmup,
+        Scenario::Hysteresis,
+        Scenario::HardLabel,
+    ];
+
+    /// CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Classifier => "classifier",
+            Scenario::Warmup => "warmup",
+            Scenario::Hysteresis => "hysteresis",
+            Scenario::HardLabel => "hard-label",
+        }
+    }
+
+    /// Parses one `--scenario` value (`all` is handled by the caller).
+    pub fn parse(s: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|sc| sc.name() == s)
+    }
+
+    /// Wraps a one-shot censor in this scenario's program factory.
+    /// `Classifier` has no wrapper — the registry's own adapter path is
+    /// the scenario.
+    fn factory(self, censor: Arc<dyn Censor>) -> Option<Arc<dyn CensorProgramFactory>> {
+        match self {
+            Scenario::Classifier => None,
+            Scenario::Warmup => Some(Arc::new(StatefulProgramFactory::new(censor, 1, 1, 0.5))),
+            Scenario::Hysteresis => Some(Arc::new(
+                StatefulProgramFactory::new(censor, 0, 2, 0.5).with_teardown(true),
+            )),
+            Scenario::HardLabel => Some(Arc::new(HardLabelFactory::over_censor(censor))),
+        }
+    }
+}
+
+/// Expands a `--scenario` CLI value into the scenarios to run.
+///
+/// # Panics
+/// Panics on an unknown scenario name.
+pub fn parse_scenarios(arg: &str) -> Vec<Scenario> {
+    if arg == "all" {
+        return Scenario::ALL.to_vec();
+    }
+    vec![Scenario::parse(arg).unwrap_or_else(|| {
+        panic!("--scenario needs classifier|warmup|hysteresis|hard-label|all, got {arg:?}")
+    })]
+}
 
 fn serve_config(
     ctx: &mut Context,
@@ -560,10 +644,12 @@ pub fn report_json(
 }
 
 /// Builds one multi-tenant engine over `policy_kinds × censor_kinds`
-/// (policies are Amoeba agents trained against the named censor family)
-/// and admits `n_flows` Tor-prefix sessions round-robin across the
-/// tenant cells. Returns the run report plus the registered handles, in
-/// registration (= argument) order.
+/// (policies are Amoeba agents trained against the named censor family,
+/// censors wrapped per the scenario's program family) and admits
+/// `n_flows` Tor-prefix sessions round-robin across the tenant cells.
+/// Returns the run report plus the registered handles, in registration
+/// (= argument) order.
+#[allow(clippy::too_many_arguments)]
 fn run_matrix(
     ctx: &mut Context,
     n_flows: usize,
@@ -572,6 +658,7 @@ fn run_matrix(
     backend: BackendKind,
     policy_kinds: &[CensorKind],
     censor_kinds: &[CensorKind],
+    scenario: Scenario,
 ) -> (ServeReport, Vec<PolicyId>, Vec<CensorId>) {
     assert!(!policy_kinds.is_empty() && !censor_kinds.is_empty());
     // Assemble the tenant tables up front, then hand them to the engine —
@@ -584,7 +671,13 @@ fn run_matrix(
     let mut censors = CensorRegistry::new();
     let cids: Vec<CensorId> = censor_kinds
         .iter()
-        .map(|&k| censors.register(ctx.censor(DatasetKind::Tor, k)))
+        .map(|&k| {
+            let censor = ctx.censor(DatasetKind::Tor, k);
+            match scenario.factory(Arc::clone(&censor)) {
+                Some(f) => censors.register_program(f),
+                None => censors.register(censor),
+            }
+        })
         .collect();
     let flows = offered(ctx, n_flows);
     let mut engine = ServeEngine::with_registries(
@@ -618,8 +711,16 @@ pub fn serve_matrix(
     policy_kinds: &[CensorKind],
     censor_kinds: &[CensorKind],
 ) -> String {
-    let (report, pids, cids) =
-        run_matrix(ctx, n_flows, batch, 1, backend, policy_kinds, censor_kinds);
+    let (report, pids, cids) = run_matrix(
+        ctx,
+        n_flows,
+        batch,
+        1,
+        backend,
+        policy_kinds,
+        censor_kinds,
+        Scenario::Classifier,
+    );
     let mut md = String::from("## amoeba-serve cross-censor matrix (one engine run)\n\n");
     md += &format!(
         "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes) split \
@@ -661,12 +762,30 @@ pub fn serve_matrix_smoke(
         backend,
         &policy_kinds,
         &censor_kinds,
+        Scenario::Classifier,
     );
     assert_eq!(
         report.stream_ok_rate(),
         1.0,
         "matrix smoke: streams failed to verify"
     );
+    // CI fingerprint pin: under the exact smoke parameters the classifier
+    // scenario must reproduce the pre-refactor one-shot wire bit-for-bit.
+    // Backends are bit-identical by contract, so no backend gate.
+    if ctx.scale.seed == 42
+        && ctx.scale.amoeba_timesteps == 8192
+        && ctx.scale.n_per_class == 250
+        && ctx.scale.eval_flows == 25
+        && n_flows == 96
+        && batch == 64
+    {
+        assert_eq!(
+            report.wire_fingerprint(),
+            CLASSIFIER_SMOKE_FINGERPRINT,
+            "matrix smoke: classifier wire fingerprint drifted from the \
+             pre-refactor one-shot censor pin"
+        );
+    }
 
     let flows = offered(ctx, n_flows);
     let cells = pids.len() * cids.len();
@@ -702,6 +821,186 @@ pub fn serve_matrix_smoke(
     md += &throughput_row("2 policies × 3 censors", &report);
     md += "\n";
     md += &serve_matrix_table_only(&report, &pids, &cids, &policy_kinds, &censor_kinds);
+    md += &format!("\nwire fingerprint: {:#018x}\n", report.wire_fingerprint());
+    md
+}
+
+/// One scenario leg of the `--matrix --scenario` sweep in smoke mode:
+/// the 2×3 tenant matrix served with the scenario's censor programs at 1
+/// and 4 shards, wire cross-checked bit-for-bit — per-session program
+/// state rides the work item, so shard count stays a pure throughput
+/// knob even for stateful programs. Classifier delegates to
+/// [`serve_matrix_smoke`] (single-tenant cross-check + the
+/// [`CLASSIFIER_SMOKE_FINGERPRINT`] pin).
+pub fn serve_scenario_smoke(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    backend: BackendKind,
+    scenario: Scenario,
+) -> String {
+    if scenario == Scenario::Classifier {
+        return serve_matrix_smoke(ctx, n_flows, batch, backend);
+    }
+    let policy_kinds = [CensorKind::Dt, CensorKind::Rf];
+    let censor_kinds = [CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul];
+    let (four, pids, cids) = run_matrix(
+        ctx,
+        n_flows,
+        batch,
+        4,
+        backend,
+        &policy_kinds,
+        &censor_kinds,
+        scenario,
+    );
+    let (one, _, _) = run_matrix(
+        ctx,
+        n_flows,
+        batch,
+        1,
+        backend,
+        &policy_kinds,
+        &censor_kinds,
+        scenario,
+    );
+    let name = scenario.name();
+    assert_eq!(
+        one.wire_bits(),
+        four.wire_bits(),
+        "scenario {name}: 4-shard wire output diverged from 1-shard"
+    );
+    let snap = four
+        .telemetry
+        .as_ref()
+        .expect("matrix runs carry telemetry");
+    let (mut queries, mut verdicts, mut teardowns) = (0u64, 0u64, 0u64);
+    for t in snap.tenants.values() {
+        queries += t.verdict_queries;
+        verdicts += t.verdicts;
+        teardowns += t.teardowns;
+    }
+    assert!(
+        queries >= verdicts,
+        "scenario {name}: programs answered more verdicts than they were asked"
+    );
+    assert_eq!(
+        teardowns,
+        four.torn_sessions() as u64,
+        "scenario {name}: telemetry teardowns disagree with session statuses"
+    );
+    match scenario {
+        Scenario::Warmup => {
+            // Every session's first observation falls inside the warmup
+            // window and is allowed silently, so strictly more queries
+            // than verdicts — and a warmup program never tears down.
+            assert!(
+                queries > verdicts,
+                "scenario {name}: warmup never suppressed a verdict"
+            );
+            assert_eq!(teardowns, 0, "scenario {name}: warmup program tore down");
+        }
+        Scenario::Hysteresis => {
+            // Torn sessions are blocked, never evaded.
+            assert!(
+                four.outcomes
+                    .iter()
+                    .all(|o| o.status != amoeba_serve::SessionStatus::Torn || !o.evaded),
+                "scenario {name}: a torn-down session counted as evaded"
+            );
+        }
+        Scenario::HardLabel => {
+            // Verdict-only programs never leak a score: every final
+            // score the dataplane records is exactly 0 or 1.
+            assert!(
+                four.outcomes
+                    .iter()
+                    .all(|o| o.final_score == 0.0 || o.final_score == 1.0),
+                "scenario {name}: hard-label program leaked a soft score"
+            );
+        }
+        Scenario::Classifier => unreachable!(),
+    }
+    let mut md = format!(
+        "## amoeba-serve matrix smoke, scenario `{name}` (2×3 tenants, shards 1 vs 4 \
+         bit-identical)\n\n"
+    );
+    md += TABLE_HEADER;
+    md += &throughput_row(&format!("2 policies × 3 censors ({name})"), &four);
+    md += "\n";
+    md += &serve_matrix_table_only(&four, &pids, &cids, &policy_kinds, &censor_kinds);
+    md += &format!(
+        "\nverdict queries {queries}, verdicts {verdicts}, teardowns {teardowns} \
+         (torn sessions: {})\n",
+        four.torn_sessions()
+    );
+    md
+}
+
+/// Runs every scenario named by the `--scenario` CLI value in smoke
+/// mode, concatenating the per-scenario reports.
+pub fn serve_matrix_smoke_scenarios(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    backend: BackendKind,
+    scenario_arg: &str,
+) -> String {
+    parse_scenarios(scenario_arg)
+        .into_iter()
+        .map(|s| serve_scenario_smoke(ctx, n_flows, batch, backend, s))
+        .collect()
+}
+
+/// Runs every scenario named by the `--scenario` CLI value in the
+/// full (non-smoke) matrix mode, concatenating the per-scenario tables.
+/// Classifier renders the classic [`serve_matrix`] table; the other
+/// scenarios run the same 2×3 matrix at 1 shard with their program
+/// family and report evasion plus teardown/verdict telemetry.
+pub fn serve_matrix_scenarios(
+    ctx: &mut Context,
+    n_flows: usize,
+    batch: usize,
+    backend: BackendKind,
+    scenario_arg: &str,
+) -> String {
+    let policy_kinds = [CensorKind::Dt, CensorKind::Rf];
+    let censor_kinds = [CensorKind::Dt, CensorKind::Rf, CensorKind::Cumul];
+    let mut md = String::new();
+    for scenario in parse_scenarios(scenario_arg) {
+        if scenario == Scenario::Classifier {
+            md += &serve_matrix(ctx, n_flows, batch, backend, &policy_kinds, &censor_kinds);
+            continue;
+        }
+        let (report, pids, cids) = run_matrix(
+            ctx,
+            n_flows,
+            batch,
+            1,
+            backend,
+            &policy_kinds,
+            &censor_kinds,
+            scenario,
+        );
+        md += &format!(
+            "## amoeba-serve cross-censor matrix, scenario `{}`\n\n",
+            scenario.name()
+        );
+        md += &serve_matrix_table_only(&report, &pids, &cids, &policy_kinds, &censor_kinds);
+        if let Some(snap) = &report.telemetry {
+            let (mut queries, mut verdicts, mut teardowns) = (0u64, 0u64, 0u64);
+            for t in snap.tenants.values() {
+                queries += t.verdict_queries;
+                verdicts += t.verdicts;
+                teardowns += t.teardowns;
+            }
+            md += &format!(
+                "\nverdict queries {queries}, verdicts {verdicts}, teardowns {teardowns} \
+                 (torn sessions: {})\n",
+                report.torn_sessions()
+            );
+        }
+    }
     md
 }
 

@@ -13,6 +13,13 @@
 //! All expose the black-box [`censor::Censor`] oracle used by the RL core;
 //! NN families additionally keep their autograd graph ([`train::NnModel`])
 //! for the white-box attack baselines.
+//!
+//! On top of the one-shot oracle sits [`program`]: streaming
+//! [`program::CensorProgram`] state machines (warmup, hysteresis,
+//! hard-label verdict-only gateways, mid-stream teardown) that the gym
+//! and the serving dataplane train and serve against. The six one-shot
+//! families become degenerate programs through
+//! [`program::ClassifierProgramFactory`], pinned bit-for-bit.
 
 #![warn(missing_docs)]
 
@@ -21,6 +28,7 @@ pub mod cumul;
 pub mod df;
 pub mod lstm;
 pub mod metrics;
+pub mod program;
 pub mod sdae;
 pub mod train;
 pub mod trees;
@@ -30,6 +38,11 @@ pub use cumul::CumulCensor;
 pub use df::{DfCensor, DfConfig, DfModel};
 pub use lstm::{LstmCensor, LstmConfig, LstmModel};
 pub use metrics::{evaluate, Metrics};
+pub use program::{
+    CensorDecision, CensorProgram, CensorProgramFactory, ClassifierProgram,
+    ClassifierProgramFactory, HardLabelFactory, HardLabelProgram, StatefulProgram,
+    StatefulProgramFactory, ThresholdProgram, ThresholdProgramFactory,
+};
 pub use sdae::{SdaeCensor, SdaeConfig, SdaeModel};
 pub use train::{
     train_censor, train_cumul, train_df, train_dt, train_lstm, train_nn_model, train_rf,

@@ -1,0 +1,581 @@
+//! Streaming censor programs: the on-path stateful adversary.
+//!
+//! The paper's threat model (§2) — and ROADMAP item 3 — is a gateway
+//! that watches a flow *as it is transmitted*, not a classifier handed a
+//! finished feature vector. [`CensorProgram`] is that adversary: a
+//! per-session state machine observing the wire prefix frame by frame
+//! and answering with a [`CensorDecision`] each time. The six one-shot
+//! [`Censor`] families become degenerate programs through
+//! [`ClassifierProgramFactory`] — bit-for-bit identical to querying the
+//! classifier directly — while genuinely stateful adversaries (warmup
+//! windows, hysteresis streaks, hard-label verdict-only gateways,
+//! mid-stream connection teardown) compose on top without the serving
+//! or training layers knowing the difference.
+//!
+//! ## Program obligations
+//!
+//! Every implementation owes the engine three guarantees:
+//!
+//! * **Statefulness is per-session.** A program instance belongs to
+//!   exactly one session; [`CensorProgramFactory::spawn`] must return a
+//!   fresh, independent state machine every call. Cross-session state
+//!   (shared interior mutability keyed off other flows) would break the
+//!   serving engine's grouping invariance — sessions batched together
+//!   must score exactly as they would alone.
+//! * **Determinism.** `observe` must be a pure function of the
+//!   program's own state and the observed wire prefix. No clocks, no
+//!   RNG, no environment reads: the dataplane replays programs across
+//!   shard counts, batch sizes and work-stealing schedules and pins the
+//!   wire (and the verdict stream) bit-for-bit.
+//! * **Teardown is terminal.** Returning [`CensorDecision::Reset`]
+//!   models the censor tearing the connection down (RST injection).
+//!   The session ends immediately — the program is never observed
+//!   again, the flow counts as blocked, and the serving layer reports
+//!   it as a torn session ([`SessionStatus::Torn`] in `amoeba-serve`)
+//!   with a per-tenant `teardowns` telemetry counter.
+//!
+//! [`SessionStatus::Torn`]: ../../amoeba_serve/enum.SessionStatus.html
+
+use std::sync::Arc;
+
+use amoeba_traffic::Flow;
+
+use crate::censor::{Censor, CensorKind, ConstantCensor};
+
+/// One verdict from a streaming censor, per observation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CensorDecision {
+    /// Let the flow continue; no score disclosed.
+    Allow,
+    /// Disclose a suspicion score in `[0, 1]`. Mid-stream, the serving
+    /// layer thresholds it at 0.5 exactly like [`Censor::blocks`]; on
+    /// the final observation it becomes the session's `final_score`.
+    Score(f32),
+    /// Block the flow (hard label, no score disclosed).
+    Block,
+    /// Tear the connection down mid-stream (RST). Terminal: the session
+    /// ends now and the program is never consulted again.
+    Reset,
+}
+
+impl CensorDecision {
+    /// Whether this decision blocks the flow at the 0.5 threshold —
+    /// the exact predicate [`Censor::blocks`] applies to a score.
+    pub fn blocks(&self) -> bool {
+        match *self {
+            CensorDecision::Allow => false,
+            CensorDecision::Score(s) => s >= 0.5,
+            CensorDecision::Block | CensorDecision::Reset => true,
+        }
+    }
+}
+
+/// A per-session streaming censor: a state machine fed the wire prefix
+/// after each emitted frame.
+///
+/// See the [module docs](self) for the statefulness / determinism /
+/// teardown obligations every implementation owes the engine.
+pub trait CensorProgram: Send {
+    /// Observe the wire prefix as transmitted so far and decide.
+    ///
+    /// `wire` holds every on-path packet of the session up to and
+    /// including the newest frame; `last` is true exactly once, on the
+    /// session's final observation (the program's last chance to set a
+    /// final score). The caller controls cadence — a program is not
+    /// guaranteed to see every frame (the serving engine consults it
+    /// per its verdict policy) but observations are always in stream
+    /// order over growing prefixes.
+    fn observe(&mut self, wire: &Flow, last: bool) -> CensorDecision;
+}
+
+/// Spawns fresh per-session [`CensorProgram`] state machines — the
+/// object registries and training loops hold (one per censor tenant),
+/// where the one-shot layers held an `Arc<dyn Censor>`.
+pub trait CensorProgramFactory: Send + Sync {
+    /// A fresh program with pristine state for one new session.
+    fn spawn(&self) -> Box<dyn CensorProgram>;
+
+    /// The classifier family underneath (for tables and labels).
+    fn kind(&self) -> CensorKind;
+
+    /// The underlying one-shot censor when this factory is a degenerate
+    /// [`ClassifierProgramFactory`] adapter — the identity hook
+    /// registries dedupe on, so registering the same `Arc<dyn Censor>`
+    /// twice (directly or via an adapter) yields one tenant id.
+    fn as_censor(&self) -> Option<&Arc<dyn Censor>> {
+        None
+    }
+}
+
+/// The degenerate adapter: a one-shot [`Censor`] replayed as a program.
+///
+/// Every observation scores the whole wire prefix with the wrapped
+/// classifier and discloses the score — exactly what the pre-program
+/// engine did with `censor.blocks(wire)` mid-stream and
+/// `censor.score(wire)` at the end, so adapted classifiers are pinned
+/// bit-for-bit against the one-shot path.
+#[derive(Clone)]
+pub struct ClassifierProgram {
+    censor: Arc<dyn Censor>,
+}
+
+impl CensorProgram for ClassifierProgram {
+    fn observe(&mut self, wire: &Flow, _last: bool) -> CensorDecision {
+        CensorDecision::Score(self.censor.score(wire))
+    }
+}
+
+/// Factory for [`ClassifierProgram`]s over one shared trained censor.
+#[derive(Clone)]
+pub struct ClassifierProgramFactory {
+    censor: Arc<dyn Censor>,
+}
+
+impl ClassifierProgramFactory {
+    /// Wraps a trained one-shot censor.
+    pub fn new(censor: Arc<dyn Censor>) -> Self {
+        Self { censor }
+    }
+}
+
+impl CensorProgramFactory for ClassifierProgramFactory {
+    fn spawn(&self) -> Box<dyn CensorProgram> {
+        Box::new(ClassifierProgram {
+            censor: Arc::clone(&self.censor),
+        })
+    }
+
+    fn kind(&self) -> CensorKind {
+        self.censor.kind()
+    }
+
+    fn as_censor(&self) -> Option<&Arc<dyn Censor>> {
+        Some(&self.censor)
+    }
+}
+
+/// A verdict-only thresholding gateway: scores the prefix at its own
+/// cadence but discloses only block/allow — never a score.
+///
+/// Re-scores every `every` observations (and always on the final one);
+/// blocks as soon as a score reaches `threshold`. In between it stays
+/// silent ([`CensorDecision::Allow`]).
+pub struct ThresholdProgram {
+    censor: Arc<dyn Censor>,
+    threshold: f32,
+    every: usize,
+    seen: usize,
+}
+
+impl CensorProgram for ThresholdProgram {
+    fn observe(&mut self, wire: &Flow, last: bool) -> CensorDecision {
+        self.seen += 1;
+        let due = self.every > 0 && self.seen.is_multiple_of(self.every);
+        if !due && !last {
+            return CensorDecision::Allow;
+        }
+        if self.censor.score(wire) >= self.threshold {
+            CensorDecision::Block
+        } else {
+            CensorDecision::Allow
+        }
+    }
+}
+
+/// Factory for [`ThresholdProgram`]s.
+#[derive(Clone)]
+pub struct ThresholdProgramFactory {
+    censor: Arc<dyn Censor>,
+    threshold: f32,
+    every: usize,
+}
+
+impl ThresholdProgramFactory {
+    /// A verdict-only gateway over `censor`, re-scoring every `every`
+    /// observations and blocking at `threshold`.
+    pub fn new(censor: Arc<dyn Censor>, threshold: f32, every: usize) -> Self {
+        Self {
+            censor,
+            threshold,
+            every,
+        }
+    }
+}
+
+impl CensorProgramFactory for ThresholdProgramFactory {
+    fn spawn(&self) -> Box<dyn CensorProgram> {
+        Box::new(ThresholdProgram {
+            censor: Arc::clone(&self.censor),
+            threshold: self.threshold,
+            every: self.every,
+            seen: 0,
+        })
+    }
+
+    fn kind(&self) -> CensorKind {
+        self.censor.kind()
+    }
+}
+
+/// The hard-label wrapper: elides every score the inner program would
+/// disclose, exposing only block/allow verdicts.
+///
+/// [`CensorDecision::Score`] maps to [`CensorDecision::Block`] at or
+/// above 0.5 and [`CensorDecision::Allow`] below; the other decisions
+/// pass through. The wrapped adversary's *behavior* is unchanged — only
+/// its observability shrinks to the binary feedback of the hard-label
+/// black-box threat model, so a session's `final_score` can only ever
+/// be the 0.0/1.0 the verdict implies, never a leaked probability.
+pub struct HardLabelProgram {
+    inner: Box<dyn CensorProgram>,
+}
+
+impl CensorProgram for HardLabelProgram {
+    fn observe(&mut self, wire: &Flow, last: bool) -> CensorDecision {
+        match self.inner.observe(wire, last) {
+            CensorDecision::Score(s) if s >= 0.5 => CensorDecision::Block,
+            CensorDecision::Score(_) => CensorDecision::Allow,
+            other => other,
+        }
+    }
+}
+
+/// Factory for [`HardLabelProgram`]s over any inner program family.
+#[derive(Clone)]
+pub struct HardLabelFactory {
+    inner: Arc<dyn CensorProgramFactory>,
+}
+
+impl HardLabelFactory {
+    /// Wraps an inner program factory, eliding its scores.
+    pub fn new(inner: Arc<dyn CensorProgramFactory>) -> Self {
+        Self { inner }
+    }
+
+    /// The common case: a hard-label gateway over a one-shot classifier.
+    pub fn over_censor(censor: Arc<dyn Censor>) -> Self {
+        Self::new(Arc::new(ClassifierProgramFactory::new(censor)))
+    }
+}
+
+impl CensorProgramFactory for HardLabelFactory {
+    fn spawn(&self) -> Box<dyn CensorProgram> {
+        Box::new(HardLabelProgram {
+            inner: self.inner.spawn(),
+        })
+    }
+
+    fn kind(&self) -> CensorKind {
+        self.inner.kind()
+    }
+}
+
+/// A stateful warmup + hysteresis gateway, optionally tearing the
+/// connection down.
+///
+/// The first `warmup` observations are ignored ([`CensorDecision::Allow`]
+/// unconditionally — the gateway has not seen enough of the flow).
+/// After warmup every observation is scored; `streak` counts
+/// *consecutive* scores at or above `threshold` and resets to zero on
+/// any score below it. Once the streak reaches `hysteresis` the gateway
+/// acts: [`CensorDecision::Reset`] (mid-stream teardown) when
+/// `teardown` is set, else [`CensorDecision::Block`]. Until then it
+/// allows mid-stream and discloses its score only on the final
+/// observation.
+pub struct StatefulProgram {
+    censor: Arc<dyn Censor>,
+    warmup: usize,
+    hysteresis: usize,
+    threshold: f32,
+    teardown: bool,
+    seen: usize,
+    streak: usize,
+}
+
+impl CensorProgram for StatefulProgram {
+    fn observe(&mut self, wire: &Flow, last: bool) -> CensorDecision {
+        self.seen += 1;
+        if self.seen <= self.warmup {
+            return CensorDecision::Allow;
+        }
+        let score = self.censor.score(wire);
+        if score >= self.threshold {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        if self.streak >= self.hysteresis {
+            return if self.teardown {
+                CensorDecision::Reset
+            } else {
+                CensorDecision::Block
+            };
+        }
+        if last {
+            CensorDecision::Score(score)
+        } else {
+            CensorDecision::Allow
+        }
+    }
+}
+
+/// Factory for [`StatefulProgram`]s.
+#[derive(Clone)]
+pub struct StatefulProgramFactory {
+    censor: Arc<dyn Censor>,
+    warmup: usize,
+    hysteresis: usize,
+    threshold: f32,
+    teardown: bool,
+}
+
+impl StatefulProgramFactory {
+    /// A warmup/hysteresis gateway over `censor`: silent for `warmup`
+    /// observations, then requiring `hysteresis.max(1)` consecutive
+    /// scores ≥ `threshold` before blocking.
+    pub fn new(censor: Arc<dyn Censor>, warmup: usize, hysteresis: usize, threshold: f32) -> Self {
+        Self {
+            censor,
+            warmup,
+            hysteresis: hysteresis.max(1),
+            threshold,
+            teardown: false,
+        }
+    }
+
+    /// Tear connections down ([`CensorDecision::Reset`]) instead of
+    /// blocking when the hysteresis streak fills.
+    pub fn with_teardown(mut self, teardown: bool) -> Self {
+        self.teardown = teardown;
+        self
+    }
+}
+
+impl CensorProgramFactory for StatefulProgramFactory {
+    fn spawn(&self) -> Box<dyn CensorProgram> {
+        Box::new(StatefulProgram {
+            censor: Arc::clone(&self.censor),
+            warmup: self.warmup,
+            hysteresis: self.hysteresis,
+            threshold: self.threshold,
+            teardown: self.teardown,
+            seen: 0,
+            streak: 0,
+        })
+    }
+
+    fn kind(&self) -> CensorKind {
+        self.censor.kind()
+    }
+}
+
+impl ConstantCensor {
+    /// A fixed-score censor reporting as DT — the one-line test censor
+    /// the gym and serving unit tests build instead of hand-rolled
+    /// structs.
+    pub fn new(fixed_score: f32) -> Self {
+        Self {
+            fixed_score,
+            as_kind: CensorKind::Dt,
+        }
+    }
+}
+
+/// [`ConstantCensor`] is its own degenerate program: every observation
+/// discloses the fixed score, exactly like routing it through
+/// [`ClassifierProgramFactory`] — the single adapter impl the gym and
+/// serving unit tests share.
+impl CensorProgram for ConstantCensor {
+    fn observe(&mut self, _wire: &Flow, _last: bool) -> CensorDecision {
+        CensorDecision::Score(self.fixed_score)
+    }
+}
+
+impl CensorProgramFactory for ConstantCensor {
+    fn spawn(&self) -> Box<dyn CensorProgram> {
+        Box::new(*self)
+    }
+
+    fn kind(&self) -> CensorKind {
+        self.as_kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(n: usize) -> Flow {
+        Flow::from_pairs(&vec![(100, 1.0); n])
+    }
+
+    /// The adapter discloses exactly the wrapped censor's score on every
+    /// observation — mid-stream and final alike.
+    #[test]
+    fn classifier_program_is_degenerate() {
+        let censor: Arc<dyn Censor> = Arc::new(ConstantCensor::new(0.7));
+        let factory = ClassifierProgramFactory::new(Arc::clone(&censor));
+        assert_eq!(factory.kind(), CensorKind::Dt);
+        assert!(factory.as_censor().is_some());
+        let mut prog = factory.spawn();
+        for last in [false, false, true] {
+            assert_eq!(prog.observe(&wire(3), last), CensorDecision::Score(0.7));
+        }
+    }
+
+    #[test]
+    fn decision_blocks_matches_censor_threshold() {
+        assert!(!CensorDecision::Allow.blocks());
+        assert!(!CensorDecision::Score(0.49).blocks());
+        assert!(CensorDecision::Score(0.5).blocks());
+        assert!(CensorDecision::Block.blocks());
+        assert!(CensorDecision::Reset.blocks());
+    }
+
+    /// A threshold gateway never discloses a score and only evaluates at
+    /// its own cadence (and on the final observation).
+    #[test]
+    fn threshold_program_is_verdict_only_with_cadence() {
+        let hot: Arc<dyn Censor> = Arc::new(ConstantCensor::new(0.9));
+        let factory = ThresholdProgramFactory::new(hot, 0.8, 3);
+        let mut prog = factory.spawn();
+        // Observations 1 and 2 are off-cadence: silent even though the
+        // score clears the threshold.
+        assert_eq!(prog.observe(&wire(1), false), CensorDecision::Allow);
+        assert_eq!(prog.observe(&wire(2), false), CensorDecision::Allow);
+        // Observation 3 is due — hard label, no score.
+        assert_eq!(prog.observe(&wire(3), false), CensorDecision::Block);
+        // A cool censor stays allowed, including on the final frame.
+        let cool: Arc<dyn Censor> = Arc::new(ConstantCensor::new(0.3));
+        let factory = ThresholdProgramFactory::new(cool, 0.8, 3);
+        let mut prog = factory.spawn();
+        for i in 1..=4 {
+            assert_eq!(prog.observe(&wire(i), i == 4), CensorDecision::Allow);
+        }
+    }
+
+    /// Satellite pin: warmup suppresses early verdicts — a censor that
+    /// would block from frame one stays silent for the whole warmup
+    /// window and only acts afterwards.
+    #[test]
+    fn warmup_suppresses_early_verdicts() {
+        let hot: Arc<dyn Censor> = Arc::new(ConstantCensor::new(0.9));
+        let factory = StatefulProgramFactory::new(hot, 4, 1, 0.5);
+        let mut prog = factory.spawn();
+        for i in 1..=4 {
+            assert_eq!(
+                prog.observe(&wire(i), false),
+                CensorDecision::Allow,
+                "observation {i} is inside the warmup window"
+            );
+        }
+        assert_eq!(prog.observe(&wire(5), false), CensorDecision::Block);
+    }
+
+    /// Satellite pin: hysteresis requires K *consecutive* over-threshold
+    /// scores — a single cool score resets the streak.
+    #[test]
+    fn hysteresis_requires_k_consecutive_scores() {
+        // A censor scoring hot except on every 3rd query (`Censor` is
+        // `Sync`, so the query counter is an atomic): the streak never
+        // reaches 3 until three hot frames line up.
+        struct Periodic(std::sync::atomic::AtomicUsize);
+        impl Censor for Periodic {
+            fn score(&self, _flow: &Flow) -> f32 {
+                let n = self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if n % 3 == 2 {
+                    0.1
+                } else {
+                    0.9
+                }
+            }
+            fn kind(&self) -> CensorKind {
+                CensorKind::Dt
+            }
+        }
+        let factory =
+            StatefulProgramFactory::new(Arc::new(Periodic(Default::default())), 0, 3, 0.5);
+        let mut prog = factory.spawn();
+        // Scores: 0.9, 0.9, 0.1 (streak resets), 0.9, 0.9, 0.1, ...
+        for i in 1..=6 {
+            assert_eq!(
+                prog.observe(&wire(i), false),
+                CensorDecision::Allow,
+                "streak must reset at observation 3 and 6"
+            );
+        }
+        // A steadily hot censor blocks exactly at the 3rd consecutive hit.
+        let factory = StatefulProgramFactory::new(Arc::new(ConstantCensor::new(0.9)), 0, 3, 0.5);
+        let mut prog = factory.spawn();
+        assert_eq!(prog.observe(&wire(1), false), CensorDecision::Allow);
+        assert_eq!(prog.observe(&wire(2), false), CensorDecision::Allow);
+        assert_eq!(prog.observe(&wire(3), false), CensorDecision::Block);
+    }
+
+    /// With teardown enabled the filled streak resets the connection
+    /// instead of blocking it.
+    #[test]
+    fn teardown_turns_block_into_reset() {
+        let factory = StatefulProgramFactory::new(Arc::new(ConstantCensor::new(0.9)), 1, 2, 0.5)
+            .with_teardown(true);
+        let mut prog = factory.spawn();
+        assert_eq!(prog.observe(&wire(1), false), CensorDecision::Allow); // warmup
+        assert_eq!(prog.observe(&wire(2), false), CensorDecision::Allow); // streak 1
+        assert_eq!(prog.observe(&wire(3), false), CensorDecision::Reset); // streak 2
+    }
+
+    /// Satellite pin: the hard-label wrapper never leaks a score — every
+    /// decision it returns is Allow/Block/Reset, with Score mapped
+    /// through the 0.5 threshold.
+    #[test]
+    fn hard_label_wrapper_never_leaks_a_score() {
+        for (score, expect) in [
+            (0.0, CensorDecision::Allow),
+            (0.49, CensorDecision::Allow),
+            (0.5, CensorDecision::Block),
+            (1.0, CensorDecision::Block),
+        ] {
+            let factory = HardLabelFactory::over_censor(Arc::new(ConstantCensor::new(score)));
+            let mut prog = factory.spawn();
+            for last in [false, true] {
+                let d = prog.observe(&wire(2), last);
+                assert_eq!(d, expect, "score {score}");
+                assert!(
+                    !matches!(d, CensorDecision::Score(_)),
+                    "hard-label programs must never disclose a score"
+                );
+            }
+        }
+        // Reset passes through untouched.
+        let inner = StatefulProgramFactory::new(Arc::new(ConstantCensor::new(0.9)), 0, 1, 0.5)
+            .with_teardown(true);
+        let factory = HardLabelFactory::new(Arc::new(inner));
+        assert_eq!(factory.kind(), CensorKind::Dt);
+        let mut prog = factory.spawn();
+        assert_eq!(prog.observe(&wire(1), false), CensorDecision::Reset);
+    }
+
+    /// Factories spawn independent state machines: one session's streak
+    /// must not bleed into another's.
+    #[test]
+    fn spawned_programs_are_independent() {
+        let factory = StatefulProgramFactory::new(Arc::new(ConstantCensor::new(0.9)), 0, 2, 0.5);
+        let mut a = factory.spawn();
+        let mut b = factory.spawn();
+        assert_eq!(a.observe(&wire(1), false), CensorDecision::Allow);
+        // `b` starts from streak 0 even though `a` already has streak 1.
+        assert_eq!(b.observe(&wire(1), false), CensorDecision::Allow);
+        assert_eq!(a.observe(&wire(2), false), CensorDecision::Block);
+        assert_eq!(b.observe(&wire(2), false), CensorDecision::Block);
+    }
+
+    /// `ConstantCensor` is its own factory/program — the one-place
+    /// adapter the gym unit tests rely on.
+    #[test]
+    fn constant_censor_is_its_own_program() {
+        let c = ConstantCensor::new(0.2);
+        assert_eq!(c.as_kind, CensorKind::Dt);
+        let mut prog = CensorProgramFactory::spawn(&c);
+        assert_eq!(prog.observe(&wire(1), true), CensorDecision::Score(0.2));
+    }
+}

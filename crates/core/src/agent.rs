@@ -6,7 +6,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use amoeba_classifiers::Censor;
+use amoeba_classifiers::{Censor, CensorProgramFactory, ClassifierProgramFactory};
 use amoeba_traffic::{Flow, Label, Layer};
 
 use crate::config::AmoebaConfig;
@@ -164,31 +164,68 @@ impl AmoebaAgent {
         &self.snapshots
     }
 
-    /// Reshapes one flow against a censor by *sampling* the stochastic
-    /// policy (`a_t ~ π_θ(s_t)`, §4.1 — the paper's generation mode),
-    /// returning the complete outcome. The sampling RNG is derived from
-    /// the config seed and the flow contents, so results are reproducible.
-    pub fn attack_flow(&self, censor: &Arc<dyn Censor>, flow: &Flow) -> AttackOutcome {
+    /// The deterministic sampling seed [`AmoebaAgent::attack_flow`]
+    /// derives from the config seed and the flow contents.
+    fn flow_seed(&self, flow: &Flow) -> u64 {
         let mut h = self.cfg.seed ^ 0xA5A5_5A5A;
         for p in &flow.packets {
             h = h
                 .wrapping_mul(0x100000001B3)
                 .wrapping_add(p.size as u64 ^ (p.delay_ms.to_bits() as u64));
         }
-        self.attack_flow_seeded(censor, flow, h)
+        h
     }
 
-    /// [`AmoebaAgent::attack_flow`] with an explicit sampling seed.
+    /// Reshapes one flow against a censor by *sampling* the stochastic
+    /// policy (`a_t ~ π_θ(s_t)`, §4.1 — the paper's generation mode),
+    /// returning the complete outcome. The sampling RNG is derived from
+    /// the config seed and the flow contents, so results are reproducible.
+    pub fn attack_flow(&self, censor: &Arc<dyn Censor>, flow: &Flow) -> AttackOutcome {
+        self.attack_flow_seeded(censor, flow, self.flow_seed(flow))
+    }
+
+    /// [`AmoebaAgent::attack_flow`] with an explicit sampling seed —
+    /// the degenerate program adapter over
+    /// [`AmoebaAgent::attack_flow_program_seeded`], which reproduces the
+    /// one-shot path bit-for-bit (the final observation scores exactly
+    /// the complete adversarial flow).
     pub fn attack_flow_seeded(
         &self,
         censor: &Arc<dyn Censor>,
         flow: &Flow,
         seed: u64,
     ) -> AttackOutcome {
+        let factory: Arc<dyn CensorProgramFactory> =
+            Arc::new(ClassifierProgramFactory::new(Arc::clone(censor)));
+        self.attack_flow_program_seeded(&factory, flow, seed)
+    }
+
+    /// Reshapes one flow against a streaming censor program, sampling
+    /// the stochastic policy with the flow-derived seed of
+    /// [`AmoebaAgent::attack_flow`].
+    pub fn attack_flow_program(
+        &self,
+        factory: &Arc<dyn CensorProgramFactory>,
+        flow: &Flow,
+    ) -> AttackOutcome {
+        self.attack_flow_program_seeded(factory, flow, self.flow_seed(flow))
+    }
+
+    /// [`AmoebaAgent::attack_flow_program`] with an explicit sampling
+    /// seed. The program observes every emitted prefix (stateful
+    /// adversaries count frames like an on-path gateway); `final_score`
+    /// is whatever the program disclosed on its last observation — the
+    /// hard 0.0/1.0 when the adversary is verdict-only.
+    pub fn attack_flow_program_seeded(
+        &self,
+        factory: &Arc<dyn CensorProgramFactory>,
+        flow: &Flow,
+        seed: u64,
+    ) -> AttackOutcome {
         let mut env_cfg = EnvConfig::from(&self.cfg);
         env_cfg.reward_mask_rate = 0.0; // evaluation always observes decisions
-        let mut env = CensorEnv::new(
-            Arc::clone(censor),
+        let mut env = CensorEnv::with_program(
+            Arc::clone(factory),
             self.layer,
             env_cfg,
             StdRng::seed_from_u64(seed),
@@ -213,11 +250,11 @@ impl AmoebaAgent {
             }
         }
         let adversarial = env.adversarial_flow().clone();
-        let final_score = censor.score(&adversarial);
+        let stats = env.stats().clone();
         AttackOutcome {
-            success: final_score < 0.5,
-            final_score,
-            stats: env.stats().clone(),
+            success: stats.success,
+            final_score: stats.final_score,
+            stats,
             adversarial,
         }
     }
@@ -226,6 +263,20 @@ impl AmoebaAgent {
     pub fn evaluate(&self, censor: &Arc<dyn Censor>, flows: &[Flow]) -> AttackReport {
         AttackReport {
             outcomes: flows.iter().map(|f| self.attack_flow(censor, f)).collect(),
+        }
+    }
+
+    /// [`AmoebaAgent::evaluate`] against a streaming censor program.
+    pub fn evaluate_program(
+        &self,
+        factory: &Arc<dyn CensorProgramFactory>,
+        flows: &[Flow],
+    ) -> AttackReport {
+        AttackReport {
+            outcomes: flows
+                .iter()
+                .map(|f| self.attack_flow_program(factory, f))
+                .collect(),
         }
     }
 
@@ -257,6 +308,28 @@ pub fn train_amoeba(
     train_amoeba_with_encoder(censor, train_flows, layer, cfg, encoder, encoder_loss, eval)
 }
 
+/// [`train_amoeba`] against a streaming censor program — stateful
+/// (warmup/hysteresis), verdict-only (hard-label) or connection-tearing
+/// adversaries; each rollout episode spawns a fresh per-session program.
+pub fn train_amoeba_program(
+    factory: Arc<dyn CensorProgramFactory>,
+    train_flows: &[Flow],
+    layer: Layer,
+    cfg: &AmoebaConfig,
+    eval: Option<(&[Flow], usize)>,
+) -> (AmoebaAgent, TrainReport) {
+    let (encoder, encoder_loss) = pretrain_encoder(cfg);
+    train_amoeba_with_encoder_program(
+        factory,
+        train_flows,
+        layer,
+        cfg,
+        encoder,
+        encoder_loss,
+        eval,
+    )
+}
+
 /// Runs Algorithm 2 alone, returning the frozen encoder and its final
 /// reconstruction loss. The StateEncoder is censor-independent, so one
 /// pretrained encoder can be shared across every censor an experiment
@@ -268,9 +341,33 @@ pub fn pretrain_encoder(cfg: &AmoebaConfig) -> (EncoderSnapshot, f32) {
     (state_encoder.snapshot(), loss)
 }
 
-/// [`train_amoeba`] with an externally pretrained StateEncoder.
+/// [`train_amoeba`] with an externally pretrained StateEncoder — the
+/// degenerate program adapter over
+/// [`train_amoeba_with_encoder_program`], bit-identical to training
+/// against the one-shot censor directly.
 pub fn train_amoeba_with_encoder(
     censor: Arc<dyn Censor>,
+    train_flows: &[Flow],
+    layer: Layer,
+    cfg: &AmoebaConfig,
+    encoder: EncoderSnapshot,
+    encoder_loss: f32,
+    eval: Option<(&[Flow], usize)>,
+) -> (AmoebaAgent, TrainReport) {
+    train_amoeba_with_encoder_program(
+        Arc::new(ClassifierProgramFactory::new(censor)),
+        train_flows,
+        layer,
+        cfg,
+        encoder,
+        encoder_loss,
+        eval,
+    )
+}
+
+/// [`train_amoeba_program`] with an externally pretrained StateEncoder.
+pub fn train_amoeba_with_encoder_program(
+    factory: Arc<dyn CensorProgramFactory>,
     train_flows: &[Flow],
     layer: Layer,
     cfg: &AmoebaConfig,
@@ -289,8 +386,8 @@ pub fn train_amoeba_with_encoder(
     let mut learner = PpoLearner::new(cfg, &mut rng);
     let mut workers: Vec<Worker> = (0..cfg.n_envs.max(1))
         .map(|i| {
-            Worker::new(
-                Arc::clone(&censor),
+            Worker::with_program(
+                Arc::clone(&factory),
                 layer,
                 EnvConfig::from(cfg),
                 &encoder,
@@ -349,7 +446,7 @@ pub fn train_amoeba_with_encoder(
                     cfg: cfg.clone(),
                     layer,
                 };
-                Some(agent.evaluate(&censor, eval_flows).asr())
+                Some(agent.evaluate_program(&factory, eval_flows).asr())
             }
             _ => None,
         };

@@ -4,8 +4,9 @@
 //! The §3 constraint handling (payload conservation, delay clamping) lives
 //! in [`crate::kernel::ShapingKernel`] / [`crate::kernel::TransportEmulator`],
 //! which this gym shares with the `amoeba-serve` online dataplane; this
-//! module adds what only training needs — the censor oracle, reward
-//! shaping, reward masking (§5.5.3), and episode accounting.
+//! module adds what only training needs — the streaming censor program
+//! ([`amoeba_classifiers::CensorProgram`]), reward shaping, reward
+//! masking (§5.5.3), and episode accounting.
 //!
 //! ## Reward polarity
 //!
@@ -19,7 +20,9 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use amoeba_classifiers::Censor;
+use amoeba_classifiers::{
+    Censor, CensorDecision, CensorProgram, CensorProgramFactory, ClassifierProgramFactory,
+};
 use amoeba_traffic::{Flow, Layer, Packet};
 
 use crate::config::AmoebaConfig;
@@ -72,6 +75,15 @@ pub struct EpisodeStats {
     pub adv_len: usize,
     /// Final decision on the complete adversarial flow: allowed?
     pub success: bool,
+    /// The score the program disclosed on its final observation — the
+    /// hard label's 0.0/1.0 when the adversary is verdict-only
+    /// ([`CensorDecision::Allow`] / [`CensorDecision::Block`] /
+    /// [`CensorDecision::Reset`] disclose no probability).
+    pub final_score: f32,
+    /// The censor program tore the connection down mid-stream
+    /// ([`CensorDecision::Reset`]); the episode ended early and counts
+    /// as blocked.
+    pub torn: bool,
 }
 
 impl EpisodeStats {
@@ -96,15 +108,25 @@ impl EpisodeStats {
     }
 }
 
-/// The full RL environment: emulator + censor + reward shaping.
+/// The full RL environment: emulator + censor program + reward shaping.
+///
+/// The adversary is an [`Arc<dyn CensorProgramFactory>`]: every episode
+/// spawns a fresh per-session [`CensorProgram`] state machine, so PPO
+/// can train against stateful (warmup/hysteresis), verdict-only
+/// (hard-label) and connection-tearing censors with the same loop. The
+/// six one-shot classifiers remain available through [`CensorEnv::new`],
+/// which wraps them in the degenerate [`ClassifierProgramFactory`]
+/// adapter — bit-identical to the old direct `Censor` queries.
 pub struct CensorEnv {
-    censor: Arc<dyn Censor>,
+    factory: Arc<dyn CensorProgramFactory>,
+    program: Box<dyn CensorProgram>,
     kernel: ShapingKernel,
     cfg: EnvConfig,
     emulator: TransportEmulator,
     adv_flow: Flow,
     stats: EpisodeStats,
     max_adv_len: usize,
+    torn: bool,
     rng: StdRng,
 }
 
@@ -155,16 +177,38 @@ impl EnvConfig {
 }
 
 impl CensorEnv {
-    /// Builds an environment around a frozen censor.
+    /// Builds an environment around a frozen one-shot censor — the
+    /// degenerate [`ClassifierProgramFactory`] adapter over
+    /// [`CensorEnv::with_program`].
     pub fn new(censor: Arc<dyn Censor>, layer: Layer, cfg: EnvConfig, rng: StdRng) -> Self {
+        Self::with_program(
+            Arc::new(ClassifierProgramFactory::new(censor)),
+            layer,
+            cfg,
+            rng,
+        )
+    }
+
+    /// Builds an environment around a streaming censor-program factory;
+    /// each [`CensorEnv::reset`] spawns a pristine program for the new
+    /// episode.
+    pub fn with_program(
+        factory: Arc<dyn CensorProgramFactory>,
+        layer: Layer,
+        cfg: EnvConfig,
+        rng: StdRng,
+    ) -> Self {
+        let program = factory.spawn();
         Self {
-            censor,
+            factory,
+            program,
             kernel: cfg.kernel(layer),
             cfg,
             emulator: TransportEmulator::new(&Flow::new()),
             adv_flow: Flow::new(),
             stats: EpisodeStats::default(),
             max_adv_len: 0,
+            torn: false,
             rng,
         }
     }
@@ -174,19 +218,26 @@ impl CensorEnv {
         self.kernel.layer()
     }
 
-    /// Starts a new episode on the given original flow.
+    /// Starts a new episode on the given original flow, spawning a
+    /// fresh censor program with pristine per-session state.
     pub fn reset(&mut self, flow: &Flow) {
         self.emulator = TransportEmulator::new(flow);
+        self.program = self.factory.spawn();
         self.adv_flow = Flow::new();
         self.stats = EpisodeStats {
             original_payload: self.emulator.original_payload(),
             ..Default::default()
         };
         self.max_adv_len = flow.len() * self.cfg.max_len_factor.max(1) + self.cfg.max_len_slack;
+        self.torn = false;
     }
 
-    /// Current observation (`None` once the episode is done).
+    /// Current observation (`None` once the episode is done — all
+    /// payload transmitted, or the censor tore the connection down).
     pub fn observe(&self) -> Option<Observation> {
+        if self.torn {
+            return None;
+        }
         self.emulator.observe()
     }
 
@@ -228,7 +279,20 @@ impl CensorEnv {
         let p_time = frame.extra_delay_ms / self.cfg.max_delay_ms.max(1e-6);
 
         // --- censor feedback ------------------------------------------------
-        let blocked = self.censor.blocks(&self.adv_flow);
+        // One observation per emitted frame, `last` on the flush that
+        // drains the emulator — the program sees every prefix exactly
+        // once, so stateful adversaries count frames the way an on-path
+        // gateway would.
+        let mut done = self.emulator.finished();
+        let decision = self.program.observe(&self.adv_flow, done);
+        let blocked = decision.blocks();
+        if matches!(decision, CensorDecision::Reset) {
+            // Mid-stream teardown: the connection is gone, the episode
+            // ends now (as blocked) no matter how much payload remains.
+            self.torn = true;
+            self.stats.torn = true;
+            done = true;
+        }
         let masked =
             self.cfg.reward_mask_rate > 0.0 && self.rng.gen::<f32>() < self.cfg.reward_mask_rate;
         let (r_adv, queried) = if masked {
@@ -256,10 +320,16 @@ impl CensorEnv {
         }
         self.stats.adv_len = self.adv_flow.len();
 
-        let done = self.emulator.finished();
         if done {
             self.stats.transmission_ms = self.adv_flow.duration_ms();
-            self.stats.success = !self.censor.blocks(&self.adv_flow);
+            // The decision on the final prefix is the verdict on the
+            // whole adversarial flow (a torn session is blocked).
+            self.stats.success = !blocked;
+            self.stats.final_score = match decision {
+                CensorDecision::Score(s) => s,
+                CensorDecision::Allow => 0.0,
+                CensorDecision::Block | CensorDecision::Reset => 1.0,
+            };
         }
 
         StepOutcome {
@@ -284,7 +354,7 @@ impl CensorEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use amoeba_classifiers::{CensorKind, ConstantCensor};
+    use amoeba_classifiers::ConstantCensor;
     use amoeba_traffic::Direction;
     use rand::SeedableRng;
 
@@ -293,11 +363,14 @@ mod tests {
     }
 
     fn env_with(score: f32, cfg: EnvConfig) -> CensorEnv {
-        let censor = Arc::new(ConstantCensor {
-            fixed_score: score,
-            as_kind: CensorKind::Dt,
-        });
-        CensorEnv::new(censor, Layer::Tcp, cfg, StdRng::seed_from_u64(0))
+        // `ConstantCensor` implements the program adapter itself, so the
+        // gym tests build censors in one line instead of by hand.
+        CensorEnv::new(
+            Arc::new(ConstantCensor::new(score)),
+            Layer::Tcp,
+            cfg,
+            StdRng::seed_from_u64(0),
+        )
     }
 
     fn base_cfg() -> EnvConfig {
@@ -483,6 +556,60 @@ mod tests {
             total += pkt.magnitude() as u64;
         }
         assert_eq!(total, 1400, "payload exactly conserved with no padding");
+    }
+
+    /// A verdict-only (hard-label) adversary gives the gym exactly the
+    /// binary feedback the reward needs: `r_adv` stays 0/1 and the final
+    /// success matches the verdict, with no score ever observed.
+    #[test]
+    fn hard_label_program_trains_with_binary_feedback() {
+        use amoeba_classifiers::HardLabelFactory;
+        for (score, expect_success) in [(0.1, true), (0.9, false)] {
+            let factory = HardLabelFactory::over_censor(Arc::new(ConstantCensor::new(score)));
+            let mut env = CensorEnv::with_program(
+                Arc::new(factory),
+                Layer::Tcp,
+                base_cfg(),
+                StdRng::seed_from_u64(0),
+            );
+            env.reset(&flow3());
+            let mut out = env.step(Action::clamped(0.9, 0.0));
+            while !out.done {
+                out = env.step(Action::clamped(0.9, 0.0));
+            }
+            assert_eq!(out.blocked, !expect_success, "score {score}");
+            assert_eq!(env.stats().success, expect_success, "score {score}");
+            assert!(!env.stats().torn);
+        }
+    }
+
+    /// A teardown program ends the episode mid-stream: the env reports
+    /// `done` with payload still pending, marks the episode torn and
+    /// blocked, and `observe()` goes dark like a reset connection.
+    #[test]
+    fn teardown_ends_episode_early_and_blocks() {
+        use amoeba_classifiers::StatefulProgramFactory;
+        let factory = StatefulProgramFactory::new(Arc::new(ConstantCensor::new(0.9)), 0, 1, 0.5)
+            .with_teardown(true);
+        let mut env = CensorEnv::with_program(
+            Arc::new(factory),
+            Layer::Tcp,
+            base_cfg(),
+            StdRng::seed_from_u64(0),
+        );
+        // A long flow served in tiny chunks would take many steps; the
+        // teardown must end it on the very first observation.
+        env.reset(&Flow::from_pairs(&[(1400, 0.0), (-1400, 1.0)]));
+        let out = env.step(Action::clamped(0.1, 0.0));
+        assert!(out.done, "Reset must terminate the episode");
+        assert!(out.blocked);
+        assert!(env.stats().torn);
+        assert!(!env.stats().success);
+        assert!(env.observe().is_none(), "torn connections go dark");
+        // And reset() restores a live episode with a fresh program.
+        env.reset(&flow3());
+        assert!(env.observe().is_some());
+        assert!(!env.stats().torn);
     }
 
     #[test]

@@ -32,8 +32,9 @@ pub mod transfer;
 pub mod validate;
 
 pub use agent::{
-    pretrain_encoder, sensitive_flows, train_amoeba, train_amoeba_with_encoder, AmoebaAgent,
-    AttackOutcome, AttackReport, IterationStats, TrainReport,
+    pretrain_encoder, sensitive_flows, train_amoeba, train_amoeba_program,
+    train_amoeba_with_encoder, train_amoeba_with_encoder_program, AmoebaAgent, AttackOutcome,
+    AttackReport, IterationStats, TrainReport,
 };
 pub use config::{AmoebaConfig, ReconLoss};
 pub use encoder::{synthetic_flows, EncoderSnapshot, EncoderState, StateEncoder};

@@ -5,7 +5,7 @@
 //! Rollout collection fans the environment workers across
 //! `std::thread::scope` threads that share the frozen
 //! encoder/actor/critic snapshots (and, inside each worker's environment,
-//! the `dyn Censor`) via `Arc` — see [`PolicySnapshots`] and
+//! the censor-program factory) via `Arc` — see [`PolicySnapshots`] and
 //! [`collect_rollouts_threaded`]. Each worker owns its RNG and
 //! environment state, and trajectories are merged back by worker index,
 //! so for a fixed seed the collected batch is bit-identical regardless of
@@ -16,7 +16,7 @@ use std::sync::Arc;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use amoeba_classifiers::Censor;
+use amoeba_classifiers::{Censor, CensorProgramFactory, ClassifierProgramFactory};
 use amoeba_nn::matrix::Matrix;
 use amoeba_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use amoeba_nn::tensor::Tensor;
@@ -73,7 +73,8 @@ pub struct Worker {
 }
 
 impl Worker {
-    /// Builds a worker around a shared censor.
+    /// Builds a worker around a shared one-shot censor (the degenerate
+    /// [`ClassifierProgramFactory`] adapter).
     pub fn new(
         censor: Arc<dyn Censor>,
         layer: Layer,
@@ -81,8 +82,26 @@ impl Worker {
         encoder: &EncoderSnapshot,
         seed: u64,
     ) -> Self {
+        Self::with_program(
+            Arc::new(ClassifierProgramFactory::new(censor)),
+            layer,
+            env_cfg,
+            encoder,
+            seed,
+        )
+    }
+
+    /// Builds a worker around a shared censor-program factory; each
+    /// episode spawns a fresh per-session program.
+    pub fn with_program(
+        factory: Arc<dyn CensorProgramFactory>,
+        layer: Layer,
+        env_cfg: EnvConfig,
+        encoder: &EncoderSnapshot,
+        seed: u64,
+    ) -> Self {
         Self {
-            env: CensorEnv::new(censor, layer, env_cfg, StdRng::seed_from_u64(seed)),
+            env: CensorEnv::with_program(factory, layer, env_cfg, StdRng::seed_from_u64(seed)),
             x_state: encoder.begin(),
             a_state: encoder.begin(),
             rng: StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B9).wrapping_add(1)),

@@ -32,8 +32,9 @@
 //!
 //! ## Sharding, tenancy and grouping invariance
 //!
-//! Sessions are fully independent (stateless censors, per-session RNGs
-//! derived from `(seed, session_id)` only, row-independent matrix
+//! Sessions are fully independent (a private censor program per session
+//! spawned from the tenant's factory, per-session RNGs derived from
+//! `(seed, session_id)` only, row-independent matrix
 //! kernels), so *any* grouping of sessions — into inference batches
 //! within a tick, across [`crate::shard::Shard`] worker threads, or
 //! alongside any mix of co-tenants — produces bit-identical per-session
@@ -49,7 +50,7 @@
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use amoeba_classifiers::Censor;
+use amoeba_classifiers::{Censor, CensorProgramFactory};
 use amoeba_telemetry::{ShardTelemetry, TelemetrySnapshot};
 use amoeba_traffic::Flow;
 
@@ -170,10 +171,23 @@ impl ServeEngine {
         self.policies.register(policy)
     }
 
-    /// Registers an inline censor, returning its cheap `Copy` handle.
-    /// `Arc`-identical censors dedupe onto the existing handle.
+    /// Registers an inline one-shot censor, returning its cheap `Copy`
+    /// handle. `Arc`-identical censors dedupe onto the existing handle.
+    /// The censor is adapted into a degenerate streaming program
+    /// ([`amoeba_classifiers::ClassifierProgramFactory`]) — bit-for-bit
+    /// the one-shot scoring path.
     pub fn register_censor(&mut self, censor: Arc<dyn Censor>) -> CensorId {
         self.censors.register(censor)
+    }
+
+    /// Registers a streaming censor-program factory (stateful warmup /
+    /// hysteresis censors, verdict-only hard-label gateways, teardown
+    /// policies), returning its cheap `Copy` handle. Each admitted
+    /// session of this tenant gets its own program via
+    /// [`CensorProgramFactory::spawn`]. `Arc`-identical factories dedupe
+    /// onto the existing handle.
+    pub fn register_censor_program(&mut self, factory: Arc<dyn CensorProgramFactory>) -> CensorId {
+        self.censors.register_program(factory)
     }
 
     /// The policy table.
@@ -711,22 +725,11 @@ mod tests {
     }
 
     /// FNV-1a 64 over `wire_bits()` in session order, packet order:
-    /// `size` then `delay_ms.to_bits()`, each little-endian.
+    /// `size` then `delay_ms.to_bits()`, each little-endian — the
+    /// published [`ServeReport::wire_fingerprint`], whose scheme the
+    /// `SCAN_FINGERPRINT` pin below freezes.
     fn wire_fingerprint(report: &ServeReport) -> u64 {
-        let mut h: u64 = 0xcbf29ce484222325;
-        let mut eat = |bytes: [u8; 4]| {
-            for b in bytes {
-                h ^= u64::from(b);
-                h = h.wrapping_mul(0x100000001b3);
-            }
-        };
-        for session in report.wire_bits() {
-            for (size, delay_bits) in session {
-                eat(size.to_le_bytes());
-                eat(delay_bits.to_le_bytes());
-            }
-        }
-        h
+        report.wire_fingerprint()
     }
 
     /// Regression pin against the pre-pipeline scan scheduler: the exact

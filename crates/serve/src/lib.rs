@@ -42,6 +42,20 @@
 //!   and pushed through one fused GRU/MLP pass — tenants that share a
 //!   policy share the pass, whichever censor each faces, so a
 //!   policy × censor sweep costs one dataplane run instead of `P×C`.
+//! * Censor programs — censors are served as **streaming
+//!   [`amoeba_classifiers::CensorProgram`] state machines**: each
+//!   admitted session spawns a private program from its tenant's
+//!   [`amoeba_classifiers::CensorProgramFactory`]
+//!   ([`engine::ServeEngine::register_censor_program`]; plain one-shot
+//!   censors enter via [`engine::ServeEngine::register_censor`] through
+//!   the bit-identical degenerate adapter). Programs must be
+//!   deterministic pure functions of their observation sequence — the
+//!   program travels *inside* the session's work item, which is what
+//!   keeps stateful censors compatible with pipelining and work
+//!   stealing. A program may answer `Allow`, `Score`, `Block`, or
+//!   `Reset` (mid-stream teardown, surfacing as
+//!   [`metrics::SessionStatus::Torn`] and per-tenant `teardowns`
+//!   telemetry).
 //! * [`backend::InferenceBackend`] — the pluggable execution seam behind
 //!   the scheduler (`push_batch` / `head_batch`).
 //!   [`backend::CpuBackend`] is the reference blocked-matmul snapshot
@@ -126,7 +140,7 @@ pub use backend::{BackendKind, CpuBackend, InferenceBackend, SimdBackend};
 #[allow(deprecated)]
 pub use dataplane::Dataplane;
 pub use engine::{Admission, ServeEngine, TelemetryHandle};
-pub use metrics::{ServeReport, SessionOutcome};
+pub use metrics::{ServeReport, SessionOutcome, SessionStatus};
 pub use registry::{CensorId, CensorRegistry, PolicyId, PolicyRegistry, Tenant};
 pub use session::Session;
 pub use shard::Shard;

@@ -9,6 +9,19 @@ use amoeba_traffic::Flow;
 
 use crate::registry::Tenant;
 
+/// How a session left the dataplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SessionStatus {
+    /// The session transmitted every frame it owed.
+    #[default]
+    Completed,
+    /// The censor program issued a mid-stream
+    /// [`amoeba_classifiers::CensorDecision::Reset`]: the connection was
+    /// torn down before the session finished, its remaining frames were
+    /// never emitted, and it counts as detected (never evaded).
+    Torn,
+}
+
 /// One completed session's accounting.
 #[derive(Debug, Clone)]
 pub struct SessionOutcome {
@@ -16,6 +29,9 @@ pub struct SessionOutcome {
     pub id: usize,
     /// The `(policy, censor)` pair that served this session.
     pub tenant: Tenant,
+    /// Whether the session ran to completion or was torn down mid-stream
+    /// by its censor program.
+    pub status: SessionStatus,
     /// The flow was never blocked mid-stream and its final score allowed.
     /// A session whose offered flow was empty emits nothing, is never
     /// scored (`final_score` stays 0.0), and trivially counts as evaded —
@@ -124,6 +140,15 @@ impl ServeReport {
             return 0.0;
         }
         self.outcomes.iter().filter(|o| o.stream_ok).count() as f32 / self.outcomes.len() as f32
+    }
+
+    /// Sessions torn down mid-stream by their censor program
+    /// ([`SessionStatus::Torn`]).
+    pub fn torn_sessions(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == SessionStatus::Torn)
+            .count()
     }
 
     /// Completed flows per wall-clock second.
@@ -242,6 +267,30 @@ impl ServeReport {
                     .collect()
             })
             .collect()
+    }
+
+    /// FNV-1a 64 hash of [`ServeReport::wire_bits`]: every session's
+    /// frames in session-id order, each frame eaten as
+    /// `size.to_le_bytes()` then `delay_ms.to_bits().to_le_bytes()`.
+    /// One `u64` that pins an entire run's wire output — the constant the
+    /// CI matrix smoke asserts against so the classifier scenario stays
+    /// bit-identical to the pre-refactor engine.
+    pub fn wire_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for o in &self.outcomes {
+            for p in &o.wire.packets {
+                for b in p
+                    .size
+                    .to_le_bytes()
+                    .into_iter()
+                    .chain(p.delay_ms.to_bits().to_le_bytes())
+                {
+                    h ^= u64::from(b);
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+            }
+        }
+        h
     }
 
     /// Per-frame end-to-end latency (µs): the elementwise sum of
@@ -394,6 +443,7 @@ mod tests {
         SessionOutcome {
             id,
             tenant: Tenant::default(),
+            status: SessionStatus::Completed,
             evaded,
             blocked_midstream: !evaded,
             final_score: if evaded { 0.1 } else { 0.9 },

@@ -17,7 +17,7 @@
 
 use std::sync::Arc;
 
-use amoeba_classifiers::Censor;
+use amoeba_classifiers::{Censor, CensorProgramFactory, ClassifierProgramFactory};
 
 use crate::FrozenPolicy;
 
@@ -123,10 +123,18 @@ impl PolicyRegistry {
     }
 }
 
-/// The engine's table of inline censors.
+/// The engine's table of inline censor programs.
+///
+/// Entries are [`CensorProgramFactory`]s: at admission each session gets
+/// its own streaming program spawned from its tenant's factory, so
+/// per-session censor state (warmup counters, hysteresis streaks) never
+/// aliases between sessions. One-shot [`Censor`]s enter through
+/// [`CensorRegistry::register`], which wraps them in the degenerate
+/// [`ClassifierProgramFactory`] adapter — bit-for-bit the pre-program
+/// one-shot scoring path.
 #[derive(Clone, Default)]
 pub struct CensorRegistry {
-    censors: Vec<Arc<dyn Censor>>,
+    censors: Vec<Arc<dyn CensorProgramFactory>>,
 }
 
 impl CensorRegistry {
@@ -135,21 +143,40 @@ impl CensorRegistry {
         Self::default()
     }
 
-    /// Registers a censor and returns its handle. `Arc`-identical censors
-    /// are deduplicated onto the existing handle.
+    /// Registers a one-shot censor and returns its handle, wrapping it in
+    /// the [`ClassifierProgramFactory`] adapter. `Arc`-identical censors
+    /// are deduplicated onto the existing handle (through
+    /// [`CensorProgramFactory::as_censor`], so re-registering the same
+    /// `Arc<dyn Censor>` never duplicates a tenant).
     pub fn register(&mut self, censor: Arc<dyn Censor>) -> CensorId {
-        if let Some(i) = self.censors.iter().position(|c| Arc::ptr_eq(c, &censor)) {
+        if let Some(i) = self
+            .censors
+            .iter()
+            .position(|f| f.as_censor().is_some_and(|c| Arc::ptr_eq(c, &censor)))
+        {
             return CensorId(i);
         }
-        self.censors.push(censor);
+        self.censors
+            .push(Arc::new(ClassifierProgramFactory::new(censor)));
         CensorId(self.censors.len() - 1)
     }
 
-    /// The censor behind a handle.
+    /// Registers a streaming censor-program factory and returns its
+    /// handle. `Arc`-identical factories are deduplicated onto the
+    /// existing handle.
+    pub fn register_program(&mut self, factory: Arc<dyn CensorProgramFactory>) -> CensorId {
+        if let Some(i) = self.censors.iter().position(|f| Arc::ptr_eq(f, &factory)) {
+            return CensorId(i);
+        }
+        self.censors.push(factory);
+        CensorId(self.censors.len() - 1)
+    }
+
+    /// The censor-program factory behind a handle.
     ///
     /// # Panics
     /// Panics if the handle did not come from this registry.
-    pub fn get(&self, id: CensorId) -> &Arc<dyn Censor> {
+    pub fn get(&self, id: CensorId) -> &Arc<dyn CensorProgramFactory> {
         self.censors
             .get(id.0)
             .unwrap_or_else(|| panic!("unknown CensorId({})", id.0))
@@ -171,7 +198,7 @@ impl CensorRegistry {
     }
 
     /// Freezes the table into the shared slice the shard workers read.
-    pub(crate) fn into_shared(self) -> Arc<[Arc<dyn Censor>]> {
+    pub(crate) fn into_shared(self) -> Arc<[Arc<dyn CensorProgramFactory>]> {
         self.censors.into()
     }
 }
@@ -206,6 +233,25 @@ mod tests {
         assert_eq!((ca.index(), cd.index()), (0, 1));
         // Same Arc → same handle; an equal-valued but distinct Arc does
         // not dedupe (identity, not structural equality).
+        assert_eq!(reg.register(c), ca);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn program_factories_register_and_dedupe_like_censors() {
+        use amoeba_classifiers::HardLabelFactory;
+        let mut reg = CensorRegistry::new();
+        let c = scoring_censor(0.2);
+        let ca = reg.register(Arc::clone(&c));
+        let hard: Arc<dyn CensorProgramFactory> =
+            Arc::new(HardLabelFactory::over_censor(Arc::clone(&c)));
+        let h = reg.register_program(Arc::clone(&hard));
+        // A program factory over the same censor is a *distinct* tenant:
+        // it renders different decisions even on identical wire.
+        assert_ne!(ca, h);
+        assert_eq!(reg.register_program(hard), h, "factory identity dedupes");
+        // One-shot dedupe sees through the adapter, not past other
+        // program factories.
         assert_eq!(reg.register(c), ca);
         assert_eq!(reg.len(), 2);
     }

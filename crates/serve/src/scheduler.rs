@@ -44,6 +44,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use amoeba_classifiers::CensorProgram;
 use amoeba_nn::matrix::Matrix;
 use amoeba_telemetry::{
     install_recorder, take_recorder, with_recorder, FlightRecorder, ShardTelemetry, StageKind,
@@ -82,10 +83,16 @@ pub(crate) struct ChunkAcct {
     /// Shard index of the thread that executed the stages (set by
     /// [`Shared::steal`]; equals `home` otherwise).
     pub(crate) executor: u32,
-    /// Censor verdicts issued per session this pass, parallel to
-    /// `sessions` (filled by stage 2 when telemetry is on; at most one
-    /// per pass — inline and final verdicts are mutually exclusive).
+    /// Censor *verdicts* (non-`Allow` program decisions) issued per
+    /// session this pass, parallel to `sessions` (filled by stage 2 when
+    /// telemetry is on; at most one per pass — inline and final
+    /// observations are mutually exclusive).
     pub(crate) verdicts: Vec<u8>,
+    /// Censor-program *queries* (every `observe` call, `Allow` included)
+    /// per session this pass, parallel to `sessions`. A cadence-gated or
+    /// warming-up program is queried without rendering a verdict, so
+    /// `queries ≥ verdicts`.
+    pub(crate) queries: Vec<u8>,
     /// Stage-trace stamps, nanoseconds since the run epoch. Written only
     /// when stage tracing is on; materialized into [`TraceEvent`]s at
     /// absorb time on the home driver, where the flight recorder lives.
@@ -117,10 +124,16 @@ pub(crate) struct WorkItem {
     pub(crate) x: Vec<EncoderState>,
     /// Per-session incremental `E(a_{1:t})` states.
     pub(crate) a: Vec<EncoderState>,
+    /// Per-session censor programs, parallel to `sessions`. Program state
+    /// physically travels with the item — the thief that executes a
+    /// stolen item holds the same state the home shard would have, so
+    /// decisions are execution-placement-invariant by construction.
+    pub(crate) progs: Vec<Box<dyn CensorProgram>>,
     pub(crate) acct: ChunkAcct,
 }
 
 impl WorkItem {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         home: usize,
         seq: u64,
@@ -129,6 +142,7 @@ impl WorkItem {
         sessions: Vec<Session>,
         x: Vec<EncoderState>,
         a: Vec<EncoderState>,
+        progs: Vec<Box<dyn CensorProgram>>,
     ) -> Self {
         Self {
             home,
@@ -138,6 +152,7 @@ impl WorkItem {
             sessions,
             x,
             a,
+            progs,
             acct: ChunkAcct {
                 enqueued: Instant::now(),
                 queue_us: 0.0,
@@ -146,6 +161,7 @@ impl WorkItem {
                 stolen: false,
                 executor: home as u32,
                 verdicts: Vec::new(),
+                queries: Vec::new(),
                 infer_t0_ns: 0,
                 infer_dur_ns: 0,
                 frame_t0_ns: 0,
@@ -530,11 +546,13 @@ fn absorb(
                 });
                 cell.frames += 1;
                 cell.verdicts += u64::from(item.acct.verdicts.get(r).copied().unwrap_or(0));
+                cell.verdict_queries += u64::from(item.acct.queries.get(r).copied().unwrap_or(0));
                 if session.is_done() {
                     // Done sessions never re-enter the heap, so this pass
                     // is the unique one that observes the finish.
                     cell.sessions += 1;
                     cell.evasions += u64::from(session.evaded());
+                    cell.teardowns += u64::from(session.torn());
                 }
             }
             if trace {

@@ -87,6 +87,9 @@ pub struct Session {
     extra_delay_ms: f32,
     rng: StdRng,
     blocked_midstream: bool,
+    /// The censor program issued a `Reset`: the connection was torn down
+    /// mid-stream and the session terminated early.
+    torn: bool,
     final_score: f32,
     stream_ok: bool,
     done: bool,
@@ -155,6 +158,7 @@ impl Session {
             extra_delay_ms: 0.0,
             rng: stream_rng(cfg.seed, id, STREAM_ACTION),
             blocked_midstream: false,
+            torn: false,
             final_score: 0.0,
             stream_ok: done,
             done,
@@ -214,6 +218,22 @@ impl Session {
     /// Marks the flow as blocked by an inline verdict.
     pub(crate) fn set_blocked_midstream(&mut self) {
         self.blocked_midstream = true;
+    }
+
+    /// The censor program tore the connection down mid-stream
+    /// ([`amoeba_classifiers::CensorDecision::Reset`]).
+    pub fn torn(&self) -> bool {
+        self.torn
+    }
+
+    /// Terminates the session early on a censor `Reset`: the session is
+    /// done (it never re-enters the scheduler heap), its remaining frames
+    /// are never emitted, and its outcome reports
+    /// [`crate::SessionStatus::Torn`]. Teardown is terminal — a torn
+    /// session's program is never observed again.
+    pub(crate) fn tear_down(&mut self) {
+        self.torn = true;
+        self.done = true;
     }
 
     /// Final censor score (populated by the dataplane on completion).
@@ -310,11 +330,12 @@ impl Session {
         self.stream_ok
     }
 
-    /// Whether the session finished evading: never blocked midstream and
-    /// final score below the 0.5 detection threshold. Meaningful once the
-    /// session is done; also what telemetry counts per tenant.
+    /// Whether the session finished evading: never blocked midstream,
+    /// never torn down, and final score below the 0.5 detection
+    /// threshold. Meaningful once the session is done; also what
+    /// telemetry counts per tenant.
     pub(crate) fn evaded(&self) -> bool {
-        !self.blocked_midstream && self.final_score < 0.5
+        !self.blocked_midstream && !self.torn && self.final_score < 0.5
     }
 
     /// Consumes the session into its report row.
@@ -323,6 +344,11 @@ impl Session {
             id: self.id,
             tenant: self.tenant,
             evaded: self.evaded(),
+            status: if self.torn {
+                crate::SessionStatus::Torn
+            } else {
+                crate::SessionStatus::Completed
+            },
             blocked_midstream: self.blocked_midstream,
             final_score: self.final_score,
             frames: self.frames,

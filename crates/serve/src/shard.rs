@@ -30,13 +30,16 @@
 //!
 //! ## Why sharding, pipelining and stealing cannot change results
 //!
-//! Sessions are fully independent: censors are stateless across flows,
-//! every matrix op on the batched inference path is row-independent, and
-//! each session's randomness derives from `(seed, session_id)` only. A
-//! shard is therefore nothing but a *grouping* of sessions, and the
-//! dataplane's outputs are grouping-invariant — partitioning sessions
-//! across 1, 2, 4 or 8 shards produces bit-identical per-session wire
-//! output. The same argument covers tenancy (which other tenants share
+//! Sessions are fully independent: each session owns a private
+//! [`CensorProgram`] spawned from its tenant's factory (censor state
+//! never aliases between sessions, and the program travels *inside* the
+//! session's `WorkItem`, so wherever the item executes it sees the same
+//! observation sequence), every matrix op on the batched inference path
+//! is row-independent, and each session's randomness derives from
+//! `(seed, session_id)` only. A shard is therefore nothing but a
+//! *grouping* of sessions, and the dataplane's outputs are
+//! grouping-invariant — partitioning sessions across 1, 2, 4 or 8 shards
+//! produces bit-identical per-session wire output. The same argument covers tenancy (which other tenants share
 //! the process, the tick, or the fused batch cannot shift any session's
 //! stream) **and the executors layered on top**:
 //!
@@ -67,7 +70,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
 
-use amoeba_classifiers::Censor;
+use amoeba_classifiers::{CensorDecision, CensorProgram, CensorProgramFactory};
 use amoeba_core::encoder::EncoderState;
 use amoeba_core::policy::ActorSnapshot;
 use amoeba_core::{Action, ShapingKernel};
@@ -122,6 +125,11 @@ pub(crate) struct SessionSlot {
     pub(crate) x: EncoderState,
     /// Incremental `E(a_{1:t})` state.
     pub(crate) a: EncoderState,
+    /// This session's private censor program, spawned from its tenant's
+    /// factory at shard construction. Moves with the session into
+    /// [`WorkItem`]s so decision state follows the session wherever the
+    /// item executes.
+    pub(crate) prog: Box<dyn CensorProgram>,
 }
 
 /// Min-heap entry: the next decision time of one resident session.
@@ -187,7 +195,6 @@ fn pop_due(heap: &mut BinaryHeap<DueEntry>, quantum: f64) -> Vec<usize> {
 #[derive(Clone)]
 pub(crate) struct ChunkProcessor {
     pub(crate) policies: Arc<[FrozenPolicy]>,
-    pub(crate) censors: Arc<[Arc<dyn Censor>]>,
     pub(crate) backend: Arc<dyn InferenceBackend>,
     pub(crate) cfg: ServeConfig,
     pub(crate) kernel: ShapingKernel,
@@ -241,8 +248,21 @@ impl ChunkProcessor {
     }
 
     /// Stage 2: per-session action, framing, impairment and censor
-    /// verdicts. Returns the `(B, 2)` normalized emitted-packet matrix
-    /// stage 3 feeds back into `E(a_{1:t})`.
+    /// program observations. Returns the `(B, 2)` normalized
+    /// emitted-packet matrix stage 3 feeds back into `E(a_{1:t})`.
+    ///
+    /// Each session's [`CensorProgram`] rides inside the item
+    /// (`item.progs[r]`, parallel to `sessions`), so the observation
+    /// sequence a program sees is a pure function of its session's wire
+    /// stream — independent of which thread executes the stage. The
+    /// cadence gate ([`VerdictPolicy`]) decides *when* the program is
+    /// consulted mid-stream; the program decides *what happens*:
+    /// `Allow` passes, `Score(s)` blocks at the 0.5 threshold, `Block`
+    /// blocks unconditionally, and `Reset` tears the session down
+    /// ([`crate::SessionStatus::Torn`]). The complete flow is always
+    /// observed once with `last = true`, whose decision becomes the
+    /// final score (`Allow` → 0.0, `Score(s)` → `s`, `Block`/`Reset` →
+    /// 1.0).
     pub(crate) fn frame(&self, item: &mut WorkItem, means: &Matrix, logstds: &Matrix) -> Matrix {
         let b = item.sessions.len();
         let kernel = self.kernel;
@@ -250,6 +270,8 @@ impl ChunkProcessor {
         if telemetry {
             item.acct.verdicts.clear();
             item.acct.verdicts.resize(b, 0);
+            item.acct.queries.clear();
+            item.acct.queries.resize(b, 0);
         }
         let mut emitted = Matrix::zeros(b, 2);
         for (r, session) in item.sessions.iter_mut().enumerate() {
@@ -270,27 +292,62 @@ impl ChunkProcessor {
                 .row_mut(r)
                 .copy_from_slice(&kernel.normalize_packet(&event.emitted));
 
-            let censor = &self.censors[session.tenant().censor.index()];
-            let inline = match self.cfg.verdicts {
+            let prog = &mut item.progs[r];
+            let due = match self.cfg.verdicts {
                 VerdictPolicy::Final => false,
                 VerdictPolicy::EveryFrame => true,
                 VerdictPolicy::Every(n) => n > 0 && session.frames().is_multiple_of(n),
             };
-            if inline && !event.done && !session.blocked_midstream() {
-                if telemetry {
-                    item.acct.verdicts[r] += 1;
-                }
-                if censor.blocks(session.wire()) {
-                    session.set_blocked_midstream();
-                }
-            }
             if event.done {
+                // The unique final observation: its decision is the
+                // session's final score.
                 if telemetry {
+                    item.acct.queries[r] += 1;
+                }
+                let decision = prog.observe(session.wire(), true);
+                if telemetry && decision != CensorDecision::Allow {
                     item.acct.verdicts[r] += 1;
                 }
-                let score = censor.score(session.wire());
+                let score = match decision {
+                    CensorDecision::Allow => 0.0,
+                    CensorDecision::Score(s) => s,
+                    CensorDecision::Block => 1.0,
+                    CensorDecision::Reset => {
+                        session.tear_down();
+                        1.0
+                    }
+                };
                 session.set_final_score(score);
                 session.finish_streams(self.cfg.verify_streams);
+            } else if due && !session.blocked_midstream() {
+                if telemetry {
+                    item.acct.queries[r] += 1;
+                }
+                match prog.observe(session.wire(), false) {
+                    CensorDecision::Allow => {}
+                    CensorDecision::Score(s) => {
+                        if telemetry {
+                            item.acct.verdicts[r] += 1;
+                        }
+                        if s >= 0.5 {
+                            session.set_blocked_midstream();
+                        }
+                    }
+                    CensorDecision::Block => {
+                        if telemetry {
+                            item.acct.verdicts[r] += 1;
+                        }
+                        session.set_blocked_midstream();
+                    }
+                    CensorDecision::Reset => {
+                        if telemetry {
+                            item.acct.verdicts[r] += 1;
+                        }
+                        session.tear_down();
+                        session.set_final_score(1.0);
+                        session.finish_streams(self.cfg.verify_streams);
+                    }
+                }
             }
         }
         emitted
@@ -342,7 +399,7 @@ impl Shard {
     /// tables.
     pub fn new(
         policies: Arc<[FrozenPolicy]>,
-        censors: Arc<[Arc<dyn Censor>]>,
+        censors: Arc<[Arc<dyn CensorProgramFactory>]>,
         backend: Arc<dyn InferenceBackend>,
         cfg: ServeConfig,
         sessions: Vec<Session>,
@@ -360,6 +417,7 @@ impl Shard {
                     session.id(),
                     t.censor.index()
                 );
+                let prog = censors[t.censor.index()].spawn();
                 let state = policies
                     .get(t.policy.index())
                     .unwrap_or_else(|| {
@@ -381,6 +439,7 @@ impl Shard {
                     session,
                     x: state.clone(),
                     a: state,
+                    prog,
                 })
             })
             .collect();
@@ -388,7 +447,6 @@ impl Shard {
         Self {
             proc: ChunkProcessor {
                 policies,
-                censors,
                 backend,
                 cfg,
                 kernel,
@@ -436,12 +494,14 @@ impl Shard {
                 let mut sessions = Vec::with_capacity(chunk.len());
                 let mut x = Vec::with_capacity(chunk.len());
                 let mut a = Vec::with_capacity(chunk.len());
+                let mut progs = Vec::with_capacity(chunk.len());
                 for &i in chunk {
                     let slot = self.slots[i].take().expect("due session is resident");
                     local.push(i);
                     sessions.push(slot.session);
                     x.push(slot.x);
                     a.push(slot.a);
+                    progs.push(slot.prog);
                 }
                 items.push(WorkItem::new(
                     self.index,
@@ -451,6 +511,7 @@ impl Shard {
                     sessions,
                     x,
                     a,
+                    progs,
                 ));
                 *next_seq += 1;
             }
@@ -468,9 +529,12 @@ impl Shard {
             sessions,
             x,
             a,
+            progs,
             ..
         } = item;
-        for (((i, session), x), a) in local.into_iter().zip(sessions).zip(x).zip(a) {
+        for ((((i, session), x), a), prog) in
+            local.into_iter().zip(sessions).zip(x).zip(a).zip(progs)
+        {
             if !session.is_done() {
                 self.heap.push(DueEntry {
                     ready_at: session.ready_at(),
@@ -478,7 +542,12 @@ impl Shard {
                 });
             }
             debug_assert!(self.slots[i].is_none(), "slot {i} double-occupied");
-            self.slots[i] = Some(SessionSlot { session, x, a });
+            self.slots[i] = Some(SessionSlot {
+                session,
+                x,
+                a,
+                prog,
+            });
         }
     }
 

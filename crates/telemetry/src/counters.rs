@@ -70,13 +70,19 @@ pub struct TenantKey {
 pub struct TenantCounters {
     /// Wire frames emitted by this tenant's sessions.
     pub frames: u64,
-    /// Censor verdicts issued against this tenant's frames.
+    /// Censor verdicts issued against this tenant's frames — decisions
+    /// other than `Allow` (scores, blocks, resets).
     pub verdicts: u64,
-    /// Sessions that finished evading (not blocked midstream, final
-    /// score below the 0.5 detection threshold).
+    /// Sessions that finished evading (not blocked midstream, not torn
+    /// down, final score below the 0.5 detection threshold).
     pub evasions: u64,
     /// Sessions completed.
     pub sessions: u64,
+    /// Sessions the censor program tore down mid-stream (`Reset`).
+    pub teardowns: u64,
+    /// Censor-program observations, `Allow` included — every call into
+    /// the program, so `verdict_queries >= verdicts` always holds.
+    pub verdict_queries: u64,
 }
 
 impl TenantCounters {
@@ -86,6 +92,8 @@ impl TenantCounters {
         self.verdicts += other.verdicts;
         self.evasions += other.evasions;
         self.sessions += other.sessions;
+        self.teardowns += other.teardowns;
+        self.verdict_queries += other.verdict_queries;
     }
 }
 

@@ -164,10 +164,27 @@ impl TelemetrySnapshot {
                 "Sessions completed per tenant.",
                 3,
             ),
+            (
+                "amoeba_serve_tenant_teardowns_total",
+                "Sessions torn down mid-stream by the censor program, per tenant.",
+                4,
+            ),
+            (
+                "amoeba_serve_tenant_verdict_queries_total",
+                "Censor-program observations (Allow included) per tenant.",
+                5,
+            ),
         ] {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
             for (k, t) in &self.tenants {
-                let v = [t.frames, t.verdicts, t.evasions, t.sessions][field];
+                let v = [
+                    t.frames,
+                    t.verdicts,
+                    t.evasions,
+                    t.sessions,
+                    t.teardowns,
+                    t.verdict_queries,
+                ][field];
                 out.push_str(&format!(
                     "{name}{{policy=\"{}\",censor=\"{}\"}} {v}\n",
                     k.policy, k.censor
@@ -241,8 +258,16 @@ impl TelemetrySnapshot {
             }
             out.push_str(&format!(
                 "{{\"policy\": {}, \"censor\": {}, \"frames\": {}, \
-                 \"verdicts\": {}, \"evasions\": {}, \"sessions\": {}}}",
-                k.policy, k.censor, t.frames, t.verdicts, t.evasions, t.sessions
+                 \"verdicts\": {}, \"evasions\": {}, \"sessions\": {}, \
+                 \"teardowns\": {}, \"verdict_queries\": {}}}",
+                k.policy,
+                k.censor,
+                t.frames,
+                t.verdicts,
+                t.evasions,
+                t.sessions,
+                t.teardowns,
+                t.verdict_queries
             ));
         }
         out.push_str("],\n  \"histograms\": {");
@@ -329,6 +354,8 @@ mod tests {
             verdicts: 16,
             evasions: 2,
             sessions: 2,
+            teardowns: 0,
+            verdict_queries: 16,
         };
         *a.tenant_mut(TenantKey {
             policy: 1,
@@ -338,6 +365,8 @@ mod tests {
             verdicts: 8,
             evasions: 0,
             sessions: 1,
+            teardowns: 1,
+            verdict_queries: 8,
         };
         a.events.push(TraceEvent {
             stage: StageKind::Infer,
@@ -417,6 +446,14 @@ amoeba_serve_tenant_evasions_total{policy=\"1\",censor=\"2\"} 0
 # TYPE amoeba_serve_tenant_sessions_total counter
 amoeba_serve_tenant_sessions_total{policy=\"0\",censor=\"0\"} 2
 amoeba_serve_tenant_sessions_total{policy=\"1\",censor=\"2\"} 1
+# HELP amoeba_serve_tenant_teardowns_total Sessions torn down mid-stream by the censor program, per tenant.
+# TYPE amoeba_serve_tenant_teardowns_total counter
+amoeba_serve_tenant_teardowns_total{policy=\"0\",censor=\"0\"} 0
+amoeba_serve_tenant_teardowns_total{policy=\"1\",censor=\"2\"} 1
+# HELP amoeba_serve_tenant_verdict_queries_total Censor-program observations (Allow included) per tenant.
+# TYPE amoeba_serve_tenant_verdict_queries_total counter
+amoeba_serve_tenant_verdict_queries_total{policy=\"0\",censor=\"0\"} 16
+amoeba_serve_tenant_verdict_queries_total{policy=\"1\",censor=\"2\"} 8
 # HELP amoeba_serve_frame_queue_us Queue-wait latency (enqueue to batch start) in microseconds.
 # TYPE amoeba_serve_frame_queue_us summary
 amoeba_serve_frame_queue_us{quantile=\"0.5\"} 0.012
