@@ -1,0 +1,344 @@
+//! Comment- and string-aware source preparation.
+//!
+//! The rule matchers in [`crate::rules`] are token-pattern scans; running
+//! them over raw source would fire on `HashMap` inside a doc comment or a
+//! string literal. [`strip`] therefore splits a Rust source file into two
+//! parallel views with **identical line structure**:
+//!
+//! * `code` — the input with every comment and every string/char-literal
+//!   *body* replaced by spaces (delimiters of string literals are kept as
+//!   `"` so downstream brace tracking still sees balanced tokens, and
+//!   newlines inside block comments and multi-line strings survive, so
+//!   line numbers in findings always refer to the original file);
+//! * `comments` — per line, the concatenated text of any comments that
+//!   appear on it (line comments, doc comments, and each line of a block
+//!   comment), which is where `// SAFETY:` and `// audit:allow(...)`
+//!   annotations are recognised.
+//!
+//! The lexer understands nested block comments, raw strings with any hash
+//! depth (`r"…"`, `r#"…"#`, `br##"…"##`), byte and C strings, char
+//! literals with escapes, and distinguishes lifetimes (`'a`) from char
+//! literals (`'a'`). It never panics on malformed input: an unterminated
+//! construct simply swallows the rest of the file in its current state,
+//! which is also what `rustc`'s lexer error recovery effectively does.
+
+/// One source file split into rule-scannable code and per-line comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stripped {
+    /// The source with comment and literal bodies blanked; same number of
+    /// lines as the input, char-for-char equal length per line.
+    pub code: String,
+    /// `comments[i]` holds the comment text found on line `i` (0-based),
+    /// with comment delimiters removed. Empty string when the line has
+    /// no comment.
+    pub comments: Vec<String>,
+}
+
+impl Stripped {
+    /// The blanked code of line `line` (0-based). Empty for out-of-range.
+    pub fn code_line(&self, line: usize) -> &str {
+        self.code.lines().nth(line).unwrap_or("")
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Plain code.
+    Normal,
+    /// Inside `// …` until end of line.
+    LineComment,
+    /// Inside `/* … */`, tracking nesting depth.
+    BlockComment(u32),
+    /// Inside `"…"`; `true` while the next char is escaped.
+    Str,
+    /// Inside `r#"…"#` with the given hash count.
+    RawStr(u32),
+    /// Inside `'…'`; `true` while the next char is escaped.
+    CharLit,
+}
+
+/// Splits `src` into blanked code and per-line comment text. See the
+/// [module docs](self) for the exact contract; the function is total —
+/// any byte sequence that is valid UTF-8 is accepted.
+pub fn strip(src: &str) -> Stripped {
+    let n_lines = src.lines().count().max(1);
+    let mut code = String::with_capacity(src.len());
+    let mut comments: Vec<String> = vec![String::new(); n_lines];
+    let mut line = 0usize;
+
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut state = State::Normal;
+    let mut escaped = false;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        if c == '\n' {
+            // Newlines pass through in every state so line numbers and
+            // line lengths are preserved; a line comment ends here.
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            code.push('\n');
+            line += 1;
+            i += 1;
+            escaped = false;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    state = State::Str;
+                    escaped = false;
+                    code.push('"');
+                    i += 1;
+                } else if is_raw_string_start(&chars, i) {
+                    // Consume the prefix (r / br / cr) and the hashes up
+                    // to the opening quote.
+                    let mut j = i;
+                    while chars[j] != 'r' {
+                        code.push(chars[j]);
+                        j += 1;
+                    }
+                    code.push('r');
+                    j += 1;
+                    let mut hashes = 0u32;
+                    while chars.get(j) == Some(&'#') {
+                        code.push('#');
+                        hashes += 1;
+                        j += 1;
+                    }
+                    // is_raw_string_start guarantees a quote follows.
+                    code.push('"');
+                    j += 1;
+                    state = State::RawStr(hashes);
+                    i = j;
+                } else if c == '\'' && is_char_literal_start(&chars, i) {
+                    state = State::CharLit;
+                    escaped = false;
+                    code.push('\'');
+                    i += 1;
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                comments[line.min(n_lines - 1)].push(c);
+                code.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else {
+                    comments[line.min(n_lines - 1)].push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if escaped {
+                    escaped = false;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\\' {
+                    escaped = true;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '"' {
+                    state = State::Normal;
+                    code.push('"');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && raw_string_closes(&chars, i, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => {
+                if escaped {
+                    escaped = false;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\\' {
+                    escaped = true;
+                    code.push(' ');
+                    i += 1;
+                } else if c == '\'' {
+                    state = State::Normal;
+                    code.push('\'');
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    Stripped { code, comments }
+}
+
+/// True when `chars[i..]` begins a raw (possibly byte/C) string literal:
+/// `r"`, `r#`, `br"`, `br#`, `cr"`, `cr#` — and the identifier character
+/// before `i` (if any) does not glue onto the prefix (so `for r in …` or
+/// `attr("x")` never match).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    let prev_is_ident = i
+        .checked_sub(1)
+        .and_then(|p| chars.get(p))
+        .is_some_and(|c| c.is_alphanumeric() || *c == '_');
+    if prev_is_ident {
+        return false;
+    }
+    let mut j = i;
+    if matches!(chars.get(j), Some('b') | Some('c')) {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return false;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// True when the `"` at `chars[i]` is followed by `hashes` `#`s, closing
+/// a raw string opened with that hash depth.
+fn raw_string_closes(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguishes a char literal `'x'` / `'\n'` / `'\u{1F600}'` from a
+/// lifetime `'a` / `'static`. Heuristic (the same one rustc's lexer
+/// uses): after the quote, an escape always means char literal; a single
+/// non-quote char followed by a closing quote means char literal;
+/// anything else (identifier run without a closing quote) is a lifetime.
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some('\'') => true, // empty literal `''` — malformed, eat it as one
+        Some(c) if c.is_alphanumeric() || *c == '_' => chars.get(i + 2) == Some(&'\''),
+        Some(_) => true, // punctuation char like `'('` must be a literal
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_comment_is_blanked_and_captured() {
+        let s = strip("let x = 1; // HashMap here\nlet y = 2;\n");
+        assert!(!s.code.contains("HashMap"));
+        assert_eq!(s.comments[0].trim(), "HashMap here");
+        assert_eq!(s.comments[1], "");
+        assert!(s.code_line(0).starts_with("let x = 1;"));
+    }
+
+    #[test]
+    fn block_comment_spans_lines_and_nests() {
+        let s = strip("a /* one /* two */ still */ b\nc /* open\nHashMap\n*/ d\n");
+        assert!(!s.code.contains("two"));
+        assert!(s.code_line(0).contains('a') && s.code_line(0).contains('b'));
+        assert!(s.comments[2].contains("HashMap"));
+        assert!(s.code_line(3).contains('d'));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimited() {
+        let s = strip("let s = \"Instant::now() // not a comment\"; foo();\n");
+        assert!(!s.code.contains("Instant::now"));
+        assert!(s.code.contains("foo()"));
+        assert_eq!(s.comments[0], "");
+        // Both delimiters survive, the body is spaces.
+        assert_eq!(s.code_line(0).matches('"').count(), 2);
+    }
+
+    #[test]
+    fn escaped_quote_does_not_close_string() {
+        let s = strip(r#"let s = "a\"b"; HashMap::new();"#);
+        assert!(s.code.contains("HashMap::new()"));
+        assert!(!s.code.contains("a\\\"b"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let s = strip("let s = r#\"thread_rng \" inner\"#; after();\nlet b = br\"x\";\n");
+        assert!(!s.code.contains("thread_rng"));
+        assert!(s.code.contains("after()"));
+        assert!(!s.code.contains("x\""));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let s = strip("fn f<'a>(x: &'a str) -> &'a str { x } // SAFETY: none\n");
+        assert!(s.code.contains("<'a>"));
+        assert!(s.comments[0].contains("SAFETY:"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let s = strip("let q = '\"'; let n = '\\n'; HashSet::new();\n");
+        assert!(s.code.contains("HashSet::new()"));
+        // The quote char inside the literal must not open a string.
+        assert!(!s.code.contains("; let n =  \\n"));
+    }
+
+    #[test]
+    fn line_count_is_preserved() {
+        let src = "a\n\nb /* c\nd */\ne\n";
+        let s = strip(src);
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        assert_eq!(s.comments.len(), src.lines().count());
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        assert_eq!(strip("").code, "");
+        strip("\"");
+        strip("/*");
+        strip("'");
+        strip("r#\"");
+        strip("\\");
+    }
+}

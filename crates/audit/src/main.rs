@@ -1,0 +1,86 @@
+//! `amoeba-audit` CLI — the determinism-contract gate.
+//!
+//! ```text
+//! cargo run -p amoeba-audit --            # human report, exit 0
+//! cargo run -p amoeba-audit -- --deny     # exit 1 on any finding (CI)
+//! cargo run -p amoeba-audit -- --json     # machine-readable report
+//! cargo run -p amoeba-audit -- --root X   # audit another checkout
+//! ```
+//!
+//! See the [library docs](amoeba_audit) for the rule set, the crate
+//! profile table and the `audit:allow` protocol.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("amoeba-audit: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "amoeba-audit: determinism-contract static analyzer\n\
+                     usage: amoeba-audit [--deny] [--json] [--root <workspace>]\n\
+                     \n\
+                     rules: AMB001 HashMap/HashSet order hazard\n       \
+                     AMB002 wall-clock outside telemetry code\n       \
+                     AMB003 ambient randomness\n       \
+                     AMB004 unsafe without // SAFETY:\n       \
+                     AMB005 thread identity / atomic RMW in dataplane\n       \
+                     AMB006 iterator float reductions in nn kernels\n\
+                     suppress with // audit:allow(AMBxxx, reason = \"…\")"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("amoeba-audit: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // `cargo run -p amoeba-audit` runs from the workspace root; fall
+    // back to walking up from the crate dir when invoked elsewhere.
+    if !root.join("crates").is_dir() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        if let Some(ws) = here.parent().and_then(|p| p.parent()) {
+            root = ws.to_path_buf();
+        }
+    }
+
+    let report = match amoeba_audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("amoeba-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+
+    if deny && !report.clean() {
+        eprintln!(
+            "amoeba-audit: {} finding(s) — the determinism contract gate failed \
+             (suppress only with audit:allow(AMBxxx, reason = \"…\"))",
+            report.findings.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

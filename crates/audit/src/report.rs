@@ -1,0 +1,276 @@
+//! Findings, the allow inventory, and report rendering.
+//!
+//! The analyzer produces one [`AuditReport`] per run: the ordered list
+//! of unsuppressed [`Finding`]s, the inventory of every
+//! `// audit:allow(…)` annotation encountered (used and stale), and
+//! per-crate scan statistics. Rendering is available in human form
+//! ([`AuditReport::render_human`]) and as a stable JSON document
+//! ([`AuditReport::render_json`]) for CI tooling; both are generated
+//! from the same data, so they cannot disagree.
+
+use std::fmt::Write as _;
+
+use crate::rules::Rule;
+
+/// One rule violation (or AMB000 meta-finding).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative file path (`/`-separated).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the offending token (0 for whole-line findings).
+    pub col: usize,
+    /// Module path within the file (e.g. `tests`), empty at file scope.
+    pub module: String,
+    /// The construct that matched, or the meta-error description.
+    pub message: String,
+    /// The stripped source line, trimmed, for context.
+    pub context: String,
+}
+
+/// One `// audit:allow(AMBxxx, reason = "…")` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allowance {
+    /// Rule being suppressed.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Whether the annotation suppressed at least one finding this run.
+    pub used: bool,
+}
+
+/// Scan statistics for one crate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrateStats {
+    /// Crate directory relative to the workspace root.
+    pub path: String,
+    /// Profile name applied.
+    pub profile: String,
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Total lines scanned.
+    pub lines: usize,
+}
+
+/// The complete result of an audit run.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Unsuppressed findings, ordered by (file, line, col, rule).
+    pub findings: Vec<Finding>,
+    /// Every allow annotation seen, ordered by (file, line).
+    pub allows: Vec<Allowance>,
+    /// Per-crate scan stats, in scan order (sorted by path).
+    pub crates: Vec<CrateStats>,
+}
+
+impl AuditReport {
+    /// Sorts findings and allows into their canonical report order.
+    pub fn finalize(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        });
+        self.allows
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.crates.sort_by(|a, b| a.path.cmp(&b.path));
+    }
+
+    /// True when the tree passes: no findings at all (stale or malformed
+    /// allows surface as AMB000 findings, so one predicate covers both).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// The human-readable report.
+    pub fn render_human(&self) -> String {
+        let mut s = String::new();
+        let files: usize = self.crates.iter().map(|c| c.files).sum();
+        let lines: usize = self.crates.iter().map(|c| c.lines).sum();
+        let _ = writeln!(
+            s,
+            "amoeba-audit: scanned {files} files / {lines} lines across {} crates",
+            self.crates.len()
+        );
+        for c in &self.crates {
+            let _ = writeln!(
+                s,
+                "  {:<24} profile={:<10} {:>3} files {:>6} lines",
+                c.path, c.profile, c.files, c.lines
+            );
+        }
+        if self.findings.is_empty() {
+            let _ = writeln!(s, "\nno findings");
+        } else {
+            let _ = writeln!(s, "\n{} finding(s):", self.findings.len());
+            for f in &self.findings {
+                let loc = if f.module.is_empty() {
+                    format!("{}:{}:{}", f.file, f.line, f.col)
+                } else {
+                    format!("{}:{}:{} (in {})", f.file, f.line, f.col, f.module)
+                };
+                let _ = writeln!(s, "  [{}] {loc}: {}", f.rule, f.message);
+                let _ = writeln!(s, "      | {}", f.context);
+                let _ = writeln!(s, "      = {}", f.rule.summary());
+            }
+        }
+        if !self.allows.is_empty() {
+            let _ = writeln!(s, "\nallow inventory ({}):", self.allows.len());
+            for a in &self.allows {
+                let flag = if a.used { "" } else { "  [STALE]" };
+                let _ = writeln!(
+                    s,
+                    "  {}:{} allow({}) reason=\"{}\"{}",
+                    a.file, a.line, a.rule, a.reason, flag
+                );
+            }
+        }
+        s
+    }
+
+    /// The JSON report: `{"findings": […], "allows": […], "crates": […],
+    /// "clean": bool}`. Hand-rolled (the tool is dependency-free), with
+    /// string escaping for quotes, backslashes and control characters.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \
+                 \"module\": {}, \"message\": {}, \"context\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(f.rule.code()),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.module),
+                json_str(&f.message),
+                json_str(&f.context),
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}, \
+                 \"used\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(a.rule.code()),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason),
+                a.used,
+            );
+        }
+        if !self.allows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n  \"crates\": [");
+        for (i, c) in self.crates.iter().enumerate() {
+            let _ = write!(
+                s,
+                "{}\n    {{\"path\": {}, \"profile\": {}, \"files\": {}, \"lines\": {}}}",
+                if i == 0 { "" } else { "," },
+                json_str(&c.path),
+                json_str(&c.profile),
+                c.files,
+                c.lines,
+            );
+        }
+        if !self.crates.is_empty() {
+            s.push_str("\n  ");
+        }
+        let _ = write!(s, "],\n  \"clean\": {}\n}}\n", self.clean());
+        s
+    }
+}
+
+/// Minimal JSON string encoder.
+fn json_str(v: &str) -> String {
+    let mut out = String::with_capacity(v.len() + 2);
+    out.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditReport {
+        let mut r = AuditReport {
+            findings: vec![Finding {
+                rule: Rule::Amb001,
+                file: "crates/x/src/lib.rs".into(),
+                line: 3,
+                col: 5,
+                module: String::new(),
+                message: "HashMap".into(),
+                context: "let m: HashMap<u8, u8> = x;".into(),
+            }],
+            allows: vec![Allowance {
+                rule: Rule::Amb002,
+                file: "crates/x/src/lib.rs".into(),
+                line: 9,
+                reason: "telemetry \"wall\" clock".into(),
+                used: true,
+            }],
+            crates: vec![CrateStats {
+                path: "crates/x".into(),
+                profile: "dataplane".into(),
+                files: 1,
+                lines: 12,
+            }],
+        };
+        r.finalize();
+        r
+    }
+
+    #[test]
+    fn human_report_names_rule_file_and_reason() {
+        let h = sample().render_human();
+        assert!(h.contains("[AMB001] crates/x/src/lib.rs:3:5"));
+        assert!(h.contains("allow(AMB002)"));
+        assert!(!h.contains("[STALE]"));
+    }
+
+    #[test]
+    fn json_escapes_and_parses_shape() {
+        let j = sample().render_json();
+        assert!(j.contains("\"rule\": \"AMB001\""));
+        assert!(j.contains("telemetry \\\"wall\\\" clock"));
+        assert!(j.contains("\"clean\": false"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn clean_requires_no_findings() {
+        let mut r = sample();
+        assert!(!r.clean());
+        r.findings.clear();
+        assert!(r.clean());
+    }
+}

@@ -1,0 +1,26 @@
+// Allow-protocol fixture: trailing, standalone, stacked, malformed and
+// stale annotations.
+
+fn annotated() {
+    let a = Instant::now(); // audit:allow(AMB002, reason = "trailing form")
+    // audit:allow(AMB002, reason = "standalone form binds to the next code line")
+    let b = Instant::now();
+    // audit:allow(AMB001, reason = "stacked: first rule")
+    // audit:allow(AMB002, reason = "stacked: second rule, same target line")
+    let c: HashMap<u8, Instant> = Instant::now().into();
+    let _ = (a, b, c);
+}
+
+fn malformed() {
+    // audit:allow(AMB002)
+    let t = Instant::now();
+    // audit:allow(AMB999, reason = "no such rule")
+    let u = Instant::now();
+    let _ = (t, u);
+}
+
+fn stale() {
+    // audit:allow(AMB001, reason = "nothing to suppress here")
+    let x = 1;
+    let _ = x;
+}

@@ -1,0 +1,14 @@
+// AMB001 fixture: hash-ordered containers in non-test code.
+use std::collections::HashMap;
+use std::collections::{BTreeMap, HashSet};
+
+pub struct Caches {
+    by_id: HashMap<u64, String>,
+    ordered: BTreeMap<u64, String>,
+}
+
+fn prose_only() {
+    // A comment saying HashMap is fine.
+    let s = "HashMap in a string is fine too";
+    let _ = s;
+}

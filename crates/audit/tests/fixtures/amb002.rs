@@ -1,0 +1,13 @@
+// AMB002 fixture: wall-clock reads.
+use std::time::{Duration, Instant, SystemTime};
+
+struct Acct {
+    epoch: Instant,
+}
+
+fn stamp(acct: &Acct) -> (Duration, u64) {
+    let now = Instant::now();
+    let unix = SystemTime::now();
+    let _ = unix;
+    (now - acct.epoch, 0)
+}

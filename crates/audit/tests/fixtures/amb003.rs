@@ -1,0 +1,12 @@
+// AMB003 fixture: ambient randomness vs seeded derivation.
+fn bad() -> f32 {
+    let mut r = rand::thread_rng();
+    let mut e = StdRng::from_entropy();
+    let x: f32 = rand::random();
+    x
+}
+
+fn good(seed: u64, session_id: u64) -> StdRng {
+    let mixed = splitmix64(seed ^ splitmix64(session_id));
+    StdRng::seed_from_u64(mixed)
+}

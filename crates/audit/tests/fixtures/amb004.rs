@@ -1,0 +1,33 @@
+// AMB004 fixture: unsafe with and without adjacent SAFETY comments.
+
+fn documented(ptr: *const f32) -> f32 {
+    // SAFETY: caller guarantees ptr is valid and aligned.
+    unsafe { *ptr }
+}
+
+/// A documented unsafe fn whose `# Safety` section sits above an
+/// attribute stack, further than the raw line window reaches.
+///
+/// # Safety
+/// The caller must uphold the usual validity invariants for `ptr`,
+/// namely alignment, liveness and no concurrent mutation for the
+/// duration of the call.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn doc_block(ptr: *const f32) -> f32 {
+    *ptr
+}
+
+fn undocumented(ptr: *const f32) -> f32 {
+    unsafe { *ptr }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_still_needs_safety() {
+        let x = 1.0f32;
+        let y = unsafe { *(&x as *const f32) };
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,13 @@
+// AMB005 fixture: atomic RMW and thread identity in dataplane code.
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn racy(counter: &AtomicUsize) -> usize {
+    let before = counter.fetch_add(1, Ordering::SeqCst);
+    let me = std::thread::current().id();
+    let _ = me;
+    before
+}
+
+fn reads_are_fine(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::SeqCst)
+}

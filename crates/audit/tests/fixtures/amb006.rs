@@ -1,0 +1,16 @@
+// AMB006 fixture: iterator float reductions in an nn kernel module.
+pub fn horizontal(v: &[f32]) -> f32 {
+    v.iter().sum::<f32>()
+}
+
+pub fn folded(v: &[f32]) -> f32 {
+    v.iter().fold(0.0, |acc, x| acc + x)
+}
+
+pub fn explicit_order(v: &[f32]) -> f32 {
+    let mut acc = 0.0;
+    for x in v {
+        acc += x;
+    }
+    acc
+}

@@ -1,0 +1,39 @@
+// cfg(test)-exemption fixture: the same constructs inside and outside
+// test regions.
+use std::collections::HashMap;
+
+fn production() {
+    let t = Instant::now();
+    let _ = t;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt_constructs() {
+        let m: HashMap<u8, u8> = HashMap::new();
+        let t = Instant::now();
+        let r = rand::thread_rng();
+        let _ = (m, t, r);
+    }
+
+    #[test]
+    fn but_unsafe_still_audited() {
+        let x = 7u8;
+        let y = unsafe { *(&x as *const u8) };
+        assert_eq!(x, y);
+    }
+}
+
+#[cfg(test)]
+fn helper_outside_mod() {
+    let h: HashMap<u8, u8> = HashMap::new();
+    let _ = h;
+}
+
+fn after_test_items() {
+    let m: HashMap<u8, u8> = HashMap::new();
+    let _ = m;
+}

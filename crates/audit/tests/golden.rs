@@ -1,0 +1,176 @@
+//! Golden-fixture tests: each file under `tests/fixtures/` seeds known
+//! violations and the analyzer must report *exactly* the expected
+//! `(rule, line)` set — no more, no less. The fixtures are plain `.rs`
+//! sources but live outside any compiled target, so they can contain
+//! constructs the workspace itself bans.
+
+use amoeba_audit::analyze_source;
+use amoeba_audit::rules::{Profile, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{}", env!("CARGO_MANIFEST_DIR"), name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {path}: {e}"))
+}
+
+/// Runs the analyzer over a fixture and checks the `(rule, line)` list.
+fn assert_findings(name: &str, rel_path: &str, rules: &[Rule], expected: &[(Rule, usize)]) {
+    let analysis = analyze_source(rel_path, &fixture(name), rules);
+    let mut got: Vec<(Rule, usize)> = analysis.findings.iter().map(|f| (f.rule, f.line)).collect();
+    got.sort_by_key(|&(rule, line)| (line, rule.code()));
+    assert_eq!(
+        got, expected,
+        "{name}: findings diverged from golden expectations\nfull: {:#?}",
+        analysis.findings
+    );
+}
+
+fn dataplane() -> Vec<Rule> {
+    Profile::Dataplane { nn_kernels: false }.rules()
+}
+
+fn nn_kernels() -> Vec<Rule> {
+    Profile::Dataplane { nn_kernels: true }.rules()
+}
+
+#[test]
+fn amb001_hash_containers() {
+    assert_findings(
+        "amb001.rs",
+        "crates/serve/src/amb001.rs",
+        &dataplane(),
+        &[(Rule::Amb001, 2), (Rule::Amb001, 3), (Rule::Amb001, 6)],
+    );
+}
+
+#[test]
+fn amb002_wall_clock() {
+    assert_findings(
+        "amb002.rs",
+        "crates/serve/src/amb002.rs",
+        &dataplane(),
+        &[(Rule::Amb002, 2), (Rule::Amb002, 9), (Rule::Amb002, 10)],
+    );
+}
+
+#[test]
+fn amb003_ambient_randomness() {
+    assert_findings(
+        "amb003.rs",
+        "crates/core/src/amb003.rs",
+        &dataplane(),
+        &[(Rule::Amb003, 3), (Rule::Amb003, 4), (Rule::Amb003, 5)],
+    );
+}
+
+#[test]
+fn amb004_unsafe_without_safety() {
+    // Two of the four unsafe sites are documented (line-window form and
+    // `# Safety` doc-section form) and must NOT fire; the undocumented
+    // one fires, and so does the one inside `#[cfg(test)]` — AMB004 is
+    // the one rule with no test exemption.
+    assert_findings(
+        "amb004.rs",
+        "crates/nn/src/amb004.rs",
+        &dataplane(),
+        &[(Rule::Amb004, 22), (Rule::Amb004, 30)],
+    );
+}
+
+#[test]
+fn amb005_rmw_and_thread_identity() {
+    assert_findings(
+        "amb005.rs",
+        "crates/serve/src/amb005.rs",
+        &dataplane(),
+        &[(Rule::Amb005, 5), (Rule::Amb005, 6)],
+    );
+}
+
+#[test]
+fn amb006_float_reductions_in_kernels() {
+    assert_findings(
+        "amb006.rs",
+        "crates/nn/src/amb006.rs",
+        &nn_kernels(),
+        &[(Rule::Amb006, 3), (Rule::Amb006, 7)],
+    );
+}
+
+#[test]
+fn amb006_reference_modules_are_exempt() {
+    // The same source under a reference-module name produces nothing:
+    // matrix.rs is the scalar oracle the kernels are checked against.
+    assert_findings("amb006.rs", "crates/nn/src/matrix.rs", &nn_kernels(), &[]);
+}
+
+#[test]
+fn allow_annotations_suppress_with_reasons() {
+    let analysis = analyze_source(
+        "crates/serve/src/allows.rs",
+        &fixture("allows.rs"),
+        &dataplane(),
+    );
+    let mut got: Vec<(Rule, usize)> = analysis.findings.iter().map(|f| (f.rule, f.line)).collect();
+    got.sort_by_key(|&(rule, line)| (line, rule.code()));
+    // The three well-formed allows (trailing, standalone, stacked pair)
+    // suppress their targets; the reasonless and unknown-rule ones are
+    // AMB000 and leave their targets unsuppressed; the stale one is
+    // AMB000 on its own line.
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Amb000, 15),
+            (Rule::Amb002, 16),
+            (Rule::Amb000, 17),
+            (Rule::Amb002, 18),
+            (Rule::Amb000, 23),
+        ],
+        "full: {:#?}",
+        analysis.findings
+    );
+    let used: Vec<(Rule, usize, bool)> = analysis
+        .allows
+        .iter()
+        .map(|a| (a.rule, a.line, a.used))
+        .collect();
+    assert_eq!(
+        used,
+        vec![
+            (Rule::Amb002, 5, true),
+            (Rule::Amb002, 6, true),
+            (Rule::Amb001, 8, true),
+            (Rule::Amb002, 9, true),
+            (Rule::Amb001, 23, false),
+        ]
+    );
+    for allow in &analysis.allows {
+        assert!(!allow.reason.is_empty(), "allow without reason survived");
+    }
+}
+
+#[test]
+fn cfg_test_regions_are_exempt_except_unsafe() {
+    let analysis = analyze_source(
+        "crates/serve/src/cfg_test.rs",
+        &fixture("cfg_test.rs"),
+        &dataplane(),
+    );
+    let mut got: Vec<(Rule, usize)> = analysis.findings.iter().map(|f| (f.rule, f.line)).collect();
+    got.sort_by_key(|&(rule, line)| (line, rule.code()));
+    assert_eq!(
+        got,
+        vec![
+            (Rule::Amb001, 3),
+            (Rule::Amb002, 6),
+            (Rule::Amb004, 25),
+            // Two `HashMap` tokens on the one line: one finding each.
+            (Rule::Amb001, 37),
+            (Rule::Amb001, 37),
+        ],
+        "full: {:#?}",
+        analysis.findings
+    );
+    // The surviving in-test finding is attributed to its module path.
+    let in_test = analysis.findings.iter().find(|f| f.line == 25).unwrap();
+    assert_eq!(in_test.module, "tests");
+}

@@ -1,0 +1,107 @@
+//! Property tests for the comment/string stripper: arbitrary fragment
+//! soups — quote-heavy, raw-string-heavy, unbalanced — must never panic
+//! the lexer or the analyzer, and the stripped output must stay
+//! char-aligned with the input.
+
+use amoeba_audit::analyze_source;
+use amoeba_audit::lexer::strip;
+use amoeba_audit::rules::Rule;
+use proptest::prelude::*;
+
+/// Fragments chosen to collide with every lexer state transition:
+/// raw-string fences at several hash depths, nested block comments,
+/// escapes, lifetimes vs char literals, byte strings, plus ordinary
+/// tokens the rules match on.
+const FRAGMENTS: &[&str] = &[
+    "r#\"",
+    "\"#",
+    "r\"",
+    "r##\"",
+    "\"##",
+    "/*",
+    "*/",
+    "//",
+    "///",
+    "//!",
+    "\"",
+    "\\\"",
+    "'",
+    "\\'",
+    "b'",
+    "b\"",
+    "'a",
+    "'static",
+    "\n",
+    "\n\n",
+    " ",
+    "{",
+    "}",
+    "(",
+    ")",
+    "#",
+    "r",
+    "x",
+    "HashMap",
+    "Instant::now",
+    "unsafe",
+    "thread_rng",
+    ".sum::<f32>()",
+    "#[cfg(test)]",
+    "#[test]",
+    "mod tests",
+    "fn f()",
+    "let x = 1;",
+    "// audit:allow(AMB002, reason = \"fuzz\")",
+    "// audit:allow(AMB001)",
+];
+
+fn assemble(indices: &[usize]) -> String {
+    indices
+        .iter()
+        .map(|&i| FRAGMENTS[i % FRAGMENTS.len()])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn strip_never_panics_and_preserves_shape(
+        indices in prop::collection::vec(0usize..FRAGMENTS.len(), 0..48)
+    ) {
+        let src = assemble(&indices);
+        let stripped = strip(&src);
+
+        // Char-for-char alignment: every output char is the input char
+        // or a blank, and newlines survive exactly (so findings keep
+        // pointing at real line/column positions).
+        prop_assert_eq!(stripped.code.chars().count(), src.chars().count());
+        for (a, b) in src.chars().zip(stripped.code.chars()) {
+            prop_assert!(b == a || b == ' ', "{:?} became {:?} in {:?}", a, b, src);
+            prop_assert_eq!(a == '\n', b == '\n');
+        }
+    }
+
+    #[test]
+    fn strip_is_idempotent(
+        indices in prop::collection::vec(0usize..FRAGMENTS.len(), 0..48)
+    ) {
+        let src = assemble(&indices);
+        let once = strip(&src);
+        let twice = strip(&once.code);
+        prop_assert_eq!(&twice.code, &once.code, "src was {:?}", src);
+    }
+
+    #[test]
+    fn analyzer_never_panics_on_fragment_soup(
+        indices in prop::collection::vec(0usize..FRAGMENTS.len(), 0..48)
+    ) {
+        let src = assemble(&indices);
+        let analysis = analyze_source("crates/nn/src/fuzz.rs", &src, &Rule::ALL);
+        let lines = src.lines().count();
+        for f in &analysis.findings {
+            prop_assert!(f.line >= 1 && f.line <= lines.max(1),
+                "finding line {} out of range for {} lines", f.line, lines);
+        }
+    }
+}

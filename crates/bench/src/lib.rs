@@ -11,7 +11,7 @@
 
 #![warn(missing_docs)]
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use amoeba_classifiers::{train_censor, train_nn_model, Censor, CensorKind, NnModel, TrainConfig};
@@ -117,17 +117,17 @@ impl Scale {
 pub struct Context {
     /// Budget knobs.
     pub scale: Scale,
-    splits: HashMap<DatasetKind, Splits>,
+    splits: BTreeMap<DatasetKind, Splits>,
     encoder: Option<(EncoderSnapshot, f32)>,
-    censors: HashMap<(DatasetKind, CensorKind), Arc<dyn Censor>>,
-    nn_models: HashMap<(DatasetKind, CensorKind), NnModel>,
-    agents: HashMap<(DatasetKind, CensorKind), (AmoebaAgent, TrainReport)>,
+    censors: BTreeMap<(DatasetKind, CensorKind), Arc<dyn Censor>>,
+    nn_models: BTreeMap<(DatasetKind, CensorKind), NnModel>,
+    agents: BTreeMap<(DatasetKind, CensorKind), (AmoebaAgent, TrainReport)>,
 }
 
 impl Context {
     /// Builds datasets for both of the paper's dataset kinds.
     pub fn new(scale: Scale) -> Self {
-        let mut splits = HashMap::new();
+        let mut splits = BTreeMap::new();
         for kind in [DatasetKind::Tor, DatasetKind::V2Ray] {
             let ds = build_dataset(kind, scale.n_per_class, Some(NetEm::default()), scale.seed);
             splits.insert(kind, ds.split(scale.seed));
@@ -136,9 +136,9 @@ impl Context {
             scale,
             splits,
             encoder: None,
-            censors: HashMap::new(),
-            nn_models: HashMap::new(),
-            agents: HashMap::new(),
+            censors: BTreeMap::new(),
+            nn_models: BTreeMap::new(),
+            agents: BTreeMap::new(),
         }
     }
 

@@ -42,7 +42,7 @@ pub trait Censor: Send + Sync {
 }
 
 /// The six classifier families evaluated in the paper (§5.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CensorKind {
     /// Stacked Denoising Autoencoder (MLP encoder + classifier head).
     Sdae,

@@ -152,6 +152,12 @@ fn axpy_scalar(out: &mut [f32], a: f32, b: &[f32]) {
 /// AVX2 micro-panel: 8-lane `mul` + `add` (no FMA — FMA's single rounding
 /// would diverge from the scalar path), scalar tail for the last
 /// `len % 8` columns.
+///
+/// # Safety
+/// Caller must guarantee the host CPU supports AVX2 (`#[target_feature]`
+/// makes the call itself the unsafe act); all loads/stores stay inside
+/// `out`/`b` — the lane loop stops at `n - n % 8` and `n` is the shorter
+/// of the two slice lengths.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn axpy_avx2(out: &mut [f32], a: f32, b: &[f32]) {
@@ -175,6 +181,12 @@ unsafe fn axpy_avx2(out: &mut [f32], a: f32, b: &[f32]) {
 
 /// SSE2 micro-panel: 4-lane `mul` + `add`, scalar tail for the last
 /// `len % 4` columns.
+///
+/// # Safety
+/// Caller must guarantee the host CPU supports SSE2 (architecturally
+/// always true on x86-64, asserted by the dispatcher anyway); loads and
+/// stores stay inside `out`/`b` — the lane loop stops at `n - n % 4` and
+/// `n` is the shorter of the two slice lengths.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "sse2")]
 unsafe fn axpy_sse2(out: &mut [f32], a: f32, b: &[f32]) {
@@ -258,6 +270,10 @@ const MR: usize = 4;
 macro_rules! blocked_matmul_impl {
     ($(#[$attr:meta])* $name:ident, $axpy:path) => {
         $(#[$attr])*
+        // SAFETY: the contract of every instantiation — caller guarantees
+        // `lhs.len() == m * kk` (sole unchecked access) and, for the
+        // `#[target_feature]` variants, that the feature is available on
+        // the host; both asserted up front by `matmul_into`.
         unsafe fn $name(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, kk: usize, n: usize) {
             debug_assert_eq!(lhs.len(), m * kk);
             debug_assert_eq!(rhs.len(), kk * n);

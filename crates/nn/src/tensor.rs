@@ -11,6 +11,7 @@
 //! of graph bookkeeping.
 
 use std::cell::{Cell, Ref, RefCell};
+// audit:allow(AMB001, reason = "backward()'s visited set; membership probes only, see below")
 use std::collections::HashSet;
 use std::rc::Rc;
 
@@ -214,6 +215,7 @@ impl Tensor {
 
         // Iterative DFS topological sort.
         let mut order: Vec<Tensor> = Vec::new();
+        // audit:allow(AMB001, reason = "only insert/contains on unique node ids — never iterated, so hash order cannot reach `order` (DFS stack order alone decides it) or any gradient")
         let mut visited: HashSet<u64> = HashSet::new();
         let mut stack: Vec<(Tensor, bool)> = vec![(self.clone(), false)];
         while let Some((node, children_done)) = stack.pop() {

@@ -267,6 +267,7 @@ impl ServeEngine {
     /// # Panics
     /// Panics if two sessions share an id.
     pub fn run(mut self) -> ServeReport {
+        // audit:allow(AMB002, reason = "wall-clock run duration for ServeReport/throughput; read once, never steers scheduling or the wire")
         let start = Instant::now();
         self.sessions.sort_by_key(Session::id);
         assert!(

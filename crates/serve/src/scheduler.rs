@@ -154,6 +154,7 @@ impl WorkItem {
             a,
             progs,
             acct: ChunkAcct {
+                // audit:allow(AMB002, reason = "queue-wait telemetry epoch; feeds latency histograms only, never control flow")
                 enqueued: Instant::now(),
                 queue_us: 0.0,
                 infer_us: 0.0,
@@ -243,6 +244,7 @@ impl Shared {
 
     /// Called once per driver when its own sessions are all finished.
     fn retire(&self) {
+        // audit:allow(AMB005, reason = "liveness countdown deciding only when idle thieves stop spinning; items absorb at home in seq order, so wire output is independent of the race")
         self.live.fetch_sub(1, Ordering::SeqCst);
     }
 
@@ -278,6 +280,7 @@ fn companion_loop(
                 if proc.trace_on() {
                     item.acct.infer_t0_ns = proc.now_ns();
                 }
+                // audit:allow(AMB002, reason = "infer-stage latency telemetry (ChunkAcct::infer_us); never read by control flow")
                 let t0 = Instant::now();
                 let (means, logstds) = proc.infer(&mut item);
                 item.acct.infer_us += elapsed_us(t0);
@@ -292,6 +295,7 @@ fn companion_loop(
                 if proc.trace_on() {
                     item.acct.emit_t0_ns = proc.now_ns();
                 }
+                // audit:allow(AMB002, reason = "emit-stage latency telemetry (ChunkAcct::infer_us); never read by control flow")
                 let t0 = Instant::now();
                 proc.push_emitted(&mut item, &emitted);
                 item.acct.infer_us += elapsed_us(t0);
@@ -331,6 +335,7 @@ impl Pipe {
         if proc.trace_on() {
             item.acct.frame_t0_ns = proc.now_ns();
         }
+        // audit:allow(AMB002, reason = "framing-stage latency telemetry (ChunkAcct::framing_us); never read by control flow")
         let t0 = Instant::now();
         let emitted = proc.frame(&mut item, &means, &logstds);
         item.acct.framing_us = elapsed_us(t0);
@@ -398,6 +403,7 @@ impl Executor {
                 if trace {
                     item.acct.infer_t0_ns = proc.now_ns();
                 }
+                // audit:allow(AMB002, reason = "inline-path infer-stage latency telemetry; never read by control flow")
                 let t0 = Instant::now();
                 let (means, logstds) = proc.infer(&mut item);
                 item.acct.infer_us += elapsed_us(t0);
@@ -405,6 +411,7 @@ impl Executor {
                     item.acct.infer_dur_ns = proc.now_ns().saturating_sub(item.acct.infer_t0_ns);
                     item.acct.frame_t0_ns = proc.now_ns();
                 }
+                // audit:allow(AMB002, reason = "inline-path framing-stage latency telemetry; never read by control flow")
                 let t1 = Instant::now();
                 let emitted = proc.frame(&mut item, &means, &logstds);
                 item.acct.framing_us = elapsed_us(t1);
@@ -412,6 +419,7 @@ impl Executor {
                     item.acct.frame_dur_ns = proc.now_ns().saturating_sub(item.acct.frame_t0_ns);
                     item.acct.emit_t0_ns = proc.now_ns();
                 }
+                // audit:allow(AMB002, reason = "inline-path emit-stage latency telemetry; never read by control flow")
                 let t2 = Instant::now();
                 proc.push_emitted(&mut item, &emitted);
                 item.acct.infer_us += elapsed_us(t2);
@@ -466,6 +474,7 @@ pub(crate) fn run_shards(mut shards: Vec<Shard>) -> Vec<ShardReport> {
     let n = shards.len();
     // One epoch for the whole fleet, so trace timestamps from different
     // shards land on a common axis.
+    // audit:allow(AMB002, reason = "fleet-wide flight-recorder trace epoch; timestamps land in Chrome traces, not the wire")
     let epoch = Instant::now();
     for (i, s) in shards.iter_mut().enumerate() {
         s.set_index(i);

@@ -450,6 +450,7 @@ impl Shard {
                 backend,
                 cfg,
                 kernel,
+                // audit:allow(AMB002, reason = "flight-recorder epoch placeholder; run_shards overwrites it with the fleet-wide epoch before any stamp is taken")
                 epoch: std::time::Instant::now(),
             },
             slots,

@@ -11,7 +11,7 @@ use crate::generate::{
 use crate::netem::NetEm;
 
 /// Which of the paper's two datasets to synthesise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DatasetKind {
     /// Tor vs plain HTTPS at the TCP layer.
     Tor,
