@@ -3,10 +3,16 @@
 //!
 //! * Scale via `AMOEBA_SCALE=paper`; flow count via `AMOEBA_SERVE_FLOWS`
 //!   (default 1000).
-//! * `--backend {cpu,simd}` selects the inference backend (default: the
-//!   `AMOEBA_SERVE_BACKEND` env var, else `cpu`). Backends are
-//!   bit-identical — the flag is a pure throughput knob, and the smoke
-//!   mode cross-checks the other backend's wire output to prove it.
+//! * `--backend {cpu,simd,packed,quant,all}` selects the inference
+//!   backend (default: the `AMOEBA_SERVE_BACKEND` env var, else `cpu`).
+//!   An unknown name is a hard error — never a silent fallback. The
+//!   tier-A backends (`cpu`, `simd`, `packed`) are bit-identical, so
+//!   for them the flag is a pure throughput knob and the smoke mode
+//!   cross-checks another tier-A backend's wire output to prove it;
+//!   `quant` is the tier-B int8 backend (bounded divergence, held to
+//!   the tolerance contract). `all` runs the dedicated comparison
+//!   sweep: every backend at batch 64 and 256, tier-A rows wire-checked
+//!   against cpu, quant's evasion delta reported.
 //! * `--steal {on,off}` toggles work stealing between shards (default
 //!   on). Also a pure throughput knob: the smoke modes cross-check both
 //!   settings bit-for-bit.
@@ -66,16 +72,16 @@ fn main() {
     let telemetry_base = opt_value("--telemetry");
     let json_path = opt_value("--json");
     let scenario = opt_value("--scenario").unwrap_or_else(|| "classifier".into());
-    let backend = args
-        .iter()
-        .position(|a| a == "--backend")
-        .map(|i| {
-            args.get(i + 1)
-                .expect("--backend needs a value (cpu|simd)")
-                .parse::<BackendKind>()
-                .expect("--backend value")
-        })
-        .unwrap_or_else(BackendKind::from_env_or_default);
+    let backend_arg = opt_value("--backend");
+    let compare_all = backend_arg.as_deref() == Some("all");
+    let backend = match backend_arg.as_deref() {
+        // The comparison sweep drives every kind itself; the reference
+        // default stands in for the unused single-backend paths.
+        None | Some("all") => BackendKind::from_env_or_default(),
+        Some(v) => v
+            .parse::<BackendKind>()
+            .unwrap_or_else(|e| panic!("--backend: {e}")),
+    };
     let on_off = |flag: &str| {
         args.iter()
             .position(|a| a == flag)
@@ -94,6 +100,17 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(if smoke { 96 } else { 1000 });
     let mut ctx = Context::new(Scale::from_env());
+    if compare_all {
+        assert!(
+            !matrix && !skew && !scaling && !overhead,
+            "--backend all runs the dedicated comparison sweep; drop the other mode flags"
+        );
+        print!(
+            "{}",
+            serve::serve_backend_comparison(&mut ctx, n_flows, &[64, 256], pipeline, steal)
+        );
+        return;
+    }
     if scaling {
         print!("{}", serve::serve_scaling_gate(&mut ctx, n_flows, 64));
         return;

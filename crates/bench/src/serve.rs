@@ -268,6 +268,69 @@ pub fn serve_throughput(
     md
 }
 
+/// The tiered-backend comparison table (`--backend all`): every
+/// [`BackendKind`] at each batch size, single shard, same workload.
+/// Tier-A rows (`cpu`/`simd`/`packed`) are cross-checked bit-for-bit
+/// against the `cpu` run of the same batch size while they are measured;
+/// the tier-B `quant` row is allowed to diverge, so its evasion delta
+/// vs `cpu` is reported instead of asserted away.
+pub fn serve_backend_comparison(
+    ctx: &mut Context,
+    n_flows: usize,
+    batches: &[usize],
+    pipeline: bool,
+    steal: bool,
+) -> String {
+    let kinds = [
+        BackendKind::Cpu,
+        BackendKind::Simd,
+        BackendKind::Packed,
+        BackendKind::Quant,
+    ];
+    let mut md = String::from("## amoeba-serve backend comparison (exactness-tier ladder)\n\n");
+    md += &format!(
+        "{n_flows} concurrent flows (Tor test split, ≤{PREFIX_CAP}-packet prefixes), \
+         DT censor inline every 8 frames, deterministic policy, 1 shard, pipelining {}, \
+         stealing {}. Tier-A backends (cpu/simd/packed) are wire-checked bit-for-bit \
+         against cpu per batch size; quant is tier B (bounded divergence), its evasion \
+         delta is reported below.\n\n",
+        if pipeline { "on" } else { "off" },
+        if steal { "on" } else { "off" },
+    );
+    md += TABLE_HEADER;
+    let mut quant_deltas = Vec::new();
+    for &batch in batches {
+        let reference = run_serve(ctx, n_flows, batch, 1, BackendKind::Cpu, pipeline, steal);
+        for backend in kinds {
+            let r = if backend == BackendKind::Cpu {
+                reference.clone()
+            } else {
+                run_serve(ctx, n_flows, batch, 1, backend, pipeline, steal)
+            };
+            if backend.is_bit_exact() {
+                assert_eq!(
+                    reference.wire_bits(),
+                    r.wire_bits(),
+                    "backend comparison: tier-A {backend} diverged from cpu at batch {batch}"
+                );
+            } else {
+                quant_deltas.push(format!(
+                    "batch {batch}: quant evasion {:.2}% vs cpu {:.2}% (Δ {:+.2} pts)",
+                    r.evasion_rate() * 100.0,
+                    reference.evasion_rate() * 100.0,
+                    (r.evasion_rate() - reference.evasion_rate()) * 100.0,
+                ));
+            }
+            md += &throughput_row(&format!("batch {batch} ({backend})"), &r);
+        }
+    }
+    md += "\n";
+    for line in &quant_deltas {
+        md += &format!("- {line}\n");
+    }
+    md
+}
+
 /// The shard-scaling table at a fixed batch size, as a markdown block.
 /// Wire output is shard-count-invariant, so the rows differ only in
 /// wall-clock figures; near-linear `flows/s` scaling up to the core count
@@ -324,12 +387,18 @@ pub fn serve_smoke(
         no_steal.wire_bits(),
         "smoke: steal-off wire output diverged from steal-on"
     );
-    // Cross-backend leg: the *other* in-crate backend must reproduce the
+    // Cross-backend leg: another *tier-A* backend must reproduce the
     // wire bit-for-bit (the conformance contract on real trained
-    // policies and censors, on every push).
+    // policies and censors, on every push). The smoke rotates through
+    // the bit-exact ladder so cpu/simd/packed all cross-check each
+    // other across the CI backend matrix. Quant is tier B — no backend
+    // owes it bit-identity (that's `tests/quant_tolerance.rs`'s job) —
+    // so its leg re-runs quant itself, pinning run-to-run determinism.
     let other = match backend {
         BackendKind::Cpu => BackendKind::Simd,
-        BackendKind::Simd => BackendKind::Cpu,
+        BackendKind::Simd => BackendKind::Packed,
+        BackendKind::Packed => BackendKind::Cpu,
+        BackendKind::Quant => BackendKind::Quant,
     };
     let cross = run_serve(ctx, n_flows, batch, 1, other, true, true);
     assert_eq!(

@@ -11,8 +11,9 @@
 use rand::Rng;
 
 use amoeba_nn::forward::Forward;
-use amoeba_nn::layers::{Activation, Mlp, MlpSnapshot};
+use amoeba_nn::layers::{Activation, Mlp, MlpSnapshot, PreparedMlp};
 use amoeba_nn::matrix::Matrix;
+use amoeba_nn::packed::PreparedRhs;
 use amoeba_nn::simd::MatmulKernel;
 use amoeba_nn::tensor::Tensor;
 
@@ -121,18 +122,18 @@ impl ActorSnapshot {
     /// any [`MatmulKernel`] — the seam `amoeba-serve`'s SIMD inference
     /// backend plugs into.
     pub fn head_batch_with(&self, states: &Matrix, kernel: MatmulKernel) -> (Matrix, Matrix) {
-        let out = self.mlp.forward_with(states, kernel);
-        let b = out.rows();
-        let mut mean = Matrix::zeros(b, ACTION_DIM);
-        let mut logstd = Matrix::zeros(b, ACTION_DIM);
-        for r in 0..b {
-            for d in 0..ACTION_DIM {
-                mean[(r, d)] = out[(r, d)];
-                logstd[(r, d)] =
-                    out[(r, ACTION_DIM + d)].clamp(self.logstd_range.0, self.logstd_range.1);
-            }
+        split_head(&self.mlp.forward_with(states, kernel), self.logstd_range)
+    }
+
+    /// Prepares the frozen MLP weights once through a [`PreparedRhs`]
+    /// tier ([`amoeba_nn::packed::PackedWeights`] ⇒ bit-exact,
+    /// [`amoeba_nn::quant::QuantWeights`] ⇒ bounded-error) for repeated
+    /// batched head evaluation.
+    pub fn prepare<W: PreparedRhs>(&self) -> PreparedActorSnapshot<W> {
+        PreparedActorSnapshot {
+            mlp: self.mlp.prepare(),
+            logstd_range: self.logstd_range,
         }
-        (mean, logstd)
     }
 
     /// Samples one action from an already-computed Gaussian head — the
@@ -166,6 +167,44 @@ impl ActorSnapshot {
     /// Deterministic (mean) action for evaluation.
     pub fn mode(&self, state: &[f32]) -> [f32; ACTION_DIM] {
         self.head(state).0
+    }
+}
+
+/// Splits a raw `(B, 2·ACTION_DIM)` actor-head output into clamped
+/// `(means, log_stds)` matrices — the tail shared by the kernel-tier
+/// [`ActorSnapshot::head_batch_with`] and the prepared-tier
+/// [`PreparedActorSnapshot::head_batch`], so the two differ only in how
+/// the MLP pass is computed.
+fn split_head(out: &Matrix, logstd_range: (f32, f32)) -> (Matrix, Matrix) {
+    let b = out.rows();
+    let mut mean = Matrix::zeros(b, ACTION_DIM);
+    let mut logstd = Matrix::zeros(b, ACTION_DIM);
+    for r in 0..b {
+        for d in 0..ACTION_DIM {
+            mean[(r, d)] = out[(r, d)];
+            logstd[(r, d)] = out[(r, ACTION_DIM + d)].clamp(logstd_range.0, logstd_range.1);
+        }
+    }
+    (mean, logstd)
+}
+
+/// An [`ActorSnapshot`] whose MLP weights were prepared once through a
+/// [`PreparedRhs`] tier. With [`amoeba_nn::packed::PackedWeights`] the
+/// batched head is bit-identical to [`ActorSnapshot::head_batch_with`];
+/// with [`amoeba_nn::quant::QuantWeights`] the means and log-stds carry
+/// bounded quantization error (tolerance tier).
+#[derive(Clone, Debug)]
+pub struct PreparedActorSnapshot<W: PreparedRhs> {
+    mlp: PreparedMlp<W>,
+    logstd_range: (f32, f32),
+}
+
+impl<W: PreparedRhs> PreparedActorSnapshot<W> {
+    /// Batched policy head through the prepared weights — the
+    /// prepared-tier counterpart of [`ActorSnapshot::head_batch`], with
+    /// the same row-independence guarantee.
+    pub fn head_batch(&self, states: &Matrix) -> (Matrix, Matrix) {
+        split_head(&self.mlp.forward(states), self.logstd_range)
     }
 }
 
@@ -265,6 +304,36 @@ mod tests {
             logp.value()[(0, 0)],
             logp_sample
         );
+    }
+
+    /// The packed-tier head is bit-identical to the kernel-tier head;
+    /// the quant-tier head tracks it within tolerance (the clamp on
+    /// log-std further bounds any drift).
+    #[test]
+    fn prepared_heads_honour_their_exactness_tiers() {
+        use amoeba_nn::packed::PackedWeights;
+        use amoeba_nn::quant::QuantWeights;
+        let cfg = tiny_cfg();
+        let mut rng = StdRng::seed_from_u64(9);
+        let snap = Actor::new(&cfg, &mut rng).snapshot();
+        let states = Matrix::randn(6, cfg.state_dim(), 1.0, &mut rng);
+        let (mean_ref, logstd_ref) = snap.head_batch_with(&states, MatmulKernel::Simd);
+
+        let packed = snap.prepare::<PackedWeights>();
+        let (mean_p, logstd_p) = packed.head_batch(&states);
+        for (got, want) in [(&mean_p, &mean_ref), (&logstd_p, &logstd_ref)] {
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        let quant = snap.prepare::<QuantWeights>();
+        let (mean_q, logstd_q) = quant.head_batch(&states);
+        for (got, want) in [(&mean_q, &mean_ref), (&logstd_q, &logstd_ref)] {
+            for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+                assert!((a - b).abs() < 0.1, "{a} vs {b}");
+            }
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use rand::Rng;
 use crate::forward::Forward;
 use crate::init::xavier_uniform;
 use crate::matrix::Matrix;
+use crate::packed::PreparedRhs;
 use crate::simd::MatmulKernel;
 use crate::tensor::Tensor;
 
@@ -135,11 +136,38 @@ impl LinearSnapshot {
     pub fn forward_with(&self, x: &Matrix, kernel: MatmulKernel) -> Matrix {
         x.matmul_with(&self.w, kernel).add_row_broadcast(&self.b)
     }
+
+    /// Prepares the weights once for repeated inference through a
+    /// [`PreparedRhs`] tier (packed ⇒ bit-exact, quantized ⇒ tolerance).
+    pub fn prepare<W: PreparedRhs>(&self) -> PreparedLinear<W> {
+        PreparedLinear {
+            w: W::prepare(&self.w),
+            b: self.b.clone(),
+        }
+    }
 }
 
 impl Forward for LinearSnapshot {
     fn forward(&self, x: &Matrix) -> Matrix {
         self.forward_with(x, MatmulKernel::Blocked)
+    }
+}
+
+/// A [`LinearSnapshot`] whose weights were prepared once through a
+/// [`PreparedRhs`] tier. With [`crate::packed::PackedWeights`] the
+/// forward pass is bit-identical to [`LinearSnapshot::forward_with`];
+/// with [`crate::quant::QuantWeights`] it carries bounded quantization
+/// error (tolerance tier).
+#[derive(Clone, Debug)]
+pub struct PreparedLinear<W: PreparedRhs> {
+    w: W,
+    b: Matrix,
+}
+
+impl<W: PreparedRhs> PreparedLinear<W> {
+    /// Forward pass `x W + b` through the prepared weights.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        self.w.forward(x).add_row_broadcast(&self.b)
     }
 }
 
@@ -256,6 +284,45 @@ impl MlpSnapshot {
         let last = self.layers.len() - 1;
         for (i, layer) in self.layers.iter().enumerate() {
             h = layer.forward_with(&h, kernel);
+            h = if i == last {
+                self.output_activation.apply_matrix(&h)
+            } else {
+                self.hidden_activation.apply_matrix(&h)
+            };
+        }
+        h
+    }
+
+    /// Prepares every layer's weights once for repeated inference
+    /// through a [`PreparedRhs`] tier.
+    pub fn prepare<W: PreparedRhs>(&self) -> PreparedMlp<W> {
+        PreparedMlp {
+            layers: self.layers.iter().map(LinearSnapshot::prepare).collect(),
+            hidden_activation: self.hidden_activation,
+            output_activation: self.output_activation,
+        }
+    }
+}
+
+/// An [`MlpSnapshot`] with every layer's weights prepared through a
+/// [`PreparedRhs`] tier. Same exactness contract as [`PreparedLinear`]:
+/// bit-exact for packed weights, bounded-error for quantized ones. The
+/// activation schedule is shared with [`MlpSnapshot::forward_with`]
+/// verbatim.
+#[derive(Clone, Debug)]
+pub struct PreparedMlp<W: PreparedRhs> {
+    layers: Vec<PreparedLinear<W>>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl<W: PreparedRhs> PreparedMlp<W> {
+    /// Forward pass through the prepared layers.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
             h = if i == last {
                 self.output_activation.apply_matrix(&h)
             } else {

@@ -1,0 +1,183 @@
+//! Tier-B prepared weights: **per-column symmetric int8 quantization**.
+//!
+//! [`QuantWeights`] trades the serving stack's bit-exactness guarantee
+//! for a 4× smaller weight working set: each output column `j` of a
+//! `(k, n)` weight matrix is encoded as `k` int8 values plus one f32
+//! scale, with `w[i][j] ≈ q[i][j] * scale[j]`. Products therefore carry
+//! bounded quantization error and are *deliberately not* bit-identical
+//! to [`Matrix::matmul`] — backends built on this type must pass the
+//! serving stack's **tolerance** conformance tier (bounded divergence in
+//! wire output and evasion rate), not the bit-exact one.
+//!
+//! What is still guaranteed, because the serve dataplane's determinism
+//! contract requires it:
+//!
+//! * **Determinism** — quantization and the matmul are pure functions of
+//!   the weights and input (fixed rounding, fixed ascending-`k` f32
+//!   accumulation order, no data-dependent shortcuts).
+//! * **Row independence** — each output row depends only on the matching
+//!   input row, so batch composition never changes a session's output.
+//!
+//! This module is a legitimate accumulation site (int8·f32 dot products
+//! with explicit index loops), mirroring the reference-kernel exemption
+//! the `amoeba-audit` AMB006 rule grants `matrix.rs`.
+
+use crate::matrix::Matrix;
+use crate::packed::PreparedRhs;
+
+/// Per-column symmetric int8 quantized weights.
+///
+/// Encoding: `scale[j] = max_i |w[i][j]| / 127` (or `1.0` for an
+/// all-zero column, so decoding stays well-defined), and
+/// `q[i][j] = round(w[i][j] / scale[j])` clamped to `[-127, 127]`.
+/// The quantized columns are stored column-major so the dot-product
+/// inner loop walks them sequentially.
+///
+/// The worst-case per-element decode error is `scale[j] / 2`, i.e. a
+/// relative error of at most `1/254` of the column's max magnitude;
+/// dot products accumulate in f32 in the same ascending-`k` order as
+/// the exact kernels.
+#[derive(Clone, Debug)]
+pub struct QuantWeights {
+    /// Column-major quantized values: column `j` occupies `q[j*k..(j+1)*k]`.
+    q: Vec<i8>,
+    /// Per-column decode scales, length `n`.
+    scale: Vec<f32>,
+    k: usize,
+    n: usize,
+}
+
+impl QuantWeights {
+    /// Per-column decode scales (exposed for error-bound analysis in
+    /// tests and benchmarks).
+    pub fn scales(&self) -> &[f32] {
+        &self.scale
+    }
+}
+
+impl PreparedRhs for QuantWeights {
+    fn prepare(w: &Matrix) -> Self {
+        let (k, n) = w.shape();
+        let data = w.as_slice();
+        let mut q = vec![0i8; k * n];
+        let mut scale = vec![1.0f32; n];
+        for j in 0..n {
+            let mut max_abs = 0.0f32;
+            for i in 0..k {
+                max_abs = max_abs.max(data[i * n + j].abs());
+            }
+            let s = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            scale[j] = s;
+            let col = &mut q[j * k..(j + 1) * k];
+            for (i, slot) in col.iter_mut().enumerate() {
+                *slot = (data[i * n + j] / s).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+        Self { q, scale, k, n }
+    }
+
+    fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    fn matmul_into(&self, lhs: &[f32], out: &mut [f32], m: usize) {
+        let (k, n) = (self.k, self.n);
+        debug_assert_eq!(lhs.len(), m * k);
+        debug_assert_eq!(out.len(), m * n);
+        for i in 0..m {
+            let row = &lhs[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                let col = &self.q[j * k..(j + 1) * k];
+                // Ascending-k f32 accumulation, decoded once per column:
+                // out = (Σ_k lhs[k] * q[k]) * scale[j].
+                let mut acc = 0.0f32;
+                for idx in 0..k {
+                    acc += row[idx] * f32::from(col[idx]);
+                }
+                *slot = acc * self.scale[j];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Quantized products land within the analytic error bound of the
+    /// exact product: per element, `Σ_k |x_k| * scale_j/2` plus f32
+    /// accumulation slack.
+    #[test]
+    fn quant_forward_is_within_analytic_bound() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(m, k, n) in &[(1usize, 4usize, 9usize), (3, 16, 33), (5, 64, 96)] {
+            let x = Matrix::randn(m, k, 1.0, &mut rng);
+            let w = Matrix::randn(k, n, 0.5, &mut rng);
+            let quant = QuantWeights::prepare(&w);
+            assert_eq!(quant.shape(), (k, n));
+            let got = quant.forward(&x);
+            let want = x.matmul_naive(&w);
+            for i in 0..m {
+                let row_l1: f32 = x.row(i).iter().map(|v| v.abs()).sum();
+                for j in 0..n {
+                    let bound = row_l1 * quant.scales()[j] * 0.5 + 1e-4;
+                    let err = (got[(i, j)] - want[(i, j)]).abs();
+                    assert!(
+                        err <= bound,
+                        "({m},{k},{n}) [{i},{j}]: err {err} > bound {bound}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Quantization is deterministic: preparing twice and multiplying
+    /// twice is bit-identical.
+    #[test]
+    fn quant_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let x = Matrix::randn(4, 12, 1.0, &mut rng);
+        let w = Matrix::randn(12, 7, 1.0, &mut rng);
+        let a = QuantWeights::prepare(&w).forward(&x);
+        let b = QuantWeights::prepare(&w).forward(&x);
+        assert_eq!(
+            a.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Row independence: each row of a batched product is bit-identical
+    /// to the product of that row alone — the invariant that keeps batch
+    /// composition from changing a session's wire output even on the
+    /// tolerance tier.
+    #[test]
+    fn quant_forward_rows_are_independent() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let x = Matrix::randn(6, 10, 1.0, &mut rng);
+        let w = Matrix::randn(10, 17, 1.0, &mut rng);
+        let quant = QuantWeights::prepare(&w);
+        let batched = quant.forward(&x);
+        for r in 0..x.rows() {
+            let single = quant.forward(&Matrix::from_vec(1, x.cols(), x.row(r).to_vec()));
+            for (a, b) in batched.row(r).iter().zip(single.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// All-zero columns quantize to scale 1.0 / zeros (not NaN), and
+    /// extreme values clamp to ±127.
+    #[test]
+    fn quant_handles_zero_columns_and_clamps() {
+        let w = Matrix::from_vec(2, 2, vec![0.0, 5.0, 0.0, -500.0]);
+        let quant = QuantWeights::prepare(&w);
+        assert_eq!(quant.scales()[0], 1.0);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let out = quant.forward(&x);
+        assert_eq!(out[(0, 0)], 0.0);
+        assert!(out[(0, 1)].is_finite());
+    }
+}

@@ -32,10 +32,24 @@
 //! ## Dispatch
 //!
 //! [`SimdLevel::detect`] picks the widest available instruction set once
-//! per process (AVX2 → SSE2 on x86-64, scalar elsewhere); the level can
-//! also be forced per call for testing. Detection uses
+//! per process (AVX-512F → AVX2 → SSE2 on x86-64, scalar elsewhere); the
+//! level can also be forced per call for testing. Detection uses
 //! `std::is_x86_feature_detected!`, so the same binary runs correctly on
-//! any host.
+//! any host. The AVX-512 leg obeys the same obligation as the narrower
+//! ones: 16-lane `mul` then `add` (`_mm512_mul_ps` + `_mm512_add_ps`,
+//! never an FMA), lanes over output columns only.
+//!
+//! ## Packed right-hand sides
+//!
+//! [`matmul_packed_into`] is the same blocked loop nest over a
+//! **panel-packed** right operand (see [`pack_rhs`]): the `(K, N)` weight
+//! matrix is reordered into `NC`-wide column panels, each stored
+//! `k`-major, so the inner `k`-walk reads the weight buffer strictly
+//! sequentially instead of striding by `N` — the layout
+//! `amoeba_nn::packed::PackedWeights` prepares once per frozen policy.
+//! Per output element the packed nest performs the identical ascending-`k`
+//! mul/add sequence as the unpacked one, so it is bit-exact by the same
+//! argument (pinned by this module's tests).
 
 use std::fmt;
 
@@ -59,6 +73,8 @@ pub enum MatmulKernel {
 /// axpy micro-kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimdLevel {
+    /// 512-bit AVX-512F lanes (16 f32 per op).
+    Avx512,
     /// 256-bit AVX2 lanes (8 f32 per op).
     Avx2,
     /// 128-bit SSE2 lanes (4 f32 per op; baseline on x86-64).
@@ -70,6 +86,7 @@ pub enum SimdLevel {
 impl fmt::Display for SimdLevel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
+            SimdLevel::Avx512 => "avx512",
             SimdLevel::Avx2 => "avx2",
             SimdLevel::Sse2 => "sse2",
             SimdLevel::Scalar => "scalar",
@@ -87,7 +104,9 @@ impl SimdLevel {
             use std::sync::OnceLock;
             static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
             *LEVEL.get_or_init(|| {
-                if std::arch::is_x86_feature_detected!("avx2") {
+                if std::arch::is_x86_feature_detected!("avx512f") {
+                    SimdLevel::Avx512
+                } else if std::arch::is_x86_feature_detected!("avx2") {
                     SimdLevel::Avx2
                 } else if std::arch::is_x86_feature_detected!("sse2") {
                     SimdLevel::Sse2
@@ -107,6 +126,8 @@ impl SimdLevel {
     pub fn is_available(self) -> bool {
         match self {
             SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
             #[cfg(target_arch = "x86_64")]
             SimdLevel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
             #[cfg(target_arch = "x86_64")]
@@ -132,6 +153,9 @@ pub fn axpy(level: SimdLevel, out: &mut [f32], a: f32, b: &[f32]) {
     match level {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: availability asserted above; slices are equal-length.
+        SimdLevel::Avx512 => unsafe { axpy_avx512(out, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: availability asserted above; slices are equal-length.
         SimdLevel::Avx2 => unsafe { axpy_avx2(out, a, b) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: availability asserted above; slices are equal-length.
@@ -147,6 +171,36 @@ fn axpy_scalar(out: &mut [f32], a: f32, b: &[f32]) {
     for (o, &bv) in out.iter_mut().zip(b) {
         *o += a * bv;
     }
+}
+
+/// AVX-512F micro-panel: 16-lane `mul` + `add` (no FMA — FMA's single
+/// rounding would diverge from the scalar path), scalar tail for the last
+/// `len % 16` columns.
+///
+/// # Safety
+/// Caller must guarantee the host CPU supports AVX-512F
+/// (`#[target_feature]` makes the call itself the unsafe act); all
+/// loads/stores stay inside `out`/`b` — the lane loop stops at
+/// `n - n % 16` and `n` is the shorter of the two slice lengths.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn axpy_avx512(out: &mut [f32], a: f32, b: &[f32]) {
+    use std::arch::x86_64::{
+        _mm512_add_ps, _mm512_loadu_ps, _mm512_mul_ps, _mm512_set1_ps, _mm512_storeu_ps,
+    };
+    let n = out.len().min(b.len());
+    let va = _mm512_set1_ps(a);
+    let mut j = 0;
+    while j + 16 <= n {
+        let vb = _mm512_loadu_ps(b.as_ptr().add(j));
+        let vo = _mm512_loadu_ps(out.as_ptr().add(j));
+        _mm512_storeu_ps(
+            out.as_mut_ptr().add(j),
+            _mm512_add_ps(vo, _mm512_mul_ps(va, vb)),
+        );
+        j += 16;
+    }
+    axpy_scalar(&mut out[j..], a, &b[j..]);
 }
 
 /// AVX2 micro-panel: 8-lane `mul` + `add` (no FMA — FMA's single rounding
@@ -240,6 +294,9 @@ pub(crate) fn matmul_into(
     match level {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: sizes asserted above; availability asserted above.
+        SimdLevel::Avx512 => unsafe { matmul_blocked_avx512(lhs, rhs, out, m, kk, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: sizes asserted above; availability asserted above.
         SimdLevel::Avx2 => unsafe { matmul_blocked_avx2(lhs, rhs, out, m, kk, n) },
         #[cfg(target_arch = "x86_64")]
         // SAFETY: sizes asserted above; availability asserted above.
@@ -306,6 +363,13 @@ blocked_matmul_impl!(matmul_blocked_scalar_impl, axpy_scalar);
 
 #[cfg(target_arch = "x86_64")]
 blocked_matmul_impl!(
+    #[target_feature(enable = "avx512f")]
+    matmul_blocked_avx512,
+    axpy_avx512
+);
+
+#[cfg(target_arch = "x86_64")]
+blocked_matmul_impl!(
     #[target_feature(enable = "avx2")]
     matmul_blocked_avx2,
     axpy_avx2
@@ -331,6 +395,156 @@ fn matmul_blocked_scalar(lhs: &[f32], rhs: &[f32], out: &mut [f32], m: usize, kk
     unsafe { matmul_blocked_scalar_impl(lhs, rhs, out, m, kk, n) }
 }
 
+/// Reorders a row-major `(kk, n)` right operand into the panel-packed
+/// layout [`matmul_packed_into`] consumes: `NC`-wide column panels in
+/// ascending column order, each panel stored `k`-major (panel for columns
+/// `[j0, j1)` occupies `packed[kk * j0..kk * j1]`, with row `k` of the
+/// panel at offset `k * (j1 - j0)`). The packed buffer holds exactly the
+/// same `kk * n` values — only their order changes, so packing is a pure
+/// layout transform done once per weight matrix (at policy freeze), never
+/// per matmul.
+pub fn pack_rhs(rhs: &[f32], kk: usize, n: usize) -> Vec<f32> {
+    assert_eq!(rhs.len(), kk * n, "pack_rhs: rhs size");
+    let mut packed = Vec::with_capacity(kk * n);
+    let mut j0 = 0;
+    while j0 < n {
+        let j1 = (j0 + NC).min(n);
+        for k in 0..kk {
+            packed.extend_from_slice(&rhs[k * n + j0..k * n + j1]);
+        }
+        j0 = j1;
+    }
+    packed
+}
+
+/// Generates one monolithic **packed-RHS** blocked matmul per level from
+/// a single loop-nest definition — the same NC/MR tiling, ascending-`k`
+/// accumulation per output element and `a == 0.0` skip as
+/// `blocked_matmul_impl!`, but the weight panel for step `k` is read from
+/// the [`pack_rhs`] buffer at `panel[k * w..]` (sequential in `k`)
+/// instead of `rhs[k * n + j0..]` (stride-`n` in `k`). Identical
+/// per-element mul/add sequence ⇒ bit-exact with the unpacked nests; the
+/// only change is the address stream, which is now a linear walk over the
+/// whole `K × NC` slab. Same `unsafe fn` contract as
+/// `blocked_matmul_impl!` (`lhs.len() == m * kk` is the sole unchecked
+/// access; [`matmul_packed_into`] asserts all sizes up front).
+macro_rules! packed_matmul_impl {
+    ($(#[$attr:meta])* $name:ident, $axpy:path) => {
+        $(#[$attr])*
+        // SAFETY: the contract of every instantiation — caller guarantees
+        // `lhs.len() == m * kk` (sole unchecked access) and, for the
+        // `#[target_feature]` variants, that the feature is available on
+        // the host; both asserted up front by `matmul_packed_into`.
+        unsafe fn $name(
+            lhs: &[f32],
+            packed: &[f32],
+            out: &mut [f32],
+            m: usize,
+            kk: usize,
+            n: usize,
+        ) {
+            debug_assert_eq!(lhs.len(), m * kk);
+            debug_assert_eq!(packed.len(), kk * n);
+            debug_assert_eq!(out.len(), m * n);
+            let mut j0 = 0;
+            while j0 < n {
+                let j1 = (j0 + NC).min(n);
+                let w = j1 - j0;
+                let panel = &packed[kk * j0..kk * j1];
+                let mut i0 = 0;
+                while i0 < m {
+                    let i1 = (i0 + MR).min(m);
+                    for k in 0..kk {
+                        let b_panel = &panel[k * w..(k + 1) * w];
+                        for i in i0..i1 {
+                            let a = *lhs.get_unchecked(i * kk + k);
+                            if a == 0.0 {
+                                continue;
+                            }
+                            $axpy(&mut out[i * n + j0..i * n + j1], a, b_panel);
+                        }
+                    }
+                    i0 = i1;
+                }
+                j0 = j1;
+            }
+        }
+    };
+}
+
+packed_matmul_impl!(matmul_packed_scalar_impl, axpy_scalar);
+
+#[cfg(target_arch = "x86_64")]
+packed_matmul_impl!(
+    #[target_feature(enable = "avx512f")]
+    matmul_packed_avx512,
+    axpy_avx512
+);
+
+#[cfg(target_arch = "x86_64")]
+packed_matmul_impl!(
+    #[target_feature(enable = "avx2")]
+    matmul_packed_avx2,
+    axpy_avx2
+);
+
+#[cfg(target_arch = "x86_64")]
+packed_matmul_impl!(
+    #[target_feature(enable = "sse2")]
+    matmul_packed_sse2,
+    axpy_sse2
+);
+
+/// Accumulates `lhs * rhs` into the zeroed `out` buffer where `rhs` was
+/// pre-packed by [`pack_rhs`] — the packed counterpart of the unpacked
+/// `matmul_into` dispatch, bit-identical to it (and therefore to
+/// [`crate::matrix::Matrix::matmul_naive`]) on every input at every
+/// level, because packing permutes only the *addresses* of the weight
+/// loads, never any element's ascending-`k` summation order or its
+/// mul/add roundings. `lhs` is `(m, kk)` row-major, `packed` is the
+/// [`pack_rhs`] image of the `(kk, n)` right operand, `out` is `(m, n)`
+/// and must start zeroed.
+///
+/// # Panics
+/// Panics on slice/dimension mismatch or an unavailable level.
+pub fn matmul_packed_into(
+    level: SimdLevel,
+    lhs: &[f32],
+    packed: &[f32],
+    out: &mut [f32],
+    m: usize,
+    kk: usize,
+    n: usize,
+) {
+    assert_eq!(lhs.len(), m * kk, "matmul_packed_into: lhs size");
+    assert_eq!(packed.len(), kk * n, "matmul_packed_into: packed size");
+    assert_eq!(out.len(), m * n, "matmul_packed_into: out size");
+    assert!(
+        level.is_available(),
+        "matmul_packed_into: {level} not available on host"
+    );
+    if n == 0 || kk == 0 || m == 0 {
+        return;
+    }
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: sizes asserted above; availability asserted above.
+        SimdLevel::Avx512 => unsafe { matmul_packed_avx512(lhs, packed, out, m, kk, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: sizes asserted above; availability asserted above.
+        SimdLevel::Avx2 => unsafe { matmul_packed_avx2(lhs, packed, out, m, kk, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: sizes asserted above; availability asserted above.
+        SimdLevel::Sse2 => unsafe { matmul_packed_sse2(lhs, packed, out, m, kk, n) },
+        _ => {
+            // SAFETY: no `#[target_feature]` on the scalar instantiation;
+            // the sole unchecked access is bounded by the `lhs` size
+            // assert above.
+            unsafe { matmul_packed_scalar_impl(lhs, packed, out, m, kk, n) }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,10 +553,15 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn levels_on_host() -> Vec<SimdLevel> {
-        [SimdLevel::Avx2, SimdLevel::Sse2, SimdLevel::Scalar]
-            .into_iter()
-            .filter(|l| l.is_available())
-            .collect()
+        [
+            SimdLevel::Avx512,
+            SimdLevel::Avx2,
+            SimdLevel::Sse2,
+            SimdLevel::Scalar,
+        ]
+        .into_iter()
+        .filter(|l| l.is_available())
+        .collect()
     }
 
     /// Every available level produces bit-identical axpy results to the
@@ -423,6 +642,78 @@ mod tests {
         let c = Matrix::zeros(0, 4);
         let d = Matrix::zeros(4, 5);
         assert_eq!(c.matmul_with(&d, MatmulKernel::Simd).shape(), (0, 5));
+    }
+
+    /// `pack_rhs` is a pure permutation: every element of the original
+    /// row-major operand appears exactly once in the packed buffer, at
+    /// the documented panel offset.
+    #[test]
+    fn pack_rhs_is_a_permutation_at_documented_offsets() {
+        let mut rng = StdRng::seed_from_u64(59);
+        for &(kk, n) in &[
+            (1usize, 1usize),
+            (3, 7),
+            (5, 255),
+            (4, 256),
+            (2, 261),
+            (64, 300),
+        ] {
+            let rhs: Vec<f32> = (0..kk * n).map(|_| rng.gen_range(-2.0f32..2.0)).collect();
+            let packed = pack_rhs(&rhs, kk, n);
+            assert_eq!(packed.len(), kk * n);
+            for j0 in (0..n).step_by(NC) {
+                let j1 = (j0 + NC).min(n);
+                let w = j1 - j0;
+                let panel = &packed[kk * j0..kk * j1];
+                for k in 0..kk {
+                    assert_eq!(
+                        &panel[k * w..(k + 1) * w],
+                        &rhs[k * n + j0..k * n + j1],
+                        "({kk},{n}) panel {j0} row {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The packed matmul is bit-identical to the naive reference (and
+    /// therefore to the unpacked blocked nests) at every available level,
+    /// across the same edge shapes as the unpacked test — including exact
+    /// zeros exercising the skip path and empty dimensions.
+    #[test]
+    fn packed_matmul_matches_naive_on_edge_shapes() {
+        let mut rng = StdRng::seed_from_u64(61);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 3, 7),
+            (2, 2, 8),
+            (3, 5, 9),
+            (4, 4, 4),
+            (5, 6, 12),
+            (4, 7, 255),
+            (5, 3, 256),
+            (6, 2, 261),
+            (9, 64, 300),
+            (2, 0, 3), // empty inner dim
+            (0, 4, 5), // empty rows
+        ] {
+            let mut a = Matrix::randn(m, k, 1.0, &mut rng);
+            let b = Matrix::randn(k, n, 1.0, &mut rng);
+            for v in a.as_mut_slice().iter_mut() {
+                if *v < -0.8 {
+                    *v = 0.0;
+                }
+            }
+            let naive = a.matmul_naive(&b);
+            let packed = pack_rhs(b.as_slice(), k, n);
+            for level in levels_on_host() {
+                let mut out = vec![0.0f32; m * n];
+                matmul_packed_into(level, a.as_slice(), &packed, &mut out, m, k, n);
+                for (x, y) in out.iter().zip(naive.as_slice()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{m}x{k} * {k}x{n}, {level}");
+                }
+            }
+        }
     }
 
     /// Both kernel choices agree bit-for-bit (the contract

@@ -128,15 +128,19 @@ pub mod session;
 pub mod shard;
 pub mod testutil;
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use amoeba_core::encoder::EncoderSnapshot;
-use amoeba_core::policy::ActorSnapshot;
+use amoeba_core::encoder::{EncoderSnapshot, PreparedEncoderSnapshot};
+use amoeba_core::policy::{ActorSnapshot, PreparedActorSnapshot};
 use amoeba_core::ppo::PolicySnapshots;
 use amoeba_core::{ActionSpace, AmoebaAgent, AmoebaConfig, ShapingKernel};
+use amoeba_nn::packed::{PackedWeights, PreparedRhs};
+use amoeba_nn::quant::QuantWeights;
 use amoeba_traffic::{Layer, NetEm};
 
-pub use backend::{BackendKind, CpuBackend, InferenceBackend, SimdBackend};
+pub use backend::{
+    BackendKind, CpuBackend, InferenceBackend, PackedBackend, QuantBackend, SimdBackend,
+};
 #[allow(deprecated)]
 pub use dataplane::Dataplane;
 pub use engine::{Admission, ServeEngine, TelemetryHandle};
@@ -156,14 +160,39 @@ pub struct FrozenPolicy {
     pub encoder: Arc<EncoderSnapshot>,
     /// Frozen Gaussian actor.
     pub actor: Arc<ActorSnapshot>,
+    /// Lazily-built tier-A (packed, bit-exact) weight preparation,
+    /// shared across clones so each policy packs at most once.
+    packed: Arc<OnceLock<PreparedPolicy<PackedWeights>>>,
+    /// Lazily-built tier-B (int8, tolerance) weight preparation.
+    quant: Arc<OnceLock<PreparedPolicy<QuantWeights>>>,
+}
+
+/// A [`FrozenPolicy`]'s weights prepared once through one
+/// [`PreparedRhs`] tier — the pair of prepared snapshots the packed and
+/// quantized [`InferenceBackend`]s execute against. Obtained from
+/// [`FrozenPolicy::packed`] / [`FrozenPolicy::quantized`]; both
+/// preparations are pure functions of the frozen weights, built lazily
+/// on first use and cached for the policy's lifetime.
+#[derive(Clone, Debug)]
+pub struct PreparedPolicy<W: PreparedRhs> {
+    /// Prepared StateEncoder.
+    pub encoder: PreparedEncoderSnapshot<W>,
+    /// Prepared actor.
+    pub actor: PreparedActorSnapshot<W>,
 }
 
 impl FrozenPolicy {
     /// Wraps snapshots for serving.
     pub fn new(encoder: EncoderSnapshot, actor: ActorSnapshot) -> Self {
+        Self::from_arcs(Arc::new(encoder), Arc::new(actor))
+    }
+
+    fn from_arcs(encoder: Arc<EncoderSnapshot>, actor: Arc<ActorSnapshot>) -> Self {
         Self {
-            encoder: Arc::new(encoder),
-            actor: Arc::new(actor),
+            encoder,
+            actor,
+            packed: Arc::new(OnceLock::new()),
+            quant: Arc::new(OnceLock::new()),
         }
     }
 
@@ -172,14 +201,32 @@ impl FrozenPolicy {
     pub fn from_agent(agent: &AmoebaAgent) -> Self {
         Self::from(agent.snapshots())
     }
+
+    /// The tier-A preparation: panel-packed weights, bit-identical to the
+    /// unprepared paths on every input. Built on first call (a pure
+    /// layout transform of the frozen weights), then cached.
+    pub fn packed(&self) -> &PreparedPolicy<PackedWeights> {
+        self.packed.get_or_init(|| PreparedPolicy {
+            encoder: self.encoder.prepare(),
+            actor: self.actor.prepare(),
+        })
+    }
+
+    /// The tier-B preparation: per-column symmetric int8 weights —
+    /// deliberately *not* bit-identical (tolerance tier). Built on first
+    /// call (a pure, deterministic quantization of the frozen weights),
+    /// then cached.
+    pub fn quantized(&self) -> &PreparedPolicy<QuantWeights> {
+        self.quant.get_or_init(|| PreparedPolicy {
+            encoder: self.encoder.prepare(),
+            actor: self.actor.prepare(),
+        })
+    }
 }
 
 impl From<&PolicySnapshots> for FrozenPolicy {
     fn from(p: &PolicySnapshots) -> Self {
-        Self {
-            encoder: Arc::clone(&p.encoder),
-            actor: Arc::clone(&p.actor),
-        }
+        Self::from_arcs(Arc::clone(&p.encoder), Arc::clone(&p.actor))
     }
 }
 

@@ -1,0 +1,92 @@
+//! The tolerance conformance tier (tier B), instantiated for
+//! `QuantBackend`: the executable form of the bounded-divergence
+//! obligations documented in `amoeba_serve::backend`.
+//!
+//! Unlike `tests/backend_conformance.rs`, nothing here asserts wire
+//! *identity* — int8 quantization deliberately breaks it. Instead the
+//! quantized engine run is compared against the `CpuBackend` reference
+//! run of the same workload under `ToleranceSpec`: every session still
+//! completes, per-session frame counts and wire bytes stay within a
+//! relative band, and the evasion rate under wire-sensitive statistical
+//! censors moves by at most ε — overall and per tenant.
+//!
+//! What stays *exact* even in tier B: the quantized run itself must be
+//! deterministic (same workload twice ⇒ bit-identical reports), because
+//! row independence and replayability are obligations of every tier.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use amoeba_serve::testutil::{
+    assert_reports_wire_identical, check_backend_within_tolerance, check_reports_within_tolerance,
+    run_workload_with, stat_censors, tiny_policy, BackendWorkload, ToleranceSpec,
+};
+use amoeba_serve::{CpuBackend, QuantBackend};
+
+mod common;
+use common::arb_flow;
+
+/// The pinned tier-B gate: the fixed multi-tenant workload from
+/// `testutil`, quant vs cpu, under the default spec. This is the check
+/// CI's quant-tolerance leg runs.
+#[test]
+fn quant_backend_passes_the_tolerance_tier() {
+    check_backend_within_tolerance(Arc::new(QuantBackend::new()), &ToleranceSpec::default());
+}
+
+proptest! {
+    // Each case runs three engines (cpu reference + quant twice); keep
+    // the count low.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random flows across 2 policies × 3 statistical censors at shards
+    /// 1/4 × batch 1/32 × pipelining/stealing on/off: the quantized
+    /// run's evasion rate stays within ε of the CPU reference (overall
+    /// and per tenant), wire divergence stays inside the relative
+    /// bands, and the quantized run is itself deterministic.
+    #[test]
+    fn quant_stays_within_tolerance_end_to_end(
+        flows in prop::collection::vec(arb_flow(), 8..20),
+        seed in any::<u64>(),
+        four_shards in any::<bool>(),
+        big_batch in any::<bool>(),
+        pipeline in any::<bool>(),
+        steal in any::<bool>(),
+        assignment in prop::collection::vec((0usize..2, 0usize..3), 20),
+    ) {
+        let policies = [tiny_policy(7), tiny_policy(19)];
+        let workload = BackendWorkload {
+            flows: &flows,
+            assignment: &assignment,
+            policies: &policies,
+            // Unused: the statistical censors below replace the
+            // constant-score stand-ins.
+            censor_scores: &[],
+            seed,
+            batch: if big_batch { 32 } else { 1 },
+            shards: if four_shards { 4 } else { 1 },
+            pipeline,
+            steal,
+            netem: None,
+        };
+        let censors = stat_censors();
+        let reference = run_workload_with(&workload, &censors, Arc::new(CpuBackend));
+        let quant = run_workload_with(&workload, &censors, Arc::new(QuantBackend::new()));
+        check_reports_within_tolerance(
+            &reference,
+            &quant,
+            &ToleranceSpec::default(),
+            &format!(
+                "quant-int8 vs cpu at shards {} x batch {}",
+                workload.shards, workload.batch
+            ),
+        );
+        let quant_again = run_workload_with(&workload, &censors, Arc::new(QuantBackend::new()));
+        assert_reports_wire_identical(
+            &quant,
+            &quant_again,
+            "quant-int8 re-run of the identical workload",
+        );
+    }
+}

@@ -116,11 +116,16 @@ impl Histogram {
     }
 
     /// Records a microsecond reading (as the serving stack measures
-    /// stage wall-clocks) at nanosecond bucket resolution. Negative or
-    /// non-finite inputs clamp to zero.
+    /// stage wall-clocks) at nanosecond bucket resolution. Negative and
+    /// NaN inputs saturate to zero, `+∞` (and anything ≥ 2⁶⁴ ns) to
+    /// `u64::MAX` — the explicit saturation the unit tests pin, rather
+    /// than leaning on `f64 as u64` cast semantics for the edges.
     #[inline]
     pub fn record_us(&mut self, us: f32) {
-        let ns = (f64::from(us) * 1e3).max(0.0);
+        let ns = f64::from(us) * 1e3;
+        // `f64::max(NaN, 0.0)` happens to return 0.0, but spell the NaN
+        // edge out: a poisoned timing read records as 0, never as junk.
+        let ns = if ns.is_nan() { 0.0 } else { ns.max(0.0) };
         self.record(if ns >= u64::MAX as f64 {
             u64::MAX
         } else {
@@ -166,16 +171,38 @@ impl Histogram {
         }
     }
 
-    /// Nearest-rank quantile estimate (`q` clamped to `[0, 1]`): the
-    /// midpoint of the bucket holding the rank-`round(q · (n - 1))`
-    /// sample, clamped into the exact observed `[min, max]`. NaN when
-    /// empty. The estimate differs from the exact sample by at most one
-    /// bucket width (relative error ≤ `1/16`).
+    /// Type-7 (linear-interpolation) quantile estimate, the same
+    /// estimator as `ServeReport`'s exact-sample percentile path: the
+    /// fractional rank `h = q · (n - 1)` (`q` clamped to `[0, 1]`) is
+    /// split into its integer neighbours and the bucket-estimated values
+    /// at ranks `⌊h⌋` and `⌈h⌉` are blended by the fractional part.
+    /// Sharing the estimator means the serving report's exact→histogram
+    /// fallback cannot shift a reported percentile by more than the
+    /// bucket resolution when `exact_frame_stats` flips. NaN when empty.
+    ///
+    /// Each rank's value is the midpoint of the bucket holding that
+    /// sample, clamped into the exact observed `[min, max]`, so the
+    /// estimate differs from the exact type-7 value by at most one bucket
+    /// width (relative error ≤ `1/16`).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return f64::NAN;
         }
-        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let h = (self.count - 1) as f64 * q.clamp(0.0, 1.0);
+        let lo_rank = h.floor() as u64;
+        let hi_rank = h.ceil() as u64;
+        let lo = self.value_at_rank(lo_rank);
+        if hi_rank == lo_rank {
+            return lo;
+        }
+        let hi = self.value_at_rank(hi_rank);
+        lo + (hi - lo) * h.fract()
+    }
+
+    /// Bucket-estimated value of the rank-`rank` sample (0-based, in
+    /// sorted order): the midpoint of its bucket, clamped into the exact
+    /// observed `[min, max]`.
+    fn value_at_rank(&self, rank: u64) -> f64 {
         let mut seen = 0u64;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -279,12 +306,21 @@ mod tests {
         }
         samples.sort_unstable();
         for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
-            let rank = ((samples.len() - 1) as f64 * q).round() as usize;
-            let exact = samples[rank];
+            // Exact type-7 value over the sorted samples — the estimator
+            // both this histogram and the serving report's exact path use.
+            let rank = (samples.len() - 1) as f64 * q;
+            let (lo, hi) = (
+                samples[rank.floor() as usize] as f64,
+                samples[rank.ceil() as usize] as f64,
+            );
+            let exact = lo + (hi - lo) * rank.fract();
             let est = h.quantile(q);
-            let tol = (exact as f64 / SUB as f64) + 1.0;
+            // Both interpolation endpoints are bucket-midpoints within one
+            // bucket width of their sample; the blend inherits the larger
+            // endpoint's bound.
+            let tol = hi / SUB as f64 + 1.0;
             assert!(
-                (est - exact as f64).abs() <= tol,
+                (est - exact).abs() <= tol,
                 "q={q}: estimate {est} vs exact {exact} (tol {tol})"
             );
         }
@@ -331,5 +367,52 @@ mod tests {
         assert_eq!(h.count(), 4);
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), u64::MAX);
+    }
+
+    /// Negative inputs saturate to exactly zero — never to a small
+    /// positive bucket, never a panic.
+    #[test]
+    fn record_us_saturates_negative_to_zero() {
+        let mut h = Histogram::new();
+        for v in [-0.001f32, -1.0, -1e20, f32::NEG_INFINITY] {
+            h.record_us(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    /// NaN inputs saturate to exactly zero, by the explicit branch (not
+    /// the accident of `f64::max` NaN propagation or `as` casts).
+    #[test]
+    fn record_us_saturates_nan_to_zero() {
+        let mut h = Histogram::new();
+        h.record_us(f32::NAN);
+        h.record_us(-f32::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+    }
+
+    /// The sampled estimator is exactly type-7: on single-count unit
+    /// buckets (values < SUB, which the histogram stores exactly) the
+    /// estimate must equal the interpolated sample value, fractional part
+    /// included.
+    #[test]
+    fn quantile_interpolates_type7_exactly_on_unit_buckets() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 7, 8, 9] {
+            h.record(v);
+        }
+        // h = 9q: q=0.25 -> rank 2.25 -> 2.25 exactly.
+        assert_eq!(h.quantile(0.25), 2.25);
+        assert_eq!(h.quantile(0.5), 4.5);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 9.0);
+        // Out-of-range q clamps.
+        assert_eq!(h.quantile(-3.0), 0.0);
+        assert_eq!(h.quantile(7.0), 9.0);
     }
 }

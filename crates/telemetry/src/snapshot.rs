@@ -339,8 +339,9 @@ mod tests {
             },
             ..ShardTelemetry::default()
         };
-        // Values below 16 ns land in exact unit buckets, so quantiles
-        // are exact and the golden text is stable by construction.
+        // Values below 16 ns land in exact unit buckets, so the type-7
+        // interpolated quantiles are exact and the golden text is stable
+        // by construction.
         for v in [10, 10, 12, 14] {
             a.queue_hist.record(v);
             a.compute_hist.record(v);
@@ -456,25 +457,25 @@ amoeba_serve_tenant_verdict_queries_total{policy=\"0\",censor=\"0\"} 16
 amoeba_serve_tenant_verdict_queries_total{policy=\"1\",censor=\"2\"} 8
 # HELP amoeba_serve_frame_queue_us Queue-wait latency (enqueue to batch start) in microseconds.
 # TYPE amoeba_serve_frame_queue_us summary
-amoeba_serve_frame_queue_us{quantile=\"0.5\"} 0.012
-amoeba_serve_frame_queue_us{quantile=\"0.9\"} 0.014
-amoeba_serve_frame_queue_us{quantile=\"0.99\"} 0.014
+amoeba_serve_frame_queue_us{quantile=\"0.5\"} 0.011
+amoeba_serve_frame_queue_us{quantile=\"0.9\"} 0.0134
+amoeba_serve_frame_queue_us{quantile=\"0.99\"} 0.01394
 amoeba_serve_frame_queue_us{quantile=\"1\"} 0.014
 amoeba_serve_frame_queue_us_sum 0.046
 amoeba_serve_frame_queue_us_count 4
 # HELP amoeba_serve_frame_compute_us Compute latency (inference + framing) in microseconds.
 # TYPE amoeba_serve_frame_compute_us summary
-amoeba_serve_frame_compute_us{quantile=\"0.5\"} 0.012
-amoeba_serve_frame_compute_us{quantile=\"0.9\"} 0.014
-amoeba_serve_frame_compute_us{quantile=\"0.99\"} 0.014
+amoeba_serve_frame_compute_us{quantile=\"0.5\"} 0.011
+amoeba_serve_frame_compute_us{quantile=\"0.9\"} 0.0134
+amoeba_serve_frame_compute_us{quantile=\"0.99\"} 0.01394
 amoeba_serve_frame_compute_us{quantile=\"1\"} 0.014
 amoeba_serve_frame_compute_us_sum 0.046
 amoeba_serve_frame_compute_us_count 4
 # HELP amoeba_serve_frame_latency_us End-to-end frame latency in microseconds.
 # TYPE amoeba_serve_frame_latency_us summary
-amoeba_serve_frame_latency_us{quantile=\"0.5\"} 0.024
-amoeba_serve_frame_latency_us{quantile=\"0.9\"} 0.028
-amoeba_serve_frame_latency_us{quantile=\"0.99\"} 0.028
+amoeba_serve_frame_latency_us{quantile=\"0.5\"} 0.022
+amoeba_serve_frame_latency_us{quantile=\"0.9\"} 0.0268
+amoeba_serve_frame_latency_us{quantile=\"0.99\"} 0.02788
 amoeba_serve_frame_latency_us{quantile=\"1\"} 0.028
 amoeba_serve_frame_latency_us_sum 0.092
 amoeba_serve_frame_latency_us_count 4
@@ -500,7 +501,7 @@ amoeba_serve_frame_latency_us_count 4
         let json = snap.to_json();
         assert!(json.contains("\"ticks\": 4"));
         assert!(json.contains("\"frame_latency_us\""));
-        assert!(json.contains("\"p50\": 0.024"));
+        assert!(json.contains("\"p50\": 0.022"));
         assert!(json.contains("\"tenants\": [{\"policy\": 0"));
         // Empty snapshot renders null quantiles, never NaN.
         let empty = TelemetrySnapshot::default();
